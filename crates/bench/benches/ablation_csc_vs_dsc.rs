@@ -1,0 +1,47 @@
+//! Ablation bench: Continuous vs Discrete Step Counting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moloc_bench::{bench_world, heavy_criterion};
+use moloc_eval::experiments::ablations;
+use moloc_mobility::user::paper_users;
+use moloc_sensors::counting::{csc, dsc};
+use moloc_sensors::steps::StepDetector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_counting(c: &mut Criterion) {
+    let world = bench_world();
+    let result = ablations::csc_vs_dsc(&world);
+    println!("\n=== Ablation: CSC vs DSC (offset error) ===");
+    println!(
+        "mean |error|: CSC {:.3} m, DSC {:.3} m (CSC must win, Sec. IV-B1)",
+        result.csc_errors.mean().unwrap_or(f64::NAN),
+        result.dsc_errors.mean().unwrap_or(f64::NAN)
+    );
+
+    let user = paper_users()[0];
+    let mut rng = StdRng::seed_from_u64(5);
+    let (series, _) =
+        user.gait()
+            .synthesize_segment(3.0, user.step_period_s(), 0.31, 10.0, &mut rng);
+    let detector = StepDetector::default();
+    let steps = detector.detect(&series);
+
+    c.bench_function("counting/csc_single_interval", |b| {
+        b.iter(|| black_box(csc(black_box(&steps), 3.0)))
+    });
+    c.bench_function("counting/dsc_single_interval", |b| {
+        b.iter(|| black_box(dsc(black_box(&steps))))
+    });
+    c.bench_function("counting/full_corpus_comparison", |b| {
+        b.iter(|| black_box(ablations::csc_vs_dsc(&world)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = heavy_criterion();
+    targets = bench_counting
+}
+criterion_main!(benches);

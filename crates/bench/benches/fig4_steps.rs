@@ -1,0 +1,45 @@
+//! Fig. 4 bench: regenerates the 10-step acceleration signature and
+//! measures gait synthesis plus step detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moloc_bench::light_criterion;
+use moloc_eval::experiments::fig4;
+use moloc_mobility::user::paper_users;
+use moloc_sensors::steps::StepDetector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let fig = fig4::run(2013);
+    println!("\n=== Fig. 4 (acceleration signature) ===");
+    println!(
+        "{} samples over 10 s; detected {} of {} steps",
+        fig.series.len(),
+        fig.steps.len(),
+        fig.true_steps
+    );
+
+    let user = paper_users()[1];
+    let mut rng = StdRng::seed_from_u64(7);
+    let series = user.gait().synthesize_walk(10, 1.0, 10.0, &mut rng);
+    let detector = StepDetector::default();
+
+    c.bench_function("fig4/gait_synthesis_10_steps", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(user.gait().synthesize_walk(10, 1.0, 10.0, &mut rng)))
+    });
+    c.bench_function("fig4/step_detection_100_samples", |b| {
+        b.iter(|| black_box(detector.detect(&series)))
+    });
+    c.bench_function("fig4/full_experiment", |b| {
+        b.iter(|| black_box(fig4::run(2013)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = light_criterion();
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 6 bench: regenerates the motion-database validity CDFs and
+//! measures database construction from the crowdsourced corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moloc_bench::{bench_world, heavy_criterion};
+use moloc_eval::experiments::fig6;
+use moloc_eval::pipeline::CountingMethod;
+use moloc_motion::filter::SanitationConfig;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let world = bench_world();
+    let setting = world.setting(6);
+
+    let fig = fig6::run(&world, &setting);
+    println!("\n=== Fig. 6 (reduced corpus) ===");
+    println!(
+        "direction errors: median {:.1}°, max {:.1}° (paper: 3°, 15°)",
+        fig.direction_errors.median().unwrap_or(f64::NAN),
+        fig.direction_errors.max().unwrap_or(f64::NAN),
+    );
+    println!(
+        "offset errors:    median {:.2} m, max {:.2} m (paper: 0.13 m, 0.46 m)",
+        fig.offset_errors.median().unwrap_or(f64::NAN),
+        fig.offset_errors.max().unwrap_or(f64::NAN),
+    );
+
+    c.bench_function("fig6/motion_db_construction_sanitized", |b| {
+        b.iter(|| {
+            black_box(world.setting_with(6, SanitationConfig::paper(), CountingMethod::Continuous))
+        })
+    });
+    c.bench_function("fig6/validity_extraction", |b| {
+        b.iter(|| black_box(fig6::run(&world, &setting)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = heavy_criterion();
+    targets = bench_fig6
+}
+criterion_main!(benches);

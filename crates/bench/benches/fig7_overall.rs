@@ -1,0 +1,50 @@
+//! Fig. 7 bench: regenerates the overall MoLoc-vs-WiFi comparison and
+//! measures the localization passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moloc_bench::{bench_world, heavy_criterion};
+use moloc_core::config::MoLocConfig;
+use moloc_eval::experiments::fig7;
+use moloc_eval::pipeline::{localize_moloc, localize_wifi};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let world = bench_world();
+    let settings: Vec<_> = [4, 5, 6].into_iter().map(|n| world.setting(n)).collect();
+
+    // Print the paper rows once, from the same data the bench measures.
+    println!("\n=== Fig. 7 (reduced corpus) ===");
+    for setting in &settings {
+        let r = fig7::run_setting(&world, setting, MoLocConfig::paper());
+        println!(
+            "{}-AP  WiFi acc {:4.0}% mean {:5.2} m   MoLoc acc {:4.0}% mean {:5.2} m",
+            setting.n_aps,
+            r.wifi.summary.accuracy * 100.0,
+            r.wifi.summary.mean_error_m,
+            r.moloc.summary.accuracy * 100.0,
+            r.moloc.summary.mean_error_m,
+        );
+    }
+
+    let six_ap = &settings[2];
+    c.bench_function("fig7/wifi_baseline_all_test_traces", |b| {
+        b.iter(|| black_box(localize_wifi(&world, six_ap)))
+    });
+    c.bench_function("fig7/moloc_all_test_traces", |b| {
+        b.iter(|| black_box(localize_moloc(&world, six_ap, MoLocConfig::paper())))
+    });
+    c.bench_function("fig7/full_4_5_6_ap_comparison", |b| {
+        b.iter(|| {
+            for setting in &settings {
+                black_box(fig7::run_setting(&world, setting, MoLocConfig::paper()));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = heavy_criterion();
+    targets = bench_fig7
+}
+criterion_main!(benches);

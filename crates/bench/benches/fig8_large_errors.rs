@@ -1,0 +1,48 @@
+//! Fig. 8 bench: regenerates the large-error-location comparison and
+//! measures its derivation from Fig. 7 outcomes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moloc_bench::{bench_world, heavy_criterion};
+use moloc_core::config::MoLocConfig;
+use moloc_eval::experiments::{fig7, fig8};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let world = bench_world();
+    let setting = world.setting(4); // fewest APs → strongest ambiguity
+    let f7 = fig7::Fig7 {
+        settings: vec![fig7::run_setting(&world, &setting, MoLocConfig::paper())],
+    };
+    let f8 = fig8::run(&f7);
+
+    println!("\n=== Fig. 8 (reduced corpus, 4 APs) ===");
+    for s in &f8.settings {
+        println!(
+            "{} ambiguous locations; WiFi mean {:.2} m / max {:.2} m; MoLoc mean {:.2} m / max {:.2} m",
+            s.ambiguous_locations.len(),
+            s.wifi.mean_error_m,
+            s.wifi.max_error_m,
+            s.moloc.mean_error_m,
+            s.moloc.max_error_m,
+        );
+    }
+
+    c.bench_function("fig8/ambiguous_location_extraction", |b| {
+        b.iter(|| black_box(fig8::run(&f7)))
+    });
+    c.bench_function("fig8/from_scratch_including_localization", |b| {
+        b.iter(|| {
+            let f7 = fig7::Fig7 {
+                settings: vec![fig7::run_setting(&world, &setting, MoLocConfig::paper())],
+            };
+            black_box(fig8::run(&f7))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = heavy_criterion();
+    targets = bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Microbenchmarks of the pipeline's hot paths: fingerprint matching,
+//! motion matching, RSS scanning, shortest paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moloc_bench::{bench_world, light_criterion};
+use moloc_core::config::MoLocConfig;
+use moloc_core::matching::set_motion_probability;
+use moloc_fingerprint::candidates::CandidateSet;
+use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_fingerprint::knn::k_nearest;
+use moloc_fingerprint::metric::Euclidean;
+use moloc_geometry::shortest_path::{all_pairs, dijkstra};
+use moloc_geometry::LocationId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_micro(c: &mut Criterion) {
+    let world = bench_world();
+    let setting = world.setting(6);
+    let grid = &world.hall.grid;
+    let mut rng = StdRng::seed_from_u64(11);
+    let pos = grid.position(LocationId::new(10));
+    let scan = world.hall.env.scan(pos, &mut rng);
+    let query = Fingerprint::new(scan.into_iter().map(f64::from).collect());
+
+    c.bench_function("micro/rss_scan_6_aps", |b| {
+        b.iter(|| black_box(world.hall.env.scan(black_box(pos), &mut rng)))
+    });
+    c.bench_function("micro/knn_k8_over_28_locations", |b| {
+        b.iter(|| black_box(k_nearest(&setting.fdb, black_box(&query), 8, &Euclidean)))
+    });
+
+    let config = MoLocConfig::paper();
+    let prev = CandidateSet::from_weights(
+        (1..=8u32)
+            .map(|i| (LocationId::new(i), 1.0 / i as f64))
+            .collect(),
+    )
+    .unwrap();
+    c.bench_function("micro/eq6_set_motion_probability", |b| {
+        b.iter(|| {
+            black_box(set_motion_probability(
+                &setting.motion_db,
+                black_box(&prev),
+                LocationId::new(9),
+                91.0,
+                5.7,
+                &config,
+            ))
+        })
+    });
+
+    c.bench_function("micro/dijkstra_28_nodes", |b| {
+        b.iter(|| black_box(dijkstra(&world.hall.graph, LocationId::new(1))))
+    });
+    c.bench_function("micro/all_pairs_28_nodes", |b| {
+        b.iter(|| black_box(all_pairs(&world.hall.graph)))
+    });
+
+    // The paper's efficiency argument: MoLoc's O(k²) online step vs the
+    // HMM's O(n²) per-step decoding over the full state space.
+    let trace0 = &world.corpus.test[0];
+    let queries: Vec<(Fingerprint, Option<moloc_core::tracker::MotionMeasurement>)> = trace0
+        .scans
+        .iter()
+        .map(|scan| (Fingerprint::new(scan.clone()), None))
+        .collect();
+    let viterbi =
+        moloc_core::viterbi::ViterbiLocalizer::new(&setting.fdb, &setting.motion_db, config);
+    c.bench_function("micro/viterbi_decode_full_trace", |b| {
+        b.iter(|| black_box(viterbi.localize_trace(black_box(&queries)).unwrap()))
+    });
+    c.bench_function("micro/moloc_tracker_full_trace", |b| {
+        b.iter(|| {
+            let mut t =
+                moloc_core::tracker::MoLocTracker::new(&setting.fdb, &setting.motion_db, config);
+            for (fp, m) in &queries {
+                black_box(t.observe(fp, *m).unwrap());
+            }
+        })
+    });
+
+    let trace = &world.corpus.test[0];
+    let detector = moloc_sensors::steps::StepDetector::default();
+    c.bench_function("micro/step_detection_full_trace", |b| {
+        b.iter(|| black_box(detector.detect(&trace.accel)))
+    });
+    c.bench_function("micro/trace_analysis_full", |b| {
+        b.iter(|| {
+            black_box(moloc_eval::pipeline::analyze_trace(
+                trace,
+                &setting.fdb,
+                &world.hall,
+                &detector,
+                moloc_eval::pipeline::CountingMethod::Continuous,
+                6,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = light_criterion();
+    targets = bench_micro
+}
+criterion_main!(benches);

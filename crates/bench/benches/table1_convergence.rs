@@ -1,0 +1,36 @@
+//! Table I bench: regenerates the convergence statistics and measures
+//! their computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moloc_bench::{bench_world, heavy_criterion};
+use moloc_core::config::MoLocConfig;
+use moloc_eval::convergence::convergence_stats;
+use moloc_eval::experiments::{fig7, table1};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let world = bench_world();
+    let f7 = fig7::Fig7 {
+        settings: [4, 5, 6]
+            .into_iter()
+            .map(|n| fig7::run_setting(&world, &world.setting(n), MoLocConfig::paper()))
+            .collect(),
+    };
+    let t1 = table1::run(&f7);
+    println!("\n=== Table I (reduced corpus) ===");
+    println!("{}", table1::render(&t1));
+
+    c.bench_function("table1/derivation_from_outcomes", |b| {
+        b.iter(|| black_box(table1::run(&f7)))
+    });
+    c.bench_function("table1/convergence_stats_single_method", |b| {
+        b.iter(|| black_box(convergence_stats(&f7.settings[0].moloc.outcomes)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = heavy_criterion();
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! The owning MoLoc facade.
+//!
+//! [`MoLoc`] bundles the fingerprint database, motion database, and
+//! configuration into one deployable unit — the thing a venue operator
+//! would ship — and hands out per-session [`MoLocTracker`]s.
+
+use crate::config::MoLocConfig;
+use crate::tracker::{MoLocTracker, MotionMeasurement, TrackError};
+use moloc_fingerprint::db::FingerprintDb;
+use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_geometry::LocationId;
+use moloc_motion::matrix::MotionDb;
+
+/// A deployed MoLoc system.
+///
+/// # Examples
+///
+/// See the crate-level example in [`crate`].
+#[derive(Debug, Clone)]
+pub struct MoLoc {
+    fingerprint_db: FingerprintDb,
+    motion_db: MotionDb,
+    config: MoLocConfig,
+}
+
+/// Builder for [`MoLoc`].
+#[derive(Debug)]
+pub struct MoLocBuilder {
+    fingerprint_db: FingerprintDb,
+    motion_db: MotionDb,
+    config: MoLocConfig,
+}
+
+impl MoLocBuilder {
+    /// Overrides the configuration (default: [`MoLocConfig::paper`]).
+    pub fn config(mut self, config: MoLocConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn build(self) -> MoLoc {
+        self.config.validate();
+        MoLoc {
+            fingerprint_db: self.fingerprint_db,
+            motion_db: self.motion_db,
+            config: self.config,
+        }
+    }
+}
+
+impl MoLoc {
+    /// Starts building a system from its two databases.
+    pub fn builder(fingerprint_db: FingerprintDb, motion_db: MotionDb) -> MoLocBuilder {
+        MoLocBuilder {
+            fingerprint_db,
+            motion_db,
+            config: MoLocConfig::paper(),
+        }
+    }
+
+    /// The fingerprint database.
+    pub fn fingerprint_db(&self) -> &FingerprintDb {
+        &self.fingerprint_db
+    }
+
+    /// The motion database.
+    pub fn motion_db(&self) -> &MotionDb {
+        &self.motion_db
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MoLocConfig {
+        self.config
+    }
+
+    /// A fresh per-session tracker.
+    pub fn tracker(&self) -> MoLocTracker<'_> {
+        MoLocTracker::new(&self.fingerprint_db, &self.motion_db, self.config)
+    }
+
+    /// Localizes a whole query sequence, as the trace-driven evaluation
+    /// does: the first element carries no motion, subsequent elements
+    /// carry the RLM measured since the previous query.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TrackError`] encountered.
+    pub fn localize_sequence(
+        &self,
+        queries: &[(Fingerprint, Option<MotionMeasurement>)],
+    ) -> Result<Vec<LocationId>, TrackError> {
+        let mut tracker = self.tracker();
+        queries
+            .iter()
+            .map(|(fp, motion)| tracker.observe(fp, *motion))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_motion::matrix::PairStats;
+    use moloc_stats::gaussian::Gaussian;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn fp(v: &[f64]) -> Fingerprint {
+        Fingerprint::new(v.to_vec())
+    }
+
+    fn system() -> MoLoc {
+        let fdb = FingerprintDb::from_fingerprints(vec![
+            (l(1), fp(&[-40.0, -70.0])),
+            (l(2), fp(&[-55.0, -55.0])),
+            (l(3), fp(&[-70.0, -40.0])),
+        ])
+        .unwrap();
+        let mut mdb = MotionDb::new(3);
+        let east = PairStats {
+            direction: Gaussian::new(90.0, 5.0).unwrap(),
+            offset: Gaussian::new(4.0, 0.3).unwrap(),
+            sample_count: 10,
+        };
+        mdb.insert(l(1), l(2), east);
+        mdb.insert(l(2), l(3), east);
+        MoLoc::builder(fdb, mdb).build()
+    }
+
+    #[test]
+    fn sequence_localization_walks_east() {
+        let moloc = system();
+        let east = Some(MotionMeasurement {
+            direction_deg: 90.0,
+            offset_m: 4.0,
+        });
+        let estimates = moloc
+            .localize_sequence(&[
+                (fp(&[-41.0, -69.0]), None),
+                (fp(&[-54.0, -56.0]), east),
+                (fp(&[-69.0, -41.0]), east),
+            ])
+            .unwrap();
+        assert_eq!(estimates, vec![l(1), l(2), l(3)]);
+    }
+
+    #[test]
+    fn accessors_expose_components() {
+        let moloc = system();
+        assert_eq!(moloc.fingerprint_db().len(), 3);
+        assert_eq!(moloc.motion_db().pair_count(), 2);
+        assert_eq!(moloc.config().alpha_deg, 20.0);
+    }
+
+    #[test]
+    fn trackers_are_independent_sessions() {
+        let moloc = system();
+        let mut a = moloc.tracker();
+        let mut b = moloc.tracker();
+        a.observe(&fp(&[-41.0, -69.0]), None).unwrap();
+        assert!(a.candidates().is_some());
+        assert!(b.candidates().is_none());
+        b.observe(&fp(&[-69.0, -41.0]), None).unwrap();
+        assert_ne!(
+            a.candidates().unwrap().top().location,
+            b.candidates().unwrap().top().location
+        );
+    }
+
+    #[test]
+    fn sequence_error_propagates() {
+        let moloc = system();
+        let err = moloc
+            .localize_sequence(&[(fp(&[-41.0]), None)])
+            .unwrap_err();
+        assert!(matches!(err, TrackError::QueryLength { .. }));
+    }
+}

@@ -1,0 +1,165 @@
+//! Candidate evaluation (paper Eq. 7).
+//!
+//! For each current candidate `jₘ`, MoLoc combines the independent
+//! fingerprint and motion evidence:
+//!
+//! ```text
+//! P(x = jₘ | L′, F, d, o) = P(x = jₘ | F) · P_{L′,jₘ}(d, o) / N
+//! ```
+//!
+//! where `L′` is the previous candidate set and `N` normalizes over the
+//! current candidates. When every candidate's combined mass underflows
+//! (all motion evidence contradicts all fingerprint evidence), the
+//! implementation falls back to the fingerprint-only distribution
+//! rather than dividing by zero — a robustness choice documented in
+//! DESIGN.md.
+
+use crate::config::MoLocConfig;
+use crate::matching::set_motion_probability;
+use moloc_fingerprint::candidates::CandidateSet;
+use moloc_motion::matrix::MotionDb;
+
+/// Applies Eq. 7: reweights the `current` fingerprint candidates by the
+/// motion evidence from the `previous` candidate set.
+///
+/// Returns the posterior candidate set (normalized).
+pub fn evaluate_candidates(
+    db: &MotionDb,
+    previous: &CandidateSet,
+    current: &CandidateSet,
+    direction_deg: f64,
+    offset_m: f64,
+    config: &MoLocConfig,
+) -> CandidateSet {
+    let weights: Vec<_> = current
+        .iter()
+        .map(|(loc, p_fingerprint)| {
+            let p_motion =
+                set_motion_probability(db, previous, loc, direction_deg, offset_m, config);
+            (loc, p_fingerprint * p_motion)
+        })
+        .collect();
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    if total <= config.degenerate_total_floor {
+        // Degenerate: motion evidence wiped out every candidate. Trust
+        // the fingerprints alone for this step.
+        return current.clone();
+    }
+    CandidateSet::from_weights(weights).expect("total weight checked above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_geometry::LocationId;
+    use moloc_motion::matrix::PairStats;
+    use moloc_stats::gaussian::Gaussian;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    /// Fig. 1(b)'s world: p (L1) with twins q (L2, west) and q′ (L3,
+    /// east of p). Walking west from p must pick q over q′.
+    fn twin_db() -> MotionDb {
+        let mut db = MotionDb::new(3);
+        db.insert(
+            l(1),
+            l(2),
+            PairStats {
+                direction: Gaussian::new(270.0, 5.0).unwrap(), // p → q west
+                offset: Gaussian::new(4.0, 0.3).unwrap(),
+                sample_count: 8,
+            },
+        );
+        db.insert(
+            l(1),
+            l(3),
+            PairStats {
+                direction: Gaussian::new(90.0, 5.0).unwrap(), // p → q′ east
+                offset: Gaussian::new(4.0, 0.3).unwrap(),
+                sample_count: 8,
+            },
+        );
+        db
+    }
+
+    #[test]
+    fn motion_disambiguates_fingerprint_twins() {
+        let db = twin_db();
+        let config = MoLocConfig::default();
+        // Previous: confidently at p.
+        let prev = CandidateSet::from_weights(vec![(l(1), 1.0)]).unwrap();
+        // Current fingerprints: q and q′ are twins — equal probability.
+        let current = CandidateSet::from_weights(vec![(l(2), 0.5), (l(3), 0.5)]).unwrap();
+        // Measured: walked west 4 m.
+        let posterior = evaluate_candidates(&db, &prev, &current, 270.0, 4.0, &config);
+        assert_eq!(posterior.top().location, l(2));
+        assert!(posterior.probability_of(l(2)) > 0.99);
+    }
+
+    #[test]
+    fn fig1c_wrong_initial_estimate_recovers() {
+        // Previous candidates split between p (L1) and its twin; the
+        // twin has no trained path matching the motion, so the true
+        // continuation wins even though the previous *estimate* (top)
+        // was wrong.
+        let db = twin_db();
+        let config = MoLocConfig::default();
+        let prev = CandidateSet::from_weights(vec![(l(1), 0.45), (l(3), 0.55)]).unwrap();
+        let current = CandidateSet::from_weights(vec![(l(2), 0.5), (l(3), 0.5)]).unwrap();
+        let posterior = evaluate_candidates(&db, &prev, &current, 270.0, 4.0, &config);
+        assert_eq!(posterior.top().location, l(2));
+    }
+
+    #[test]
+    fn posterior_is_normalized() {
+        let db = twin_db();
+        let config = MoLocConfig::default();
+        let prev = CandidateSet::from_weights(vec![(l(1), 0.5), (l(2), 0.5)]).unwrap();
+        let current =
+            CandidateSet::from_weights(vec![(l(1), 0.3), (l(2), 0.3), (l(3), 0.4)]).unwrap();
+        let posterior = evaluate_candidates(&db, &prev, &current, 90.0, 4.0, &config);
+        assert!((posterior.total_probability() - 1.0).abs() < 1e-9);
+        assert_eq!(posterior.len(), 3);
+    }
+
+    #[test]
+    fn degenerate_motion_falls_back_to_fingerprints() {
+        let db = twin_db();
+        let config = MoLocConfig {
+            missing_pair_prob: 0.0, // strict Eq. 5: untrained pairs are impossible
+            ..MoLocConfig::default()
+        };
+        let prev = CandidateSet::from_weights(vec![(l(2), 1.0)]).unwrap();
+        // Candidates reachable only via untrained pairs → all zeros.
+        let current = CandidateSet::from_weights(vec![(l(3), 0.7), (l(1), 0.3)]).unwrap();
+        // Direction/offset match nothing trained from L2.
+        let posterior = evaluate_candidates(&db, &prev, &current, 0.0, 20.0, &config);
+        assert_eq!(posterior, current);
+    }
+
+    #[test]
+    fn fingerprint_prior_still_matters() {
+        // Same motion evidence for two candidates → fingerprint prior
+        // decides.
+        let mut db = MotionDb::new(3);
+        for to in [2, 3] {
+            db.insert(
+                l(1),
+                l(to),
+                PairStats {
+                    direction: Gaussian::new(90.0, 5.0).unwrap(),
+                    offset: Gaussian::new(4.0, 0.3).unwrap(),
+                    sample_count: 5,
+                },
+            );
+        }
+        let config = MoLocConfig::default();
+        let prev = CandidateSet::from_weights(vec![(l(1), 1.0)]).unwrap();
+        let current = CandidateSet::from_weights(vec![(l(2), 0.8), (l(3), 0.2)]).unwrap();
+        let posterior = evaluate_candidates(&db, &prev, &current, 90.0, 4.0, &config);
+        assert_eq!(posterior.top().location, l(2));
+        assert!((posterior.probability_of(l(2)) - 0.8).abs() < 1e-9);
+    }
+}

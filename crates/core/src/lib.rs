@@ -1,0 +1,67 @@
+//! MoLoc: motion-assisted indoor localization (ICDCS 2013).
+//!
+//! This crate is the paper's primary contribution — the serving-stage
+//! algorithm of Sec. V that fuses RSS fingerprint matching with motion
+//! matching against the crowdsourced motion database:
+//!
+//! * [`config`] — the algorithm's knobs: candidate count `k`,
+//!   discretization windows `α`/`β`, and robustness floors.
+//! * [`matching`] — motion matching (Eq. 5: `P_{i,j}(d, o) =
+//!   D_{i,j}(d)·O_{i,j}(o)`) and its extension over candidate sets
+//!   (Eq. 6).
+//! * [`evaluate`] — the posterior candidate evaluation (Eq. 7).
+//! * [`tracker`] — [`tracker::MoLocTracker`], the stateful localizer
+//!   that retains the candidate set between queries.
+//! * [`engine`] — [`engine::MoLoc`], the owning facade bundling the
+//!   fingerprint database, motion database, and configuration.
+//! * [`viterbi`] — an offline HMM comparator over the same databases
+//!   (the related-work baseline the paper argues against).
+//! * [`particle`] — a sequential Monte Carlo comparator: the "delicate"
+//!   end of the efficiency trade-off Sec. V mentions.
+//!
+//! # Examples
+//!
+//! ```
+//! use moloc_core::engine::MoLoc;
+//! use moloc_core::tracker::MotionMeasurement;
+//! use moloc_fingerprint::db::FingerprintDb;
+//! use moloc_fingerprint::fingerprint::Fingerprint;
+//! use moloc_geometry::LocationId;
+//! use moloc_motion::matrix::{MotionDb, PairStats};
+//! use moloc_stats::gaussian::Gaussian;
+//!
+//! // A two-location world: L1 and L2, 5 m apart going east.
+//! let fdb = FingerprintDb::from_fingerprints(vec![
+//!     (LocationId::new(1), Fingerprint::new(vec![-40.0, -60.0])),
+//!     (LocationId::new(2), Fingerprint::new(vec![-60.0, -40.0])),
+//! ])?;
+//! let mut mdb = MotionDb::new(2);
+//! mdb.insert(LocationId::new(1), LocationId::new(2), PairStats {
+//!     direction: Gaussian::new(90.0, 5.0).unwrap(),
+//!     offset: Gaussian::new(5.0, 0.3).unwrap(),
+//!     sample_count: 10,
+//! });
+//!
+//! let moloc = MoLoc::builder(fdb, mdb).build();
+//! let mut tracker = moloc.tracker();
+//! let first = tracker.observe(&Fingerprint::new(vec![-41.0, -59.0]), None)?;
+//! assert_eq!(first, LocationId::new(1));
+//! let second = tracker.observe(
+//!     &Fingerprint::new(vec![-59.0, -41.0]),
+//!     Some(MotionMeasurement { direction_deg: 88.0, offset_m: 5.1 }),
+//! )?;
+//! assert_eq!(second, LocationId::new(2));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod evaluate;
+pub mod matching;
+pub mod particle;
+pub mod tracker;
+pub mod viterbi;
+
+pub use config::MoLocConfig;
+pub use engine::MoLoc;
+pub use tracker::{MoLocTracker, MotionMeasurement};

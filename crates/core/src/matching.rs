@@ -1,0 +1,187 @@
+//! Motion matching (paper Eq. 5 and Eq. 6).
+//!
+//! Given a measured direction `d` and offset `o`, the probability that a
+//! user walked from location `i` to `j` is the product of discretized
+//! Gaussian masses from the motion database:
+//!
+//! ```text
+//! P_{i,j}(d, o) = D_{i,j}(d) · O_{i,j}(o)
+//! ```
+//!
+//! and over a candidate *set* `S` of possible starting locations
+//! (Eq. 6):
+//!
+//! ```text
+//! P_{S,j}(d, o) = Σ_{i ∈ S} P(x = i) · P_{i,j}(d, o)
+//! ```
+
+use crate::config::MoLocConfig;
+use moloc_fingerprint::candidates::CandidateSet;
+use moloc_geometry::LocationId;
+use moloc_motion::matrix::MotionDb;
+use moloc_stats::circular::signed_diff_deg;
+use moloc_stats::gaussian::Gaussian;
+
+/// The pairwise motion probability `P_{i,j}(d, o)` (Eq. 5).
+///
+/// * For a trained pair, the direction mass is evaluated on the signed
+///   deviation from the pair's mean direction so the 0°/360° wrap never
+///   splits a window.
+/// * For the same location (`i == j`), a stay-in-place model applies:
+///   uninformative direction (`α/360`) times a zero-mean offset
+///   Gaussian.
+/// * For an untrained pair, [`MoLocConfig::missing_pair_prob`] applies.
+pub fn pair_motion_probability(
+    db: &MotionDb,
+    from: LocationId,
+    to: LocationId,
+    direction_deg: f64,
+    offset_m: f64,
+    config: &MoLocConfig,
+) -> f64 {
+    if from == to {
+        let stay = Gaussian::new(0.0, config.stationary_offset_std_m)
+            .expect("validated config has positive std");
+        let direction_mass = (config.alpha_deg / 360.0).min(1.0);
+        return direction_mass * stay.window_mass(offset_m, config.beta_m);
+    }
+    match db.get(from, to) {
+        Some(stats) => {
+            // Evaluate the direction window on the wrapped deviation:
+            // center a zero-mean Gaussian with the pair's σᵈ on the
+            // signed difference to μᵈ.
+            let dev = signed_diff_deg(stats.direction.mean(), direction_deg);
+            let dir_gauss =
+                Gaussian::new(0.0, stats.direction.std()).expect("db stds are positive");
+            let d_mass = dir_gauss.window_mass(dev, config.alpha_deg);
+            let o_mass = stats.offset.window_mass(offset_m, config.beta_m);
+            d_mass * o_mass
+        }
+        None => config.missing_pair_prob,
+    }
+}
+
+/// The set-extended motion probability `P_{S,j}(d, o)` (Eq. 6).
+pub fn set_motion_probability(
+    db: &MotionDb,
+    previous: &CandidateSet,
+    to: LocationId,
+    direction_deg: f64,
+    offset_m: f64,
+    config: &MoLocConfig,
+) -> f64 {
+    previous
+        .iter()
+        .map(|(from, p)| p * pair_motion_probability(db, from, to, direction_deg, offset_m, config))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_motion::matrix::PairStats;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn db() -> MotionDb {
+        let mut db = MotionDb::new(4);
+        db.insert(
+            l(1),
+            l(2),
+            PairStats {
+                direction: Gaussian::new(90.0, 5.0).unwrap(),
+                offset: Gaussian::new(5.0, 0.3).unwrap(),
+                sample_count: 10,
+            },
+        );
+        db
+    }
+
+    fn cfg() -> MoLocConfig {
+        MoLocConfig::default()
+    }
+
+    #[test]
+    fn matching_motion_scores_high() {
+        let p = pair_motion_probability(&db(), l(1), l(2), 90.0, 5.0, &cfg());
+        assert!(p > 0.8, "p = {p}");
+    }
+
+    #[test]
+    fn wrong_direction_scores_low() {
+        let right = pair_motion_probability(&db(), l(1), l(2), 90.0, 5.0, &cfg());
+        let wrong = pair_motion_probability(&db(), l(1), l(2), 270.0, 5.0, &cfg());
+        assert!(wrong < right * 1e-6, "wrong {wrong} vs right {right}");
+    }
+
+    #[test]
+    fn wrong_offset_scores_low() {
+        let right = pair_motion_probability(&db(), l(1), l(2), 90.0, 5.0, &cfg());
+        let wrong = pair_motion_probability(&db(), l(1), l(2), 90.0, 9.0, &cfg());
+        assert!(wrong < right * 1e-3);
+    }
+
+    #[test]
+    fn reverse_walk_uses_mirrored_entry() {
+        let p = pair_motion_probability(&db(), l(2), l(1), 270.0, 5.0, &cfg());
+        assert!(p > 0.8, "p = {p}");
+        let bad = pair_motion_probability(&db(), l(2), l(1), 90.0, 5.0, &cfg());
+        assert!(bad < 1e-6);
+    }
+
+    #[test]
+    fn direction_window_handles_wraparound() {
+        let mut db = MotionDb::new(4);
+        db.insert(
+            l(1),
+            l(2),
+            PairStats {
+                direction: Gaussian::new(0.5, 5.0).unwrap(), // nearly north
+                offset: Gaussian::new(5.0, 0.3).unwrap(),
+                sample_count: 5,
+            },
+        );
+        // A measurement at 359.5° is only 1° away across the wrap.
+        let p = pair_motion_probability(&db, l(1), l(2), 359.5, 5.0, &cfg());
+        assert!(p > 0.8, "p = {p}");
+    }
+
+    #[test]
+    fn missing_pair_uses_epsilon() {
+        let p = pair_motion_probability(&db(), l(1), l(3), 90.0, 5.0, &cfg());
+        assert_eq!(p, cfg().missing_pair_prob);
+    }
+
+    #[test]
+    fn stationary_model_prefers_small_offsets() {
+        let near = pair_motion_probability(&db(), l(1), l(1), 10.0, 0.1, &cfg());
+        let far = pair_motion_probability(&db(), l(1), l(1), 10.0, 4.0, &cfg());
+        assert!(near > 100.0 * far);
+    }
+
+    #[test]
+    fn eq6_weights_by_prior() {
+        let db = db();
+        let config = cfg();
+        // Previous candidates: L1 with 0.9, L3 with 0.1.
+        let prev = CandidateSet::from_weights(vec![(l(1), 0.9), (l(3), 0.1)]).unwrap();
+        let p_set = set_motion_probability(&db, &prev, l(2), 90.0, 5.0, &config);
+        let p_pair = pair_motion_probability(&db, l(1), l(2), 90.0, 5.0, &config);
+        let expected = 0.9 * p_pair + 0.1 * config.missing_pair_prob;
+        assert!((p_set - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        let db = db();
+        let config = cfg();
+        for dir in [0.0, 45.0, 90.0, 180.0, 270.0] {
+            for off in [0.0, 1.0, 5.0, 10.0] {
+                let p = pair_motion_probability(&db, l(1), l(2), dir, off, &config);
+                assert!((0.0..=1.0).contains(&p), "p = {p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! The stateful MoLoc tracker.
+//!
+//! A [`MoLocTracker`] serves one user's localization session: every
+//! query yields `k` fingerprint candidates (Eq. 3/4); from the second
+//! query on, the retained previous candidates and the motion measured
+//! during the interval reweight them (Eq. 7); the top candidate is the
+//! location estimate and the posterior set is retained for the next
+//! round (Sec. V-C).
+
+use crate::config::MoLocConfig;
+use crate::evaluate::evaluate_candidates;
+use moloc_fingerprint::candidates::CandidateSet;
+use moloc_fingerprint::db::FingerprintDb;
+use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_fingerprint::knn::k_nearest;
+use moloc_fingerprint::metric::{Dissimilarity, Euclidean};
+use moloc_geometry::LocationId;
+use moloc_motion::matrix::MotionDb;
+use serde::{Deserialize, Serialize};
+
+/// The motion measured during one localization interval: the direction
+/// and offset components of an RLM, extracted from compass and
+/// accelerometer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionMeasurement {
+    /// Motion direction in compass degrees.
+    pub direction_deg: f64,
+    /// Walked distance in meters.
+    pub offset_m: f64,
+}
+
+/// Error from [`MoLocTracker::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackError {
+    /// The query fingerprint length does not match the database.
+    QueryLength {
+        /// Expected AP count.
+        expected: usize,
+        /// Found AP count.
+        found: usize,
+    },
+    /// The motion measurement is not finite.
+    BadMeasurement,
+}
+
+impl std::fmt::Display for TrackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrackError::QueryLength { expected, found } => {
+                write!(f, "query has {found} APs, database expects {expected}")
+            }
+            TrackError::BadMeasurement => write!(f, "motion measurement must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for TrackError {}
+
+/// The stateful motion-assisted localizer.
+#[derive(Debug)]
+pub struct MoLocTracker<'a> {
+    fingerprint_db: &'a FingerprintDb,
+    motion_db: &'a MotionDb,
+    config: MoLocConfig,
+    metric: &'a dyn Dissimilarity,
+    previous: Option<CandidateSet>,
+}
+
+impl<'a> MoLocTracker<'a> {
+    /// Creates a tracker with the paper's Euclidean metric.
+    pub fn new(
+        fingerprint_db: &'a FingerprintDb,
+        motion_db: &'a MotionDb,
+        config: MoLocConfig,
+    ) -> Self {
+        config.validate();
+        Self {
+            fingerprint_db,
+            motion_db,
+            config,
+            metric: &Euclidean,
+            previous: None,
+        }
+    }
+
+    /// Replaces the dissimilarity metric.
+    pub fn with_metric(mut self, metric: &'a dyn Dissimilarity) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The retained candidate set from the last observation, if any.
+    pub fn candidates(&self) -> Option<&CandidateSet> {
+        self.previous.as_ref()
+    }
+
+    /// Forgets all history (e.g. the user teleported via an elevator).
+    pub fn reset(&mut self) {
+        self.previous = None;
+    }
+
+    /// Processes one localization query.
+    ///
+    /// `motion` is the RLM measured since the previous observation;
+    /// pass `None` for the first query of a session (or whenever the
+    /// motion pipeline could not produce a measurement — the tracker
+    /// then behaves like plain fingerprinting for this step, as the
+    /// paper's initial localization does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackError`] for mismatched query lengths or non-finite
+    /// measurements.
+    pub fn observe(
+        &mut self,
+        query: &Fingerprint,
+        motion: Option<MotionMeasurement>,
+    ) -> Result<LocationId, TrackError> {
+        if query.len() != self.fingerprint_db.ap_count() {
+            return Err(TrackError::QueryLength {
+                expected: self.fingerprint_db.ap_count(),
+                found: query.len(),
+            });
+        }
+        if let Some(m) = motion {
+            if !m.direction_deg.is_finite() || !m.offset_m.is_finite() || m.offset_m < 0.0 {
+                return Err(TrackError::BadMeasurement);
+            }
+        }
+        let neighbors = k_nearest(self.fingerprint_db, query, self.config.k, self.metric);
+        let fingerprint_set =
+            CandidateSet::from_neighbors(&neighbors).expect("k >= 1 and db non-empty");
+
+        let posterior = match (self.previous.as_ref(), motion) {
+            (Some(prev), Some(m)) => evaluate_candidates(
+                self.motion_db,
+                prev,
+                &fingerprint_set,
+                m.direction_deg,
+                m.offset_m,
+                &self.config,
+            ),
+            _ => fingerprint_set,
+        };
+        let estimate = posterior.top().location;
+        self.previous = Some(posterior);
+        Ok(estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_motion::matrix::PairStats;
+    use moloc_stats::gaussian::Gaussian;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn fp(v: &[f64]) -> Fingerprint {
+        Fingerprint::new(v.to_vec())
+    }
+
+    /// Three locations in a row, 4 m apart going east; L1 and L3 are
+    /// fingerprint twins, L2 is distinctive.
+    fn world() -> (FingerprintDb, MotionDb) {
+        let fdb = FingerprintDb::from_fingerprints(vec![
+            (l(1), fp(&[-50.0, -50.0])),
+            (l(2), fp(&[-40.0, -70.0])),
+            (l(3), fp(&[-50.0, -50.1])), // near-twin of L1
+        ])
+        .unwrap();
+        let mut mdb = MotionDb::new(3);
+        let east = |mu_o: f64| PairStats {
+            direction: Gaussian::new(90.0, 5.0).unwrap(),
+            offset: Gaussian::new(mu_o, 0.3).unwrap(),
+            sample_count: 10,
+        };
+        mdb.insert(l(1), l(2), east(4.0));
+        mdb.insert(l(2), l(3), east(4.0));
+        mdb.insert(l(1), l(3), east(8.0));
+        (fdb, mdb)
+    }
+
+    #[test]
+    fn first_observation_is_fingerprint_only() {
+        let (fdb, mdb) = world();
+        let mut t = MoLocTracker::new(&fdb, &mdb, MoLocConfig::default());
+        let est = t.observe(&fp(&[-41.0, -69.0]), None).unwrap();
+        assert_eq!(est, l(2));
+        assert!(t.candidates().is_some());
+    }
+
+    #[test]
+    fn motion_resolves_twins() {
+        let (fdb, mdb) = world();
+        let mut t = MoLocTracker::new(&fdb, &mdb, MoLocConfig::default());
+        // Start confidently at L2.
+        t.observe(&fp(&[-40.0, -70.0]), None).unwrap();
+        // Walk east 4 m → must be L3 even though L1's fingerprint is an
+        // equally good match for the twin query.
+        let est = t
+            .observe(
+                &fp(&[-50.0, -50.05]),
+                Some(MotionMeasurement {
+                    direction_deg: 91.0,
+                    offset_m: 4.1,
+                }),
+            )
+            .unwrap();
+        assert_eq!(est, l(3));
+    }
+
+    #[test]
+    fn west_walk_picks_the_other_twin() {
+        let (fdb, mdb) = world();
+        let mut t = MoLocTracker::new(&fdb, &mdb, MoLocConfig::default());
+        t.observe(&fp(&[-40.0, -70.0]), None).unwrap();
+        let est = t
+            .observe(
+                &fp(&[-50.0, -50.05]),
+                Some(MotionMeasurement {
+                    direction_deg: 270.0,
+                    offset_m: 4.0,
+                }),
+            )
+            .unwrap();
+        assert_eq!(est, l(1));
+    }
+
+    #[test]
+    fn missing_motion_degrades_to_fingerprinting() {
+        let (fdb, mdb) = world();
+        let mut t = MoLocTracker::new(&fdb, &mdb, MoLocConfig::default());
+        t.observe(&fp(&[-40.0, -70.0]), None).unwrap();
+        // No motion info: twins tie, lower id wins the fingerprint set.
+        let est = t.observe(&fp(&[-50.0, -50.0]), None).unwrap();
+        assert_eq!(est, l(1));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let (fdb, mdb) = world();
+        let mut t = MoLocTracker::new(&fdb, &mdb, MoLocConfig::default());
+        t.observe(&fp(&[-40.0, -70.0]), None).unwrap();
+        t.reset();
+        assert!(t.candidates().is_none());
+    }
+
+    #[test]
+    fn query_length_error() {
+        let (fdb, mdb) = world();
+        let mut t = MoLocTracker::new(&fdb, &mdb, MoLocConfig::default());
+        let err = t.observe(&fp(&[-40.0]), None).unwrap_err();
+        assert_eq!(
+            err,
+            TrackError::QueryLength {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn bad_measurement_error() {
+        let (fdb, mdb) = world();
+        let mut t = MoLocTracker::new(&fdb, &mdb, MoLocConfig::default());
+        t.observe(&fp(&[-40.0, -70.0]), None).unwrap();
+        let err = t
+            .observe(
+                &fp(&[-40.0, -70.0]),
+                Some(MotionMeasurement {
+                    direction_deg: f64::NAN,
+                    offset_m: 1.0,
+                }),
+            )
+            .unwrap_err();
+        assert_eq!(err, TrackError::BadMeasurement);
+    }
+
+    #[test]
+    fn candidate_set_is_retained_with_posterior_probabilities() {
+        let (fdb, mdb) = world();
+        let mut t = MoLocTracker::new(&fdb, &mdb, MoLocConfig::default());
+        t.observe(&fp(&[-40.0, -70.0]), None).unwrap();
+        t.observe(
+            &fp(&[-50.0, -50.05]),
+            Some(MotionMeasurement {
+                direction_deg: 90.0,
+                offset_m: 4.0,
+            }),
+        )
+        .unwrap();
+        let cands = t.candidates().unwrap();
+        assert!((cands.total_probability() - 1.0).abs() < 1e-9);
+        assert!(cands.probability_of(l(3)) > 0.9);
+    }
+}

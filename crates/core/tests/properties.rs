@@ -1,0 +1,166 @@
+//! Property-based tests for the MoLoc algorithm's probabilistic
+//! invariants.
+
+use moloc_core::config::MoLocConfig;
+use moloc_core::evaluate::evaluate_candidates;
+use moloc_core::matching::{pair_motion_probability, set_motion_probability};
+use moloc_fingerprint::candidates::CandidateSet;
+use moloc_geometry::LocationId;
+use moloc_motion::matrix::{MotionDb, PairStats};
+use moloc_stats::gaussian::Gaussian;
+use proptest::prelude::*;
+
+const N: usize = 10;
+
+fn weights() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01..10.0f64, 2..N)
+}
+
+fn candidate_set(ws: &[f64]) -> CandidateSet {
+    CandidateSet::from_weights(
+        ws.iter()
+            .enumerate()
+            .map(|(i, &w)| (LocationId::from_index(i), w))
+            .collect(),
+    )
+    .expect("positive weights")
+}
+
+fn arbitrary_db() -> impl Strategy<Value = MotionDb> {
+    prop::collection::vec(
+        (
+            0usize..N,
+            0usize..N,
+            0.0..360.0f64,
+            1.0..20.0f64,
+            0.5..15.0f64,
+            0.05..1.0f64,
+        ),
+        0..12,
+    )
+    .prop_map(|entries| {
+        let mut db = MotionDb::new(N);
+        for (a, b, dir, dir_std, off, off_std) in entries {
+            if a == b {
+                continue;
+            }
+            db.insert(
+                LocationId::from_index(a),
+                LocationId::from_index(b),
+                PairStats {
+                    direction: Gaussian::new(dir, dir_std).unwrap(),
+                    offset: Gaussian::new(off, off_std).unwrap(),
+                    sample_count: 4,
+                },
+            );
+        }
+        db
+    })
+}
+
+proptest! {
+    #[test]
+    fn pair_probability_is_in_unit_interval(
+        db in arbitrary_db(),
+        from in 0usize..N,
+        to in 0usize..N,
+        d in 0.0..360.0f64,
+        o in 0.0..30.0f64,
+    ) {
+        let p = pair_motion_probability(
+            &db,
+            LocationId::from_index(from),
+            LocationId::from_index(to),
+            d,
+            o,
+            &MoLocConfig::paper(),
+        );
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn pair_probability_symmetric_under_joint_reversal(
+        db in arbitrary_db(),
+        from in 0usize..N,
+        to in 0usize..N,
+        d in 0.0..360.0f64,
+        o in 0.0..30.0f64,
+    ) {
+        // Walking i → j with direction d has the same probability as
+        // walking j → i with direction d + 180 (mutual reachability).
+        prop_assume!(from != to);
+        let config = MoLocConfig::paper();
+        let (i, j) = (LocationId::from_index(from), LocationId::from_index(to));
+        let fwd = pair_motion_probability(&db, i, j, d, o, &config);
+        let rev = pair_motion_probability(&db, j, i, d + 180.0, o, &config);
+        prop_assert!((fwd - rev).abs() < 1e-9, "fwd {fwd} vs rev {rev}");
+    }
+
+    #[test]
+    fn set_probability_is_convex_combination(
+        db in arbitrary_db(),
+        ws in weights(),
+        to in 0usize..N,
+        d in 0.0..360.0f64,
+        o in 0.0..30.0f64,
+    ) {
+        let config = MoLocConfig::paper();
+        let prev = candidate_set(&ws);
+        let to = LocationId::from_index(to);
+        let p_set = set_motion_probability(&db, &prev, to, d, o, &config);
+        let bounds: Vec<f64> = prev
+            .iter()
+            .map(|(i, _)| pair_motion_probability(&db, i, to, d, o, &config))
+            .collect();
+        let min = bounds.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = bounds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p_set >= min - 1e-12 && p_set <= max + 1e-12,
+            "set probability {p_set} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn posterior_is_normalized_over_current_candidates(
+        db in arbitrary_db(),
+        prev_ws in weights(),
+        cur_ws in weights(),
+        d in 0.0..360.0f64,
+        o in 0.0..30.0f64,
+    ) {
+        let config = MoLocConfig::paper();
+        let prev = candidate_set(&prev_ws);
+        let current = candidate_set(&cur_ws);
+        let posterior = evaluate_candidates(&db, &prev, &current, d, o, &config);
+        prop_assert!((posterior.total_probability() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(posterior.len(), current.len());
+        // The posterior's support is the current candidate set.
+        for (loc, _) in posterior.iter() {
+            prop_assert!(current.probability_of(loc) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_fingerprint_mass_stays_zero(
+        db in arbitrary_db(),
+        prev_ws in weights(),
+        d in 0.0..360.0f64,
+        o in 0.0..30.0f64,
+    ) {
+        // A candidate with zero fingerprint probability can never gain
+        // posterior mass (Eq. 7 multiplies the evidences).
+        let config = MoLocConfig::paper();
+        let prev = candidate_set(&prev_ws);
+        let current = CandidateSet::from_neighbors(&[
+            moloc_fingerprint::knn::Neighbor {
+                location: LocationId::new(1),
+                dissimilarity: 0.0, // exact match takes all mass
+            },
+            moloc_fingerprint::knn::Neighbor {
+                location: LocationId::new(2),
+                dissimilarity: 5.0,
+            },
+        ])
+        .unwrap();
+        let posterior = evaluate_candidates(&db, &prev, &current, d, o, &config);
+        prop_assert_eq!(posterior.probability_of(LocationId::new(2)), 0.0);
+    }
+}

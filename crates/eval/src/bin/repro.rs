@@ -1,0 +1,181 @@
+//! Regenerates every table and figure of the MoLoc paper.
+//!
+//! ```text
+//! repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds] [--seed N] [--fast]
+//! ```
+//!
+//! `--fast` runs the reduced corpus (for smoke tests); the default runs
+//! the paper-scale 184-trace corpus.
+
+use moloc_eval::experiments::{ablations, baselines, fig4, fig6, fig7, fig8, seeds, table1};
+use moloc_eval::pipeline::EvalWorld;
+
+#[derive(Debug)]
+struct Args {
+    exp: String,
+    seed: u64,
+    fast: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        exp: "all".to_string(),
+        seed: 2013,
+        fast: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--exp" => {
+                args.exp = iter
+                    .next()
+                    .ok_or_else(|| "--exp requires a value".to_string())?;
+            }
+            "--seed" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "--seed requires a value".to_string())?;
+                args.seed = v.parse().map_err(|_| format!("invalid seed: {v}"))?;
+            }
+            "--fast" => args.fast = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds] [--seed N] [--fast]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let wants = |name: &str| args.exp == "all" || args.exp == name;
+
+    if wants("fig4") {
+        println!("{}", fig4::render(&fig4::run(args.seed)));
+    }
+
+    if args.exp == "seeds" {
+        let sweep = seeds::run(&[
+            args.seed,
+            args.seed + 1,
+            args.seed + 2,
+            args.seed + 3,
+            args.seed + 4,
+        ]);
+        println!("{}", seeds::render(&sweep));
+        return;
+    }
+
+    let needs_world = ["fig6", "fig7", "fig8", "table1", "ablations", "baselines"]
+        .iter()
+        .any(|e| wants(e));
+    if !needs_world {
+        return;
+    }
+
+    eprintln!(
+        "building world (seed {}, {})...",
+        args.seed,
+        if args.fast {
+            "fast corpus"
+        } else {
+            "paper-scale corpus"
+        }
+    );
+    let world = if args.fast {
+        EvalWorld::small(args.seed)
+    } else {
+        EvalWorld::paper(args.seed)
+    };
+
+    if wants("fig6") {
+        let setting = world.setting(6);
+        println!("{}", fig6::render(&fig6::run(&world, &setting)));
+        println!("motion-db construction: {:?}\n", setting.build_report);
+    }
+
+    let needs_fig7 = ["fig7", "fig8", "table1"].iter().any(|e| wants(e));
+    let f7 = needs_fig7.then(|| fig7::run(&world));
+
+    if wants("fig7") {
+        println!("{}", fig7::render(f7.as_ref().expect("computed above")));
+    }
+    if wants("fig8") {
+        println!(
+            "{}",
+            fig8::render(&fig8::run(f7.as_ref().expect("computed above")))
+        );
+    }
+    if wants("table1") {
+        println!(
+            "{}",
+            table1::render(&table1::run(f7.as_ref().expect("computed above")))
+        );
+    }
+
+    if wants("seeds") {
+        let sweep = seeds::run(&[
+            args.seed,
+            args.seed + 1,
+            args.seed + 2,
+            args.seed + 3,
+            args.seed + 4,
+        ]);
+        println!("{}", seeds::render(&sweep));
+    }
+
+    if wants("baselines") {
+        let setting = world.setting(6);
+        println!("{}", baselines::render(&baselines::run(&world, &setting)));
+    }
+
+    if wants("ablations") {
+        println!(
+            "{}",
+            ablations::render_csc_vs_dsc(&ablations::csc_vs_dsc(&world))
+        );
+        println!(
+            "{}",
+            ablations::render_sanitation(&ablations::sanitation(&world, 6))
+        );
+        println!(
+            "{}",
+            ablations::render_k_sweep(&ablations::k_sweep(&world, 6, &[1, 2, 3, 4, 6, 8]))
+        );
+        println!(
+            "{}",
+            ablations::render_window_sweep(&ablations::window_sweep(
+                &world,
+                6,
+                &[5.0, 10.0, 20.0, 45.0, 90.0],
+                &[0.25, 0.5, 1.0, 2.0, 4.0],
+            ))
+        );
+        println!(
+            "{}",
+            ablations::render_map_db(&ablations::map_db(&world, 6))
+        );
+        println!(
+            "{}",
+            ablations::render_heading_fusion(&ablations::heading_fusion(&world, args.seed))
+        );
+        let calib = ablations::heading_calibration_errors(&world, 6);
+        println!(
+            "# Heading calibration |error| over {} traces: median {:.1}°, max {:.1}°\n",
+            calib.len(),
+            calib.median().unwrap_or(f64::NAN),
+            calib.max().unwrap_or(f64::NAN),
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Convergence to accurate localization (paper Table I).
+//!
+//! Over traces whose *initial* estimate is wrong, the paper measures:
+//! how many erroneous localizations (EL) happen before the first
+//! accurate one, and the accuracy / mean error / maximum error of all
+//! localizations after that first accurate fix.
+
+use crate::pipeline::PassOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Table I's statistics for one method at one AP count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceStats {
+    /// Traces considered (those with an erroneous initial estimate).
+    pub traces: usize,
+    /// Mean number of erroneous localizations before the first
+    /// accurate one.
+    pub mean_el: f64,
+    /// Accuracy of localizations after the first accurate one.
+    pub post_accuracy: f64,
+    /// Mean error (m) after the first accurate localization.
+    pub post_mean_error_m: f64,
+    /// Maximum error (m) after the first accurate localization.
+    pub post_max_error_m: f64,
+}
+
+/// Computes Table I statistics from per-trace outcomes.
+///
+/// Traces whose initial estimate is already accurate are excluded, as
+/// in the paper ("extract those traces that have erroneous initial
+/// estimates"). A trace that never becomes accurate contributes its
+/// full length to EL and nothing to the post-fix statistics.
+///
+/// Returns `None` when no trace qualifies.
+pub fn convergence_stats(outcomes: &[Vec<PassOutcome>]) -> Option<ConvergenceStats> {
+    let mut traces = 0usize;
+    let mut el_sum = 0.0;
+    let mut post_total = 0usize;
+    let mut post_accurate = 0usize;
+    let mut post_error_sum = 0.0;
+    let mut post_error_max = 0.0f64;
+
+    for trace in outcomes {
+        let Some(first) = trace.first() else { continue };
+        if first.is_accurate() {
+            continue;
+        }
+        traces += 1;
+        match trace.iter().position(PassOutcome::is_accurate) {
+            Some(first_accurate) => {
+                el_sum += first_accurate as f64;
+                for o in &trace[first_accurate + 1..] {
+                    post_total += 1;
+                    if o.is_accurate() {
+                        post_accurate += 1;
+                    }
+                    post_error_sum += o.error_m;
+                    post_error_max = post_error_max.max(o.error_m);
+                }
+            }
+            None => {
+                el_sum += trace.len() as f64;
+            }
+        }
+    }
+
+    if traces == 0 {
+        return None;
+    }
+    Some(ConvergenceStats {
+        traces,
+        mean_el: el_sum / traces as f64,
+        post_accuracy: if post_total == 0 {
+            0.0
+        } else {
+            post_accurate as f64 / post_total as f64
+        },
+        post_mean_error_m: if post_total == 0 {
+            0.0
+        } else {
+            post_error_sum / post_total as f64
+        },
+        post_max_error_m: post_error_max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_geometry::LocationId;
+
+    fn o(truth: u32, estimate: u32, error_m: f64) -> PassOutcome {
+        PassOutcome {
+            trace_index: 0,
+            pass_index: 0,
+            truth: LocationId::new(truth),
+            estimate: LocationId::new(estimate),
+            error_m,
+        }
+    }
+
+    #[test]
+    fn counts_el_until_first_accurate() {
+        // Wrong, wrong, right, wrong, right → EL = 2; post = [wrong(2m), right].
+        let trace = vec![
+            o(1, 2, 4.0),
+            o(1, 3, 6.0),
+            o(1, 1, 0.0),
+            o(1, 4, 2.0),
+            o(1, 1, 0.0),
+        ];
+        let stats = convergence_stats(&[trace]).unwrap();
+        assert_eq!(stats.traces, 1);
+        assert!((stats.mean_el - 2.0).abs() < 1e-12);
+        assert!((stats.post_accuracy - 0.5).abs() < 1e-12);
+        assert!((stats.post_mean_error_m - 1.0).abs() < 1e-12);
+        assert_eq!(stats.post_max_error_m, 2.0);
+    }
+
+    #[test]
+    fn accurate_initial_traces_are_excluded() {
+        let good = vec![o(1, 1, 0.0), o(2, 3, 5.0)];
+        assert!(convergence_stats(&[good]).is_none());
+    }
+
+    #[test]
+    fn never_accurate_trace_counts_full_length() {
+        let bad = vec![o(1, 2, 4.0), o(1, 3, 4.0), o(1, 4, 4.0)];
+        let stats = convergence_stats(&[bad]).unwrap();
+        assert!((stats.mean_el - 3.0).abs() < 1e-12);
+        assert_eq!(stats.post_accuracy, 0.0);
+        assert_eq!(stats.post_mean_error_m, 0.0);
+    }
+
+    #[test]
+    fn averages_across_traces() {
+        let t1 = vec![o(1, 2, 4.0), o(1, 1, 0.0), o(1, 1, 0.0)]; // EL 1
+        let t2 = vec![o(1, 2, 4.0), o(1, 3, 4.0), o(1, 1, 0.0)]; // EL 2
+        let stats = convergence_stats(&[t1, t2]).unwrap();
+        assert_eq!(stats.traces, 2);
+        assert!((stats.mean_el - 1.5).abs() < 1e-12);
+        assert!((stats.post_accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(convergence_stats(&[]).is_none());
+        assert!(convergence_stats(&[vec![]]).is_none());
+    }
+}

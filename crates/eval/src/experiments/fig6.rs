@@ -1,0 +1,92 @@
+//! Fig. 6: validity of the crowdsourced motion database.
+//!
+//! The paper compares the motion database's per-pair means against
+//! map-derived ground truth: direction errors (Fig. 6a: median 3°, max
+//! 15°) and offset errors (Fig. 6b: median 0.13 m, max 0.46 m).
+
+use crate::pipeline::{EvalWorld, Setting};
+use crate::report;
+use moloc_stats::circular::abs_diff_deg;
+use moloc_stats::ecdf::Ecdf;
+
+/// The regenerated Fig. 6 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6 {
+    /// Per-pair direction errors, degrees (Fig. 6a).
+    pub direction_errors: Ecdf,
+    /// Per-pair offset errors, meters (Fig. 6b).
+    pub offset_errors: Ecdf,
+    /// Number of trained pairs examined.
+    pub pairs: usize,
+}
+
+/// Runs the experiment against an already-built setting (6 APs in the
+/// paper).
+pub fn run(world: &EvalWorld, setting: &Setting) -> Fig6 {
+    let mut direction_errors = Vec::new();
+    let mut offset_errors = Vec::new();
+    for (a, b, stats) in setting.motion_db.iter() {
+        let Some(map_dir) = world.hall.map.direction_deg(a, b) else {
+            continue;
+        };
+        direction_errors.push(abs_diff_deg(stats.direction.mean(), map_dir));
+        offset_errors.push((stats.offset.mean() - world.hall.map.offset_m(a, b)).abs());
+    }
+    let pairs = direction_errors.len();
+    Fig6 {
+        direction_errors: Ecdf::from_samples(direction_errors),
+        offset_errors: Ecdf::from_samples(offset_errors),
+        pairs,
+    }
+}
+
+/// Renders both CDFs.
+pub fn render(fig: &Fig6) -> String {
+    let mut out = format!("# Fig. 6: motion-database validity ({} pairs)\n", fig.pairs);
+    out.push_str(&report::cdf_table(
+        "Fig. 6(a) direction errors (degrees)",
+        &fig.direction_errors,
+        17,
+    ));
+    out.push('\n');
+    out.push_str(&report::cdf_table(
+        "Fig. 6(b) offset errors (meters)",
+        &fig.offset_errors,
+        11,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_world_motion_db_is_valid() {
+        let world = EvalWorld::small(11);
+        let setting = world.setting(6);
+        let fig = run(&world, &setting);
+        assert!(fig.pairs > 0, "no pairs trained");
+        // Shape targets, relaxed for the small corpus: directions well
+        // under the 20° coarse bound, offsets under one step length.
+        assert!(
+            fig.direction_errors.median().unwrap() < 10.0,
+            "median direction error {}",
+            fig.direction_errors.median().unwrap()
+        );
+        assert!(
+            fig.offset_errors.median().unwrap() < 0.8,
+            "median offset error {}",
+            fig.offset_errors.median().unwrap()
+        );
+    }
+
+    #[test]
+    fn render_mentions_both_panels() {
+        let world = EvalWorld::small(11);
+        let setting = world.setting(6);
+        let text = render(&run(&world, &setting));
+        assert!(text.contains("Fig. 6(a)"));
+        assert!(text.contains("Fig. 6(b)"));
+    }
+}

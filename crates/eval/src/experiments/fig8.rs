@@ -1,0 +1,211 @@
+//! Fig. 8: performance at the large-error (fingerprint-twin) locations.
+//!
+//! The paper extracts the locations where WiFi fingerprinting has
+//! errors over 6 m (the twin pairs like 2↔15, 10↔27, 13↔26 of its
+//! deployment) and shows MoLoc's CDF at just those locations: average
+//! and maximum errors drop by ≈ 6.8 m and ≈ 4 m.
+
+use crate::experiments::fig7::{ApSettingResult, Fig7};
+use crate::metrics::{error_ecdf, summarize, LocalizationSummary};
+use crate::pipeline::PassOutcome;
+use crate::report;
+use moloc_geometry::LocationId;
+use moloc_stats::ecdf::Ecdf;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The large-error threshold of the paper, meters.
+pub const LARGE_ERROR_THRESHOLD_M: f64 = 6.0;
+
+/// Minimum fraction of a location's WiFi estimates that must exceed the
+/// threshold for the location to count as ambiguous.
+pub const AMBIGUITY_RATE: f64 = 0.15;
+
+/// One AP setting's Fig. 8 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Setting {
+    /// Number of APs.
+    pub n_aps: usize,
+    /// The locations identified as ambiguous under WiFi.
+    pub ambiguous_locations: Vec<LocationId>,
+    /// WiFi summary restricted to those locations.
+    pub wifi: LocalizationSummary,
+    /// MoLoc summary restricted to those locations.
+    pub moloc: LocalizationSummary,
+    /// WiFi error CDF at those locations.
+    pub wifi_ecdf: Ecdf,
+    /// MoLoc error CDF at those locations.
+    pub moloc_ecdf: Ecdf,
+}
+
+/// The full Fig. 8 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8 {
+    /// Per AP count, ascending.
+    pub settings: Vec<Fig8Setting>,
+}
+
+/// Identifies ambiguous locations: those where at least
+/// [`AMBIGUITY_RATE`] of WiFi estimates err beyond
+/// [`LARGE_ERROR_THRESHOLD_M`].
+pub fn ambiguous_locations(wifi_outcomes: &[Vec<PassOutcome>]) -> Vec<LocationId> {
+    let mut totals: BTreeMap<LocationId, (usize, usize)> = BTreeMap::new();
+    for o in wifi_outcomes.iter().flatten() {
+        let entry = totals.entry(o.truth).or_default();
+        entry.0 += 1;
+        if o.error_m > LARGE_ERROR_THRESHOLD_M {
+            entry.1 += 1;
+        }
+    }
+    totals
+        .into_iter()
+        .filter(|&(_, (total, large))| total > 0 && large as f64 / total as f64 >= AMBIGUITY_RATE)
+        .map(|(id, _)| id)
+        .collect()
+}
+
+fn restrict(outcomes: &[Vec<PassOutcome>], locations: &BTreeSet<LocationId>) -> Vec<PassOutcome> {
+    outcomes
+        .iter()
+        .flatten()
+        .filter(|o| locations.contains(&o.truth))
+        .copied()
+        .collect()
+}
+
+/// Derives Fig. 8 from already-computed Fig. 7 outcomes.
+pub fn run(fig7: &Fig7) -> Fig8 {
+    let settings = fig7.settings.iter().filter_map(run_setting).collect();
+    Fig8 { settings }
+}
+
+/// Derives one AP setting; `None` when no location qualifies (a world
+/// with no twins).
+pub fn run_setting(setting: &ApSettingResult) -> Option<Fig8Setting> {
+    let ambiguous = ambiguous_locations(&setting.wifi.outcomes);
+    if ambiguous.is_empty() {
+        return None;
+    }
+    let set: BTreeSet<LocationId> = ambiguous.iter().copied().collect();
+    let wifi = restrict(&setting.wifi.outcomes, &set);
+    let moloc = restrict(&setting.moloc.outcomes, &set);
+    if wifi.is_empty() || moloc.is_empty() {
+        return None;
+    }
+    Some(Fig8Setting {
+        n_aps: setting.n_aps,
+        ambiguous_locations: ambiguous,
+        wifi: summarize(&wifi),
+        moloc: summarize(&moloc),
+        wifi_ecdf: error_ecdf(&wifi),
+        moloc_ecdf: error_ecdf(&moloc),
+    })
+}
+
+/// Renders the per-AP comparisons.
+pub fn render(fig: &Fig8) -> String {
+    let mut out = String::from("# Fig. 8: performance at locations where WiFi errs beyond 6 m\n\n");
+    if fig.settings.is_empty() {
+        out.push_str("(no ambiguous locations found)\n");
+        return out;
+    }
+    for s in &fig.settings {
+        let locs: Vec<String> = s
+            .ambiguous_locations
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        out.push_str(&format!(
+            "## {}-AP: ambiguous locations: {}\n",
+            s.n_aps,
+            locs.join(", ")
+        ));
+        out.push_str(&report::table(
+            &["Method", "Accuracy", "Mean err (m)", "Max err (m)"],
+            &[
+                vec![
+                    "WiFi".into(),
+                    format!("{:.0}%", s.wifi.accuracy * 100.0),
+                    format!("{:.2}", s.wifi.mean_error_m),
+                    format!("{:.2}", s.wifi.max_error_m),
+                ],
+                vec![
+                    "MoLoc".into(),
+                    format!("{:.0}%", s.moloc.accuracy * 100.0),
+                    format!("{:.2}", s.moloc.mean_error_m),
+                    format!("{:.2}", s.moloc.max_error_m),
+                ],
+            ],
+        ));
+        out.push_str(&report::cdf_comparison(
+            &format!("Fig. 8 {}-AP error CDF (ambiguous locations)", s.n_aps),
+            &[("MoLoc", &s.moloc_ecdf), ("WiFi", &s.wifi_ecdf)],
+            14,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig7;
+    use crate::pipeline::EvalWorld;
+    use moloc_core::config::MoLocConfig;
+
+    fn fig7_small() -> Fig7 {
+        let world = EvalWorld::small(5);
+        let setting = world.setting(4); // fewest APs → most ambiguity
+        Fig7 {
+            settings: vec![fig7::run_setting(&world, &setting, MoLocConfig::paper())],
+        }
+    }
+
+    #[test]
+    fn finds_ambiguous_locations_and_improves_there() {
+        let f7 = fig7_small();
+        let f8 = run(&f7);
+        // The 4-AP mirror-symmetric hall must exhibit twins.
+        assert!(!f8.settings.is_empty(), "no ambiguous locations at 4 APs");
+        let s = &f8.settings[0];
+        assert!(!s.ambiguous_locations.is_empty());
+        assert!(
+            s.moloc.mean_error_m < s.wifi.mean_error_m,
+            "MoLoc {:.2} m should beat WiFi {:.2} m at twins",
+            s.moloc.mean_error_m,
+            s.wifi.mean_error_m
+        );
+    }
+
+    #[test]
+    fn ambiguous_location_detection_respects_rate() {
+        use moloc_geometry::LocationId;
+        let big_error = |truth: u32| PassOutcome {
+            trace_index: 0,
+            pass_index: 0,
+            truth: LocationId::new(truth),
+            estimate: LocationId::new(truth + 1),
+            error_m: 12.0,
+        };
+        let small_error = |truth: u32| PassOutcome {
+            trace_index: 0,
+            pass_index: 0,
+            truth: LocationId::new(truth),
+            estimate: LocationId::new(truth),
+            error_m: 0.0,
+        };
+        // L1: 50% large errors → ambiguous; L2: 5% → not.
+        let mut outcomes = vec![big_error(1), small_error(1)];
+        outcomes.extend(std::iter::repeat_n(small_error(2), 19));
+        outcomes.push(big_error(2));
+        let ambiguous = ambiguous_locations(&[outcomes]);
+        assert_eq!(ambiguous, vec![LocationId::new(1)]);
+    }
+
+    #[test]
+    fn render_lists_locations() {
+        let f8 = run(&fig7_small());
+        let text = render(&f8);
+        assert!(text.contains("ambiguous locations"));
+    }
+}

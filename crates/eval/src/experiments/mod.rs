@@ -1,0 +1,21 @@
+//! Experiment runners, one per paper artifact.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig4`] | Fig. 4 — acceleration signature of 10 steps |
+//! | [`fig6`] | Fig. 6 — motion-database direction/offset error CDFs |
+//! | [`fig7`] | Fig. 7 — overall error CDFs, MoLoc vs WiFi, 4/5/6 APs |
+//! | [`fig8`] | Fig. 8 — error CDFs at large-error (twin) locations |
+//! | [`table1`] | Table I — convergence statistics |
+//! | [`ablations`] | the design-choice ablations listed in DESIGN.md |
+//! | [`baselines`] | extension: MoLoc vs Horus vs HMM vs particle filter vs WiFi NN |
+//! | [`seeds`] | extension: seed-sensitivity sweep of the headline comparison |
+
+pub mod ablations;
+pub mod baselines;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod seeds;
+pub mod table1;

@@ -1,0 +1,118 @@
+//! Table I: convergence to accurate localization.
+//!
+//! Over traces with erroneous initial estimates, the paper reports the
+//! mean number of erroneous localizations (EL) before the first
+//! accurate one, and the accuracy / mean error / max error afterwards —
+//! for WiFi and MoLoc at 4/5/6 APs.
+
+use crate::convergence::{convergence_stats, ConvergenceStats};
+use crate::experiments::fig7::Fig7;
+use crate::report;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// e.g. "4-AP WiFi".
+    pub setting: String,
+    /// The statistics, `None` when no trace had a wrong initial
+    /// estimate (tiny corpora).
+    pub stats: Option<ConvergenceStats>,
+}
+
+/// The full table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Rows in the paper's order (per AP count: WiFi then MoLoc).
+    pub rows: Vec<Table1Row>,
+}
+
+/// Derives Table I from Fig. 7's outcomes.
+pub fn run(fig7: &Fig7) -> Table1 {
+    let mut rows = Vec::new();
+    for s in &fig7.settings {
+        rows.push(Table1Row {
+            setting: format!("{}-AP WiFi", s.n_aps),
+            stats: convergence_stats(&s.wifi.outcomes),
+        });
+        rows.push(Table1Row {
+            setting: format!("{}-AP MoLoc", s.n_aps),
+            stats: convergence_stats(&s.moloc.outcomes),
+        });
+    }
+    Table1 { rows }
+}
+
+/// Renders the table in the paper's column order.
+pub fn render(table: &Table1) -> String {
+    let mut out = String::from(
+        "# Table I: convergence of accurate localization (traces with wrong initial estimate)\n",
+    );
+    let rows: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|row| match &row.stats {
+            Some(s) => vec![
+                row.setting.clone(),
+                format!("{:.2}", s.mean_el),
+                format!("{:.0}%", s.post_accuracy * 100.0),
+                format!("{:.2}", s.post_mean_error_m),
+                format!("{:.2}", s.post_max_error_m),
+            ],
+            None => vec![
+                row.setting.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
+        })
+        .collect();
+    out.push_str(&report::table(
+        &["Setting", "EL", "Accuracy", "Mean error", "Maximum error"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig7;
+    use crate::pipeline::EvalWorld;
+    use moloc_core::config::MoLocConfig;
+
+    #[test]
+    fn table_has_two_rows_per_setting() {
+        let world = EvalWorld::small(6);
+        let setting = world.setting(6);
+        let f7 = Fig7 {
+            settings: vec![fig7::run_setting(&world, &setting, MoLocConfig::paper())],
+        };
+        let t = run(&f7);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0].setting.contains("WiFi"));
+        assert!(t.rows[1].setting.contains("MoLoc"));
+        let text = render(&t);
+        assert!(text.contains("Table I"));
+        assert!(text.contains("EL"));
+    }
+
+    #[test]
+    fn moloc_converges_at_least_as_fast_when_measurable() {
+        let world = EvalWorld::small(8);
+        let setting = world.setting(4);
+        let f7 = Fig7 {
+            settings: vec![fig7::run_setting(&world, &setting, MoLocConfig::paper())],
+        };
+        let t = run(&f7);
+        if let (Some(wifi), Some(moloc)) = (&t.rows[0].stats, &t.rows[1].stats) {
+            // MoLoc's post-convergence accuracy should not be worse.
+            assert!(
+                moloc.post_accuracy >= wifi.post_accuracy - 0.05,
+                "MoLoc {:.2} vs WiFi {:.2}",
+                moloc.post_accuracy,
+                wifi.post_accuracy
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Evaluation harness for the MoLoc reproduction.
+//!
+//! This crate rebuilds the paper's testbed and every experiment of
+//! Sec. VI:
+//!
+//! * [`scenario`] — the simulated 40.8 m × 16 m office hall: 28
+//!   reference locations (Fig. 5), 6 sparsely placed APs, partitions.
+//! * [`pipeline`] — the end-to-end trace-driven protocol: site survey →
+//!   crowdsourced motion database → WiFi-baseline and MoLoc
+//!   localization over held-out traces.
+//! * [`metrics`] — localization errors, accuracy, error CDFs.
+//! * [`convergence`] — erroneous-localizations-before-first-accurate
+//!   statistics (Table I).
+//! * [`experiments`] — one module per paper artifact: Fig. 4, Fig. 6,
+//!   Fig. 7, Fig. 8, Table I, plus the ablations listed in DESIGN.md.
+//! * [`report`] — plain-text rendering of tables and CDF series in the
+//!   shape the paper reports them.
+//!
+//! The `repro` binary regenerates everything:
+//!
+//! ```text
+//! cargo run -p moloc-eval --bin repro --release -- --exp all
+//! ```
+
+pub mod convergence;
+pub mod experiments;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+pub mod scenario;
+
+pub use pipeline::{EvalWorld, Setting};
+pub use scenario::OfficeHall;

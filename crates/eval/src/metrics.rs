@@ -1,0 +1,108 @@
+//! Localization metrics.
+//!
+//! The paper measures accuracy as the fraction of estimates that hit
+//! the true reference location and reports errors (distance between
+//! estimated and true location) as CDFs, means, and maxima.
+
+use crate::pipeline::PassOutcome;
+use moloc_stats::ecdf::Ecdf;
+
+/// Summary statistics over a set of pass outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalizationSummary {
+    /// Number of scored passes.
+    pub passes: usize,
+    /// Fraction of exact-location hits.
+    pub accuracy: f64,
+    /// Mean error in meters.
+    pub mean_error_m: f64,
+    /// Maximum error in meters.
+    pub max_error_m: f64,
+    /// Median error in meters.
+    pub median_error_m: f64,
+}
+
+/// Flattens nested per-trace outcomes.
+pub fn flatten(outcomes: &[Vec<PassOutcome>]) -> Vec<PassOutcome> {
+    outcomes.iter().flatten().copied().collect()
+}
+
+/// Summarizes outcomes.
+///
+/// # Panics
+///
+/// Panics on an empty slice — a run that scored nothing is a harness
+/// bug, not a result.
+pub fn summarize(outcomes: &[PassOutcome]) -> LocalizationSummary {
+    assert!(!outcomes.is_empty(), "cannot summarize zero outcomes");
+    let errors = error_ecdf(outcomes);
+    let accurate = outcomes.iter().filter(|o| o.is_accurate()).count();
+    LocalizationSummary {
+        passes: outcomes.len(),
+        accuracy: accurate as f64 / outcomes.len() as f64,
+        mean_error_m: errors.mean().expect("non-empty"),
+        max_error_m: errors.max().expect("non-empty"),
+        median_error_m: errors.median().expect("non-empty"),
+    }
+}
+
+/// The empirical CDF of the localization errors.
+pub fn error_ecdf(outcomes: &[PassOutcome]) -> Ecdf {
+    outcomes.iter().map(|o| o.error_m).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_geometry::LocationId;
+
+    fn outcome(truth: u32, estimate: u32, error_m: f64) -> PassOutcome {
+        PassOutcome {
+            trace_index: 0,
+            pass_index: 0,
+            truth: LocationId::new(truth),
+            estimate: LocationId::new(estimate),
+            error_m,
+        }
+    }
+
+    #[test]
+    fn summary_counts_accuracy_and_errors() {
+        let outcomes = vec![
+            outcome(1, 1, 0.0),
+            outcome(2, 2, 0.0),
+            outcome(3, 7, 8.0),
+            outcome(4, 5, 4.0),
+        ];
+        let s = summarize(&outcomes);
+        assert_eq!(s.passes, 4);
+        assert!((s.accuracy - 0.5).abs() < 1e-12);
+        assert!((s.mean_error_m - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_error_m, 8.0);
+    }
+
+    #[test]
+    fn flatten_preserves_order_and_count() {
+        let nested = vec![
+            vec![outcome(1, 1, 0.0), outcome(2, 3, 2.0)],
+            vec![outcome(4, 4, 0.0)],
+        ];
+        let flat = flatten(&nested);
+        assert_eq!(flat.len(), 3);
+        assert_eq!(flat[2].truth, LocationId::new(4));
+    }
+
+    #[test]
+    fn ecdf_reflects_error_distribution() {
+        let outcomes = vec![outcome(1, 1, 0.0), outcome(2, 5, 6.0)];
+        let e = error_ecdf(&outcomes);
+        assert_eq!(e.fraction_at_or_below(0.0), 0.5);
+        assert_eq!(e.fraction_at_or_below(6.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero outcomes")]
+    fn empty_summary_panics() {
+        let _ = summarize(&[]);
+    }
+}

@@ -1,0 +1,452 @@
+//! The end-to-end trace-driven evaluation pipeline (paper Sec. VI-A).
+//!
+//! ```text
+//! OfficeHall ──► SiteSurvey (60 samples/location, 40/10/10)
+//!            ──► TraceCorpus (184 traces, 150 train / 34 test)
+//!                     │
+//!     per AP-count ───┴─► FingerprintDb (40-sample means)
+//!                      └─► MotionDb  (crowdsourced from train traces)
+//!                               │
+//!                               ├─► WiFi baseline over test traces
+//!                               └─► MoLoc over test traces
+//! ```
+//!
+//! Heading calibration mirrors the Zee-style procedure the paper
+//! borrows: per trace, the constant compass-to-motion offset is the
+//! circular mean of (raw compass direction − map bearing between the
+//! *estimated* locations of the interval), so localization errors leak
+//! into the calibration exactly as they would in the real system.
+
+use crate::scenario::{HallConfig, OfficeHall};
+use moloc_core::config::MoLocConfig;
+use moloc_core::tracker::{MoLocTracker, MotionMeasurement};
+use moloc_fingerprint::db::FingerprintDb;
+use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_fingerprint::nn_localizer::NnLocalizer;
+use moloc_geometry::LocationId;
+use moloc_mobility::corpus::{CorpusConfig, TraceCorpus};
+use moloc_mobility::intervals::{measure_intervals, IntervalMeasurement};
+use moloc_mobility::render::SensorTrace;
+use moloc_mobility::user::paper_users;
+use moloc_motion::builder::{BuildReport, MotionDbBuilder};
+use moloc_motion::filter::SanitationConfig;
+use moloc_motion::matrix::MotionDb;
+use moloc_motion::rlm::Rlm;
+use moloc_radio::survey::{SiteSurvey, SurveySplit};
+use moloc_sensors::heading::HeadingOffsetEstimator;
+use moloc_sensors::steps::StepDetector;
+use moloc_sensors::stride::offset_m;
+use moloc_stats::circular::normalize_deg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which step-counting estimator feeds offsets (CSC is the paper's).
+pub use moloc_sensors::counting::CountingMethod;
+
+/// The expensive, AP-count-independent world state.
+#[derive(Debug, Clone)]
+pub struct EvalWorld {
+    /// The testbed.
+    pub hall: OfficeHall,
+    /// The 60-samples-per-location site survey.
+    pub survey: SiteSurvey,
+    /// The walking-trace corpus.
+    pub corpus: TraceCorpus,
+}
+
+impl EvalWorld {
+    /// Builds the paper-scale world (184 traces).
+    pub fn paper(seed: u64) -> Self {
+        Self::build(HallConfig::default(), CorpusConfig::paper(seed), seed)
+    }
+
+    /// Builds a reduced world for fast tests and benches (90 traces).
+    pub fn small(seed: u64) -> Self {
+        Self::build(HallConfig::default(), CorpusConfig::small(seed), seed)
+    }
+
+    /// Builds a world with explicit hall and corpus configurations.
+    pub fn build(hall_config: HallConfig, corpus_config: CorpusConfig, seed: u64) -> Self {
+        let hall = OfficeHall::with_config(hall_config);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5175_7EC0_DE01_u64);
+        let survey = SiteSurvey::conduct(&hall.env, &hall.grid, SurveySplit::paper(), &mut rng);
+        let corpus = TraceCorpus::generate(
+            &hall.env,
+            &hall.grid,
+            &hall.graph,
+            &paper_users(),
+            corpus_config,
+        );
+        Self {
+            hall,
+            survey,
+            corpus,
+        }
+    }
+
+    /// Prepares the fingerprint + motion databases for an `n_aps`-AP
+    /// setting (paper: 4, 5, 6) with the given sanitation and counting
+    /// choices.
+    pub fn setting_with(
+        &self,
+        n_aps: usize,
+        sanitation: SanitationConfig,
+        counting: CountingMethod,
+    ) -> Setting {
+        assert!(
+            n_aps >= 1 && n_aps <= self.survey.ap_count(),
+            "invalid AP count {n_aps}"
+        );
+        let fdb = FingerprintDb::from_samples(self.survey.locations().iter().map(|loc| {
+            (
+                loc.location,
+                loc.fingerprint
+                    .iter()
+                    .map(|scan| {
+                        Fingerprint::new(scan.iter().take(n_aps).map(|d| d.value()).collect())
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }))
+        .expect("survey covers every location");
+
+        let mut builder = MotionDbBuilder::new(self.hall.map.clone(), sanitation);
+        let detector = StepDetector::default();
+        for trace in &self.corpus.train {
+            let analysis = analyze_trace(trace, &fdb, &self.hall, &detector, counting, n_aps);
+            for (interval, measurement) in analysis.intervals.iter().zip(&analysis.measurements) {
+                let Some(m) = measurement else { continue };
+                let from = analysis.nn_estimates[interval.from_index];
+                let to = analysis.nn_estimates[interval.to_index];
+                if from == to {
+                    continue;
+                }
+                if let Ok(rlm) = Rlm::new(from, to, m.direction_deg, m.offset_m) {
+                    builder.observe(rlm);
+                }
+            }
+        }
+        let (motion_db, build_report) = builder.build();
+        Setting {
+            n_aps,
+            fdb,
+            motion_db,
+            build_report,
+            counting,
+        }
+    }
+
+    /// The paper-default setting: CSC counting, paper sanitation.
+    pub fn setting(&self, n_aps: usize) -> Setting {
+        self.setting_with(n_aps, SanitationConfig::paper(), CountingMethod::Continuous)
+    }
+}
+
+/// The per-AP-count databases and construction report.
+#[derive(Debug, Clone)]
+pub struct Setting {
+    /// Number of APs used.
+    pub n_aps: usize,
+    /// The fingerprint database.
+    pub fdb: FingerprintDb,
+    /// The crowdsourced motion database.
+    pub motion_db: MotionDb,
+    /// Counters from the motion-database construction.
+    pub build_report: BuildReport,
+    /// The step-counting method used for offsets.
+    pub counting: CountingMethod,
+}
+
+/// The motion analysis of one trace against one fingerprint database.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Per-pass nearest-neighbor location estimates.
+    pub nn_estimates: Vec<LocationId>,
+    /// Raw per-interval measurements.
+    pub intervals: Vec<IntervalMeasurement>,
+    /// Calibrated motion measurements per interval (`None` when the
+    /// compass produced no usable direction).
+    pub measurements: Vec<Option<MotionMeasurement>>,
+    /// The estimated heading offset, degrees.
+    pub heading_offset_deg: f64,
+    /// Whether any calibration pairs were available at all; without
+    /// them the offset falls back to 0 and downstream quality drops to
+    /// whatever the raw compass placement admits.
+    pub calibration_reliable: bool,
+}
+
+/// Analyzes a trace: NN estimates per pass, heading-offset calibration,
+/// and calibrated per-interval motion measurements.
+pub fn analyze_trace(
+    trace: &SensorTrace,
+    fdb: &FingerprintDb,
+    hall: &OfficeHall,
+    detector: &StepDetector,
+    counting: CountingMethod,
+    n_aps: usize,
+) -> TraceAnalysis {
+    let localizer = NnLocalizer::new(fdb);
+    let nn_estimates: Vec<LocationId> = trace
+        .scans
+        .iter()
+        .map(|scan| {
+            localizer
+                .localize(&Fingerprint::new(scan[..n_aps].to_vec()))
+                .expect("scan length matches database")
+        })
+        .collect();
+
+    let intervals = measure_intervals(trace, detector);
+
+    // Zee-style calibration: raw compass direction vs map bearing of
+    // the estimated endpoints. Wrong endpoint estimates contaminate the
+    // pairs; the 45-degree trimmed circular mean absorbs that (mirror
+    // mistakes on east-west aisles even leave the reference bearing
+    // intact, anchoring the estimate).
+    let mut estimator = HeadingOffsetEstimator::new();
+    for interval in &intervals {
+        let (from, to) = (
+            nn_estimates[interval.from_index],
+            nn_estimates[interval.to_index],
+        );
+        if from == to {
+            continue;
+        }
+        let (Some(raw), Some(reference)) =
+            (interval.raw_direction_deg, hall.map.direction_deg(from, to))
+        else {
+            continue;
+        };
+        estimator.observe(raw, reference);
+    }
+    let calibration = estimator.trimmed_stats(45.0);
+    let heading_offset_deg = calibration.map_or(0.0, |c| c.offset_deg);
+    let calibration_reliable = calibration.is_some();
+
+    let step_length = trace.user.step_length_m();
+    let measurements = intervals
+        .iter()
+        .map(|interval| {
+            interval.raw_direction_deg.map(|raw| {
+                let steps = match counting {
+                    CountingMethod::Continuous => interval.steps_csc,
+                    CountingMethod::Discrete => interval.steps_dsc,
+                };
+                MotionMeasurement {
+                    direction_deg: normalize_deg(raw - heading_offset_deg),
+                    offset_m: offset_m(steps, step_length),
+                }
+            })
+        })
+        .collect();
+
+    TraceAnalysis {
+        nn_estimates,
+        intervals,
+        measurements,
+        heading_offset_deg,
+        calibration_reliable,
+    }
+}
+
+/// One localization outcome at one reference-location pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassOutcome {
+    /// Test-trace index.
+    pub trace_index: usize,
+    /// Pass index within the trace.
+    pub pass_index: usize,
+    /// Ground-truth location.
+    pub truth: LocationId,
+    /// Estimated location.
+    pub estimate: LocationId,
+    /// Euclidean localization error in meters.
+    pub error_m: f64,
+}
+
+impl PassOutcome {
+    /// Whether the estimate hit the true reference location.
+    pub fn is_accurate(&self) -> bool {
+        self.estimate == self.truth
+    }
+}
+
+/// Runs the WiFi fingerprinting baseline (Eq. 2) over the test traces.
+pub fn localize_wifi(world: &EvalWorld, setting: &Setting) -> Vec<Vec<PassOutcome>> {
+    let localizer = NnLocalizer::new(&setting.fdb);
+    world
+        .corpus
+        .test
+        .iter()
+        .enumerate()
+        .map(|(trace_index, trace)| {
+            trace
+                .passes
+                .iter()
+                .zip(&trace.scans)
+                .enumerate()
+                .map(|(pass_index, (pass, scan))| {
+                    let estimate = localizer
+                        .localize(&Fingerprint::new(scan[..setting.n_aps].to_vec()))
+                        .expect("scan length matches database");
+                    outcome(world, trace_index, pass_index, pass.location, estimate)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs MoLoc over the test traces.
+pub fn localize_moloc(
+    world: &EvalWorld,
+    setting: &Setting,
+    config: MoLocConfig,
+) -> Vec<Vec<PassOutcome>> {
+    let detector = StepDetector::default();
+    world
+        .corpus
+        .test
+        .iter()
+        .enumerate()
+        .map(|(trace_index, trace)| {
+            let analysis = analyze_trace(
+                trace,
+                &setting.fdb,
+                &world.hall,
+                &detector,
+                setting.counting,
+                setting.n_aps,
+            );
+            let mut tracker = MoLocTracker::new(&setting.fdb, &setting.motion_db, config);
+            trace
+                .passes
+                .iter()
+                .zip(&trace.scans)
+                .enumerate()
+                .map(|(pass_index, (pass, scan))| {
+                    let query = Fingerprint::new(scan[..setting.n_aps].to_vec());
+                    let motion = if pass_index == 0 {
+                        None
+                    } else {
+                        analysis.measurements[pass_index - 1]
+                    };
+                    let estimate = tracker
+                        .observe(&query, motion)
+                        .expect("query length matches database");
+                    outcome(world, trace_index, pass_index, pass.location, estimate)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn outcome(
+    world: &EvalWorld,
+    trace_index: usize,
+    pass_index: usize,
+    truth: LocationId,
+    estimate: LocationId,
+) -> PassOutcome {
+    PassOutcome {
+        trace_index,
+        pass_index,
+        truth,
+        estimate,
+        error_m: world.hall.grid.distance(truth, estimate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> EvalWorld {
+        EvalWorld::small(77)
+    }
+
+    #[test]
+    fn setting_builds_consistent_databases() {
+        let world = world();
+        for n_aps in [4, 6] {
+            let setting = world.setting(n_aps);
+            assert_eq!(setting.n_aps, n_aps);
+            assert_eq!(setting.fdb.ap_count(), n_aps);
+            assert_eq!(setting.fdb.len(), world.hall.grid.len());
+            assert_eq!(setting.motion_db.location_count(), world.hall.grid.len());
+            // Every trained pair is a real location pair.
+            for (a, b, stats) in setting.motion_db.iter() {
+                assert!(world.hall.grid.contains(a) && world.hall.grid.contains(b));
+                assert!(stats.sample_count >= 3);
+            }
+            // The report's arithmetic is self-consistent.
+            let r = setting.build_report;
+            assert!(r.observed >= r.rejected_coarse);
+            assert!(r.pairs_built > 0);
+        }
+    }
+
+    #[test]
+    fn analyze_trace_shapes_line_up() {
+        let world = world();
+        let setting = world.setting(6);
+        let detector = StepDetector::default();
+        let trace = &world.corpus.test[0];
+        let analysis = analyze_trace(
+            trace,
+            &setting.fdb,
+            &world.hall,
+            &detector,
+            CountingMethod::Continuous,
+            6,
+        );
+        assert_eq!(analysis.nn_estimates.len(), trace.pass_count());
+        assert_eq!(analysis.intervals.len(), trace.pass_count() - 1);
+        assert_eq!(analysis.measurements.len(), analysis.intervals.len());
+        assert!(analysis.calibration_reliable);
+        // Measurements carry plausible values: offsets within the hall,
+        // directions wrapped.
+        for m in analysis.measurements.iter().flatten() {
+            assert!((0.0..360.0).contains(&m.direction_deg));
+            assert!(m.offset_m >= 0.0 && m.offset_m < 45.0);
+        }
+    }
+
+    #[test]
+    fn discrete_counting_setting_uses_dsc_offsets() {
+        let world = world();
+        let dsc = world.setting_with(
+            6,
+            moloc_motion::filter::SanitationConfig::paper(),
+            CountingMethod::Discrete,
+        );
+        let csc = world.setting(6);
+        // Different counting methods must actually change the built
+        // databases (DSC drops fractional steps).
+        assert_ne!(dsc.motion_db, csc.motion_db);
+    }
+
+    #[test]
+    fn wifi_outcomes_cover_every_pass_once() {
+        let world = world();
+        let setting = world.setting(5);
+        let outcomes = localize_wifi(&world, &setting);
+        assert_eq!(outcomes.len(), world.corpus.test.len());
+        for (trace, per_trace) in world.corpus.test.iter().zip(&outcomes) {
+            assert_eq!(per_trace.len(), trace.pass_count());
+            for (o, pass) in per_trace.iter().zip(&trace.passes) {
+                assert_eq!(o.truth, pass.location);
+                assert!(o.error_m >= 0.0);
+                assert_eq!(o.is_accurate(), o.error_m == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn moloc_outcomes_are_deterministic_per_setting() {
+        let world = world();
+        let setting = world.setting(6);
+        let a = localize_moloc(&world, &setting, moloc_core::config::MoLocConfig::paper());
+        let b = localize_moloc(&world, &setting, moloc_core::config::MoLocConfig::paper());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Plain-text rendering of experiment results.
+//!
+//! The paper reports CDF figures and one statistics table; these helpers
+//! print the same series and rows so `repro` output can be compared
+//! against the paper side by side (EXPERIMENTS.md records both).
+
+use moloc_stats::ecdf::Ecdf;
+
+/// Renders a CDF as `x  F(x)` rows with `points` samples — the series
+/// behind the paper's CDF figures.
+pub fn cdf_table(label: &str, ecdf: &Ecdf, points: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# CDF: {label} (n = {})\n", ecdf.len()));
+    if ecdf.is_empty() {
+        out.push_str("(empty)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "# median = {:.3}, mean = {:.3}, max = {:.3}\n",
+        ecdf.median().expect("non-empty"),
+        ecdf.mean().expect("non-empty"),
+        ecdf.max().expect("non-empty"),
+    ));
+    for (x, f) in ecdf.series(points, true) {
+        out.push_str(&format!("{x:8.3}  {f:6.3}\n"));
+    }
+    out
+}
+
+/// Renders two CDFs side by side on a shared grid (MoLoc vs WiFi, as in
+/// Figs. 7 and 8).
+pub fn cdf_comparison(label: &str, series: &[(&str, &Ecdf)], points: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# CDF comparison: {label}\n"));
+    let hi = series
+        .iter()
+        .filter_map(|(_, e)| e.max())
+        .fold(0.0f64, f64::max);
+    out.push_str("#    x");
+    for (name, _) in series {
+        out.push_str(&format!("  {name:>8}"));
+    }
+    out.push('\n');
+    if points == 0 || hi <= 0.0 {
+        return out;
+    }
+    for i in 0..points {
+        let x = hi * i as f64 / (points - 1).max(1) as f64;
+        out.push_str(&format!("{x:6.2}"));
+        for (_, e) in series {
+            out.push_str(&format!("  {:8.3}", e.fraction_at_or_below(x)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a table with a header row and aligned columns.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&render_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    ));
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_table_contains_summary_and_rows() {
+        let e = Ecdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        let t = cdf_table("errors", &e, 5);
+        assert!(t.contains("n = 4"));
+        assert!(t.contains("median = 2.000"));
+        assert_eq!(t.lines().count(), 2 + 5);
+    }
+
+    #[test]
+    fn cdf_table_handles_empty() {
+        let t = cdf_table("none", &Ecdf::default(), 5);
+        assert!(t.contains("(empty)"));
+    }
+
+    #[test]
+    fn comparison_has_one_column_per_series() {
+        let a = Ecdf::from_samples(vec![0.0, 1.0, 2.0]);
+        let b = Ecdf::from_samples(vec![0.0, 4.0, 8.0]);
+        let t = cdf_comparison("fig", &[("MoLoc", &a), ("WiFi", &b)], 4);
+        assert!(t.contains("MoLoc"));
+        assert!(t.contains("WiFi"));
+        // Header + column header + 4 data rows.
+        assert_eq!(t.lines().count(), 6);
+        // Last row: both CDFs at the global max reach 1.
+        let last = t.lines().last().unwrap();
+        assert!(last.contains("1.000"));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["Setting", "Accuracy"],
+            &[
+                vec!["4-AP WiFi".into(), "0.34".into()],
+                vec!["4-AP MoLoc".into(), "0.89".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Setting"));
+        assert!(lines[1].starts_with('-'));
+    }
+}

@@ -1,0 +1,212 @@
+//! The simulated office-hall testbed (paper Fig. 5 and Sec. VI-A).
+//!
+//! 40.8 m × 16 m, 28 reference locations on a 7×4 grid, 6 sparsely
+//! placed APs whose rough symmetry about the hall's long axis creates
+//! the fingerprint twins the paper reports (pairs of locations in
+//! mirrored rows), plus partition boards that make some geographically
+//! close pairs non-adjacent on foot — the consistency hazard of
+//! Sec. IV-A.
+
+use moloc_geometry::floorplan::{FloorPlan, Wall};
+use moloc_geometry::polygon::Aabb;
+use moloc_geometry::{ReferenceGrid, Vec2, WalkGraph};
+use moloc_motion::builder::MapReference;
+use moloc_radio::ap::AccessPoint;
+use moloc_radio::pathloss::LogDistance;
+use moloc_radio::sampler::RadioEnvironment;
+use moloc_radio::Dbm;
+
+/// Channel and layout knobs of the simulated hall.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HallConfig {
+    /// Per-scan temporal noise sigma, dB.
+    pub temporal_sigma_db: f64,
+    /// Static shadow-fading sigma, dB (small: large values would break
+    /// the twin symmetry the paper observed).
+    pub shadowing_sigma_db: f64,
+    /// Shadowing correlation length, m.
+    pub shadowing_correlation_m: f64,
+    /// Seed for the static channel.
+    pub seed: u64,
+}
+
+impl Default for HallConfig {
+    fn default() -> Self {
+        Self {
+            temporal_sigma_db: 6.0,
+            shadowing_sigma_db: 1.5,
+            shadowing_correlation_m: 3.0,
+            seed: 20130707,
+        }
+    }
+}
+
+/// The assembled testbed.
+#[derive(Debug, Clone)]
+pub struct OfficeHall {
+    /// The reference-location grid (ids 1–28 as in Fig. 5).
+    pub grid: ReferenceGrid,
+    /// The walkable aisle graph.
+    pub graph: WalkGraph,
+    /// The 6-AP radio environment.
+    pub env: RadioEnvironment,
+    /// Map-derived reference values for motion-database sanitation.
+    pub map: MapReference,
+}
+
+impl OfficeHall {
+    /// Builds the testbed with default channel parameters.
+    pub fn paper() -> Self {
+        Self::with_config(HallConfig::default())
+    }
+
+    /// Builds the testbed with explicit channel parameters.
+    pub fn with_config(config: HallConfig) -> Self {
+        let bounds = Aabb::new(Vec2::ZERO, Vec2::new(40.8, 16.0)).expect("valid hall bounds");
+        let mut plan = FloorPlan::new(bounds);
+        // Partition boards: block a row-0 aisle between columns 2 and 3
+        // and two row-2/row-3 vertical aisles — close pairs that are not
+        // mutually walkable.
+        plan.add_wall(Wall::partition(
+            Vec2::new(17.5, 12.2),
+            Vec2::new(17.5, 16.0),
+            6.0,
+        ));
+        plan.add_wall(Wall::partition(
+            Vec2::new(25.0, 4.0),
+            Vec2::new(33.2, 4.0),
+            6.0,
+        ));
+        // Shelving along the south wall: radio-only attenuation.
+        plan.add_wall(Wall::attenuator(
+            Vec2::new(5.0, 0.8),
+            Vec2::new(15.0, 0.8),
+            3.0,
+        ));
+
+        // Fig. 5's grid: ids 1–7 in the top row at y = 14, rows 4 m
+        // apart, columns 5.8 m apart.
+        let grid =
+            ReferenceGrid::new(Vec2::new(3.0, 14.0), 7, 4, 5.8, 4.0).expect("valid paper grid");
+        let graph = WalkGraph::from_grid(&grid, &plan);
+
+        // 6 APs near the hall's long axis (y ≈ 8): mirrored rows see
+        // near-identical path losses → fingerprint twins.
+        let env = RadioEnvironment::builder(plan)
+            .seed(config.seed)
+            .ap(AccessPoint::new(0, Vec2::new(4.0, 8.3), -18.0))
+            .ap(AccessPoint::new(1, Vec2::new(11.0, 7.7), -18.0))
+            .ap(AccessPoint::new(2, Vec2::new(18.0, 8.2), -18.0))
+            .ap(AccessPoint::new(3, Vec2::new(25.0, 7.8), -18.0))
+            .ap(AccessPoint::new(4, Vec2::new(32.0, 8.3), -18.0))
+            .ap(AccessPoint::new(5, Vec2::new(38.0, 7.7), -18.0))
+            .path_loss(LogDistance::indoor_office())
+            .shadowing_sigma_db(config.shadowing_sigma_db, config.shadowing_correlation_m)
+            .temporal_sigma_db(config.temporal_sigma_db)
+            .noise_floor(Dbm::new(-95.0))
+            .build()
+            .expect("valid AP deployment");
+
+        let map = MapReference::new(&grid, &graph);
+        Self {
+            grid,
+            graph,
+            env,
+            map,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_geometry::shortest_path::dijkstra;
+    use moloc_geometry::LocationId;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    #[test]
+    fn hall_dimensions_match_paper() {
+        let hall = OfficeHall::paper();
+        assert_eq!(hall.grid.len(), 28);
+        let b = hall.env.plan().bounds();
+        assert!((b.width() - 40.8).abs() < 1e-9);
+        assert!((b.height() - 16.0).abs() < 1e-9);
+        assert_eq!(hall.env.aps().len(), 6);
+    }
+
+    #[test]
+    fn partitions_cut_some_aisles_but_graph_stays_connected() {
+        let hall = OfficeHall::paper();
+        // Row-0 aisle L3–L4 crosses the first partition.
+        assert!(!hall.graph.are_adjacent(l(3), l(4)));
+        // The second partition cuts two vertical aisles.
+        assert!(!hall.graph.are_adjacent(l(19), l(26)));
+        assert!(!hall.graph.are_adjacent(l(20), l(27)));
+        // Still fully connected.
+        let sp = dijkstra(&hall.graph, l(1));
+        for id in hall.grid.ids() {
+            assert!(sp.distance(id).is_some(), "{id} unreachable");
+        }
+    }
+
+    #[test]
+    fn mirrored_rows_are_fingerprint_twins() {
+        // Mean fingerprints of vertically mirrored locations (rows 0↔3
+        // and 1↔2) should be far more alike than those of horizontal
+        // neighbors.
+        let hall = OfficeHall::with_config(HallConfig {
+            shadowing_sigma_db: 0.0, // isolate the geometric symmetry
+            ..HallConfig::default()
+        });
+        let mean = |id: LocationId| hall.env.mean_scan(hall.grid.position(id));
+        let dist = |a: &[moloc_radio::Dbm], b: &[moloc_radio::Dbm]| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x.value() - y.value()).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        // L10 (row 1, col 2) mirrors to L17 (row 2, col 2).
+        let twins = dist(&mean(l(10)), &mean(l(17)));
+        let neighbors = dist(&mean(l(10)), &mean(l(11)));
+        assert!(
+            twins < neighbors / 2.0,
+            "twin distance {twins} vs neighbor distance {neighbors}"
+        );
+    }
+
+    #[test]
+    fn far_twins_exist_across_outer_rows() {
+        // Rows 0 and 3 are 12 m apart — the "highly spaced locations
+        // with similar fingerprints" of Sec. III.
+        let hall = OfficeHall::with_config(HallConfig {
+            shadowing_sigma_db: 0.0,
+            ..HallConfig::default()
+        });
+        let mean = |id: LocationId| hall.env.mean_scan(hall.grid.position(id));
+        let dist = |a: &[moloc_radio::Dbm], b: &[moloc_radio::Dbm]| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x.value() - y.value()).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        // L2 (row 0, col 1) vs L23 (row 3, col 1): 12 m apart.
+        let twins = dist(&mean(l(2)), &mean(l(23)));
+        assert!(twins < 4.0, "outer-row twin distance {twins} dB");
+        assert!((hall.grid.distance(l(2), l(23)) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = OfficeHall::paper();
+        let b = OfficeHall::paper();
+        let p = a.grid.position(l(14));
+        let sa = a.env.mean_scan(p);
+        let sb = b.env.mean_scan(p);
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,234 @@
+//! Candidate sets with probabilities.
+//!
+//! Converts k-NN matches into the probability assignment of the paper's
+//! Eq. 4: `P(x = lᵢ | F) = (1/mᵢ) / Σⱼ (1/mⱼ)`. An exact fingerprint
+//! match (`mᵢ = 0`) receives all the mass, split among exact matches if
+//! several tie.
+
+use crate::knn::Neighbor;
+use moloc_geometry::LocationId;
+use serde::{Deserialize, Serialize};
+
+/// A candidate location with its probability of being the true
+/// location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The location.
+    pub location: LocationId,
+    /// Probability mass assigned to it (candidates in a set sum to 1).
+    pub probability: f64,
+}
+
+/// A normalized set of location candidates.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_fingerprint::candidates::CandidateSet;
+/// use moloc_fingerprint::knn::Neighbor;
+/// use moloc_geometry::LocationId;
+///
+/// let set = CandidateSet::from_neighbors(&[
+///     Neighbor { location: LocationId::new(1), dissimilarity: 1.0 },
+///     Neighbor { location: LocationId::new(2), dissimilarity: 3.0 },
+/// ]).unwrap();
+/// assert_eq!(set.top().location, LocationId::new(1));
+/// assert!((set.total_probability() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateSet {
+    candidates: Vec<Candidate>,
+}
+
+/// Error constructing an empty [`CandidateSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyCandidatesError;
+
+impl std::fmt::Display for EmptyCandidatesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "candidate set cannot be empty")
+    }
+}
+
+impl std::error::Error for EmptyCandidatesError {}
+
+impl CandidateSet {
+    /// Builds a candidate set from k-NN matches with Eq. 4 weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyCandidatesError`] for an empty slice.
+    pub fn from_neighbors(neighbors: &[Neighbor]) -> Result<Self, EmptyCandidatesError> {
+        if neighbors.is_empty() {
+            return Err(EmptyCandidatesError);
+        }
+        let exact: Vec<&Neighbor> = neighbors
+            .iter()
+            .filter(|n| n.dissimilarity <= f64::EPSILON)
+            .collect();
+        let candidates = if !exact.is_empty() {
+            // Exact matches absorb all probability (1/0 dominates).
+            let p = 1.0 / exact.len() as f64;
+            neighbors
+                .iter()
+                .map(|n| Candidate {
+                    location: n.location,
+                    probability: if n.dissimilarity <= f64::EPSILON {
+                        p
+                    } else {
+                        0.0
+                    },
+                })
+                .collect()
+        } else {
+            let total: f64 = neighbors.iter().map(|n| 1.0 / n.dissimilarity).sum();
+            neighbors
+                .iter()
+                .map(|n| Candidate {
+                    location: n.location,
+                    probability: (1.0 / n.dissimilarity) / total,
+                })
+                .collect()
+        };
+        Ok(Self { candidates })
+    }
+
+    /// Builds a set from explicit `(location, weight)` pairs,
+    /// normalizing the weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyCandidatesError`] when empty or when all weights
+    /// are zero (no distribution can be formed).
+    pub fn from_weights(weights: Vec<(LocationId, f64)>) -> Result<Self, EmptyCandidatesError> {
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        if weights.is_empty() || total <= 0.0 || !total.is_finite() {
+            return Err(EmptyCandidatesError);
+        }
+        Ok(Self {
+            candidates: weights
+                .into_iter()
+                .map(|(location, w)| Candidate {
+                    location,
+                    probability: w / total,
+                })
+                .collect(),
+        })
+    }
+
+    /// The candidates, unsorted (insertion order).
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the set is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The most probable candidate (ties broken by lower id).
+    pub fn top(&self) -> Candidate {
+        *self
+            .candidates
+            .iter()
+            .max_by(|a, b| {
+                a.probability
+                    .partial_cmp(&b.probability)
+                    .expect("probabilities are finite")
+                    .then_with(|| b.location.cmp(&a.location))
+            })
+            .expect("candidate set is non-empty")
+    }
+
+    /// The probability of a specific location (0 if absent).
+    pub fn probability_of(&self, id: LocationId) -> f64 {
+        self.candidates
+            .iter()
+            .find(|c| c.location == id)
+            .map_or(0.0, |c| c.probability)
+    }
+
+    /// Sum of all probabilities (≈ 1; exposed for invariant tests).
+    pub fn total_probability(&self) -> f64 {
+        self.candidates.iter().map(|c| c.probability).sum()
+    }
+
+    /// Iterates over `(location, probability)`.
+    pub fn iter(&self) -> impl Iterator<Item = (LocationId, f64)> + '_ {
+        self.candidates.iter().map(|c| (c.location, c.probability))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn n(i: u32, d: f64) -> Neighbor {
+        Neighbor {
+            location: l(i),
+            dissimilarity: d,
+        }
+    }
+
+    #[test]
+    fn eq4_weighting() {
+        // m = [1, 2] → weights [1, 0.5] → probs [2/3, 1/3].
+        let set = CandidateSet::from_neighbors(&[n(1, 1.0), n(2, 2.0)]).unwrap();
+        assert!((set.probability_of(l(1)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((set.probability_of(l(2)) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((set.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_match_takes_all_mass() {
+        let set = CandidateSet::from_neighbors(&[n(1, 0.0), n(2, 2.0)]).unwrap();
+        assert_eq!(set.probability_of(l(1)), 1.0);
+        assert_eq!(set.probability_of(l(2)), 0.0);
+    }
+
+    #[test]
+    fn tied_exact_matches_split_mass() {
+        let set = CandidateSet::from_neighbors(&[n(1, 0.0), n(2, 0.0), n(3, 1.0)]).unwrap();
+        assert_eq!(set.probability_of(l(1)), 0.5);
+        assert_eq!(set.probability_of(l(2)), 0.5);
+        assert_eq!(set.probability_of(l(3)), 0.0);
+    }
+
+    #[test]
+    fn top_prefers_highest_probability_then_lower_id() {
+        let set = CandidateSet::from_weights(vec![(l(3), 1.0), (l(1), 1.0), (l(2), 0.5)]).unwrap();
+        assert_eq!(set.top().location, l(1));
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let set = CandidateSet::from_weights(vec![(l(1), 2.0), (l(2), 6.0)]).unwrap();
+        assert!((set.probability_of(l(2)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_rejects_degenerate() {
+        assert!(CandidateSet::from_weights(vec![]).is_err());
+        assert!(CandidateSet::from_weights(vec![(l(1), 0.0)]).is_err());
+    }
+
+    #[test]
+    fn empty_neighbors_rejected() {
+        assert!(CandidateSet::from_neighbors(&[]).is_err());
+    }
+
+    #[test]
+    fn probability_of_absent_location_is_zero() {
+        let set = CandidateSet::from_neighbors(&[n(1, 1.0)]).unwrap();
+        assert_eq!(set.probability_of(l(9)), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! A Horus-style probabilistic localizer (extension baseline).
+//!
+//! Horus (Youssef & Agrawala, MobiSys '05) models each location's RSS
+//! per AP as a Gaussian fitted to the survey samples and picks the
+//! maximum-likelihood location. The MoLoc paper cites it as prior work;
+//! the reproduction includes it so the benchmark suite can show where a
+//! stronger fingerprint-only baseline still suffers from ambiguity.
+
+use crate::fingerprint::Fingerprint;
+use moloc_geometry::LocationId;
+use moloc_stats::gaussian::Gaussian;
+use moloc_stats::online::Welford;
+
+/// Per-location, per-AP Gaussian RSS model.
+#[derive(Debug, Clone)]
+pub struct HorusLocalizer {
+    entries: Vec<(LocationId, Vec<Gaussian>)>,
+    ap_count: usize,
+    /// Std floor to avoid degenerate zero-variance Gaussians when a
+    /// location's samples happen to agree exactly.
+    min_std_db: f64,
+}
+
+/// Error building or querying a [`HorusLocalizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HorusError {
+    /// No training locations.
+    Empty,
+    /// A location had no samples.
+    NoSamples(LocationId),
+    /// Sample or query fingerprint length mismatch.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for HorusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HorusError::Empty => write!(f, "no training locations"),
+            HorusError::NoSamples(id) => write!(f, "no training samples for {id}"),
+            HorusError::LengthMismatch => write!(f, "fingerprint length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for HorusError {}
+
+impl HorusLocalizer {
+    /// Trains the model from per-location sample sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HorusError`] for empty input, sample-less locations, or
+    /// mismatched sample lengths.
+    pub fn train<I, S>(samples: I) -> Result<Self, HorusError>
+    where
+        I: IntoIterator<Item = (LocationId, S)>,
+        S: IntoIterator<Item = Fingerprint>,
+    {
+        let min_std_db = 0.5;
+        let mut entries = Vec::new();
+        let mut ap_count = None;
+        for (id, set) in samples {
+            let set: Vec<Fingerprint> = set.into_iter().collect();
+            let Some(first) = set.first() else {
+                return Err(HorusError::NoSamples(id));
+            };
+            let n = first.len();
+            if *ap_count.get_or_insert(n) != n {
+                return Err(HorusError::LengthMismatch);
+            }
+            let mut accs = vec![Welford::new(); n];
+            for fp in &set {
+                if fp.len() != n {
+                    return Err(HorusError::LengthMismatch);
+                }
+                for (acc, &v) in accs.iter_mut().zip(fp.values()) {
+                    acc.push(v);
+                }
+            }
+            let gaussians = accs
+                .iter()
+                .map(|acc| {
+                    Gaussian::new(acc.mean(), acc.std().max(min_std_db))
+                        .expect("std floored above zero")
+                })
+                .collect();
+            entries.push((id, gaussians));
+        }
+        if entries.is_empty() {
+            return Err(HorusError::Empty);
+        }
+        entries.sort_by_key(|(id, _)| *id);
+        Ok(Self {
+            entries,
+            ap_count: ap_count.expect("non-empty"),
+            min_std_db,
+        })
+    }
+
+    /// Number of APs per fingerprint.
+    pub fn ap_count(&self) -> usize {
+        self.ap_count
+    }
+
+    /// The std floor applied during training, in dB.
+    pub fn min_std_db(&self) -> f64 {
+        self.min_std_db
+    }
+
+    /// Log-likelihood of a query at a trained location, `None` for
+    /// unknown locations.
+    pub fn log_likelihood(&self, id: LocationId, query: &Fingerprint) -> Option<f64> {
+        let (_, gaussians) = self.entries.iter().find(|(i, _)| *i == id)?;
+        if query.len() != self.ap_count {
+            return None;
+        }
+        Some(
+            gaussians
+                .iter()
+                .zip(query.values())
+                .map(|(g, &v)| g.log_pdf(v))
+                .sum(),
+        )
+    }
+
+    /// The maximum-likelihood location for a query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HorusError::LengthMismatch`] when the query length
+    /// differs from the training data.
+    pub fn localize(&self, query: &Fingerprint) -> Result<LocationId, HorusError> {
+        if query.len() != self.ap_count {
+            return Err(HorusError::LengthMismatch);
+        }
+        Ok(self
+            .entries
+            .iter()
+            .map(|(id, gaussians)| {
+                let ll: f64 = gaussians
+                    .iter()
+                    .zip(query.values())
+                    .map(|(g, &v)| g.log_pdf(v))
+                    .sum();
+                (*id, ll)
+            })
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("log-likelihoods are finite")
+                    .then_with(|| b.0.cmp(&a.0))
+            })
+            .expect("trained model is non-empty")
+            .0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn fp(v: &[f64]) -> Fingerprint {
+        Fingerprint::new(v.to_vec())
+    }
+
+    fn trained() -> HorusLocalizer {
+        HorusLocalizer::train(vec![
+            (
+                l(1),
+                vec![
+                    fp(&[-40.0, -70.0]),
+                    fp(&[-42.0, -68.0]),
+                    fp(&[-38.0, -72.0]),
+                ],
+            ),
+            (
+                l(2),
+                vec![
+                    fp(&[-70.0, -40.0]),
+                    fp(&[-68.0, -42.0]),
+                    fp(&[-72.0, -38.0]),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn localizes_to_likelier_location() {
+        let m = trained();
+        assert_eq!(m.localize(&fp(&[-41.0, -69.0])).unwrap(), l(1));
+        assert_eq!(m.localize(&fp(&[-69.0, -41.0])).unwrap(), l(2));
+    }
+
+    #[test]
+    fn log_likelihood_is_higher_at_true_location() {
+        let m = trained();
+        let q = fp(&[-40.0, -70.0]);
+        let ll1 = m.log_likelihood(l(1), &q).unwrap();
+        let ll2 = m.log_likelihood(l(2), &q).unwrap();
+        assert!(ll1 > ll2);
+        assert_eq!(m.log_likelihood(l(9), &q), None);
+    }
+
+    #[test]
+    fn variance_floor_prevents_degenerate_models() {
+        // All samples identical → std would be 0 without the floor.
+        let m = HorusLocalizer::train(vec![(l(1), vec![fp(&[-50.0]), fp(&[-50.0])])]).unwrap();
+        let ll = m.log_likelihood(l(1), &fp(&[-50.0])).unwrap();
+        assert!(ll.is_finite());
+        assert_eq!(m.min_std_db(), 0.5);
+    }
+
+    #[test]
+    fn train_rejects_bad_input() {
+        assert_eq!(
+            HorusLocalizer::train(Vec::<(LocationId, Vec<Fingerprint>)>::new()).unwrap_err(),
+            HorusError::Empty
+        );
+        assert_eq!(
+            HorusLocalizer::train(vec![(l(1), Vec::<Fingerprint>::new())]).unwrap_err(),
+            HorusError::NoSamples(l(1))
+        );
+        assert_eq!(
+            HorusLocalizer::train(vec![
+                (l(1), vec![fp(&[-40.0])]),
+                (l(2), vec![fp(&[-40.0, -50.0])]),
+            ])
+            .unwrap_err(),
+            HorusError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn localize_rejects_wrong_length() {
+        let m = trained();
+        assert_eq!(
+            m.localize(&fp(&[-40.0])).unwrap_err(),
+            HorusError::LengthMismatch
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! RSS fingerprinting engine for the MoLoc reproduction.
+//!
+//! This crate implements the classic fingerprinting half of MoLoc:
+//!
+//! * [`fingerprint`] — the [`fingerprint::Fingerprint`] RSS vector.
+//! * [`metric`] — dissimilarity functions, including the paper's
+//!   Euclidean metric (Eq. 1) plus Manhattan/cosine alternatives.
+//! * [`db`] — the fingerprint database mapping reference locations to
+//!   surveyed fingerprints.
+//! * [`knn`] — k-nearest-neighbor retrieval (Eq. 3).
+//! * [`candidates`] — candidate sets with inverse-dissimilarity
+//!   probabilities (Eq. 4).
+//! * [`nn_localizer`] — the plain WiFi fingerprinting baseline the paper
+//!   compares against (Eq. 2).
+//! * [`centroid`] — the weighted-centroid k-NN refinement (continuous
+//!   position estimates).
+//! * [`horus`] — a Horus-style probabilistic baseline (extension: each
+//!   location modeled as per-AP Gaussians, maximum-likelihood decision).
+//!
+//! # Examples
+//!
+//! ```
+//! use moloc_fingerprint::db::FingerprintDb;
+//! use moloc_fingerprint::fingerprint::Fingerprint;
+//! use moloc_fingerprint::nn_localizer::NnLocalizer;
+//! use moloc_geometry::LocationId;
+//!
+//! let db = FingerprintDb::from_fingerprints(vec![
+//!     (LocationId::new(1), Fingerprint::new(vec![-40.0, -70.0])),
+//!     (LocationId::new(2), Fingerprint::new(vec![-70.0, -40.0])),
+//! ])?;
+//! let query = Fingerprint::new(vec![-42.0, -69.0]);
+//! let est = NnLocalizer::new(&db).localize(&query)?;
+//! assert_eq!(est, LocationId::new(1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod candidates;
+pub mod centroid;
+pub mod db;
+pub mod fingerprint;
+pub mod horus;
+pub mod knn;
+pub mod metric;
+pub mod nn_localizer;
+
+pub use candidates::{Candidate, CandidateSet};
+pub use db::FingerprintDb;
+pub use fingerprint::Fingerprint;
+pub use metric::{Dissimilarity, Euclidean};

@@ -1,0 +1,152 @@
+//! The plain WiFi fingerprinting baseline.
+//!
+//! Implements the paper's Eq. 2: return the location whose stored
+//! fingerprint minimizes the dissimilarity to the query. This is the
+//! baseline MoLoc is compared against throughout Sec. VI.
+
+use crate::db::FingerprintDb;
+use crate::fingerprint::Fingerprint;
+use crate::knn::k_nearest;
+use crate::metric::{Dissimilarity, Euclidean};
+use moloc_geometry::LocationId;
+
+/// Nearest-neighbor WiFi localizer (Eq. 2).
+///
+/// # Examples
+///
+/// ```
+/// use moloc_fingerprint::db::FingerprintDb;
+/// use moloc_fingerprint::fingerprint::Fingerprint;
+/// use moloc_fingerprint::nn_localizer::NnLocalizer;
+/// use moloc_geometry::LocationId;
+///
+/// let db = FingerprintDb::from_fingerprints(vec![
+///     (LocationId::new(1), Fingerprint::new(vec![-40.0])),
+///     (LocationId::new(2), Fingerprint::new(vec![-60.0])),
+/// ])?;
+/// let loc = NnLocalizer::new(&db).localize(&Fingerprint::new(vec![-58.0]))?;
+/// assert_eq!(loc, LocationId::new(2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct NnLocalizer<'a> {
+    db: &'a FingerprintDb,
+    metric: Box<dyn Dissimilarity>,
+}
+
+/// Error from [`NnLocalizer::localize`] when the query length does not
+/// match the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryLengthError {
+    /// AP count expected by the database.
+    pub expected: usize,
+    /// AP count of the query.
+    pub found: usize,
+}
+
+impl std::fmt::Display for QueryLengthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "query has {} APs but the database expects {}",
+            self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for QueryLengthError {}
+
+impl<'a> NnLocalizer<'a> {
+    /// Creates a localizer with the paper's Euclidean metric.
+    pub fn new(db: &'a FingerprintDb) -> Self {
+        Self {
+            db,
+            metric: Box::new(Euclidean),
+        }
+    }
+
+    /// Creates a localizer with a custom metric.
+    pub fn with_metric<M: Dissimilarity + 'static>(db: &'a FingerprintDb, metric: M) -> Self {
+        Self {
+            db,
+            metric: Box::new(metric),
+        }
+    }
+
+    /// The location estimate for a query fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryLengthError`] when the query's AP count does not
+    /// match the database.
+    pub fn localize(&self, query: &Fingerprint) -> Result<LocationId, QueryLengthError> {
+        if query.len() != self.db.ap_count() {
+            return Err(QueryLengthError {
+                expected: self.db.ap_count(),
+                found: query.len(),
+            });
+        }
+        Ok(k_nearest(self.db, query, 1, self.metric.as_ref())[0].location)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Manhattan;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn db() -> FingerprintDb {
+        FingerprintDb::from_fingerprints(vec![
+            (l(1), Fingerprint::new(vec![-40.0, -70.0])),
+            (l(2), Fingerprint::new(vec![-55.0, -55.0])),
+            (l(3), Fingerprint::new(vec![-70.0, -40.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn picks_nearest_location() {
+        let db = db();
+        let loc = NnLocalizer::new(&db)
+            .localize(&Fingerprint::new(vec![-68.0, -43.0]))
+            .unwrap();
+        assert_eq!(loc, l(3));
+    }
+
+    #[test]
+    fn exact_fingerprint_returns_its_location() {
+        let db = db();
+        let loc = NnLocalizer::new(&db)
+            .localize(&Fingerprint::new(vec![-55.0, -55.0]))
+            .unwrap();
+        assert_eq!(loc, l(2));
+    }
+
+    #[test]
+    fn custom_metric_is_used() {
+        let db = db();
+        let loc = NnLocalizer::with_metric(&db, Manhattan)
+            .localize(&Fingerprint::new(vec![-41.0, -69.0]))
+            .unwrap();
+        assert_eq!(loc, l(1));
+    }
+
+    #[test]
+    fn query_length_mismatch_is_an_error() {
+        let db = db();
+        let err = NnLocalizer::new(&db)
+            .localize(&Fingerprint::new(vec![-41.0]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            QueryLengthError {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+}

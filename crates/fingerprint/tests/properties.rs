@@ -1,0 +1,157 @@
+//! Property-based tests for the fingerprinting engine.
+
+use moloc_fingerprint::candidates::CandidateSet;
+use moloc_fingerprint::db::FingerprintDb;
+use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_fingerprint::knn::{k_nearest, Neighbor};
+use moloc_fingerprint::metric::{Cosine, Dissimilarity, Euclidean, Manhattan};
+use moloc_geometry::LocationId;
+use proptest::prelude::*;
+
+fn rss() -> impl Strategy<Value = f64> {
+    -95.0..-20.0f64
+}
+
+fn fingerprint(n: usize) -> impl Strategy<Value = Fingerprint> {
+    prop::collection::vec(rss(), n).prop_map(Fingerprint::new)
+}
+
+proptest! {
+    #[test]
+    fn metrics_are_symmetric_nonnegative_reflexive(
+        a in fingerprint(4), b in fingerprint(4),
+    ) {
+        for metric in [&Euclidean as &dyn Dissimilarity, &Manhattan, &Cosine] {
+            let ab = metric.dissimilarity(&a, &b);
+            prop_assert!(ab >= 0.0, "{} negative", metric.name());
+            prop_assert!((ab - metric.dissimilarity(&b, &a)).abs() < 1e-9);
+            prop_assert!(metric.dissimilarity(&a, &a) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        a in fingerprint(5), b in fingerprint(5), c in fingerprint(5),
+    ) {
+        let ab = Euclidean.dissimilarity(&a, &b);
+        let bc = Euclidean.dissimilarity(&b, &c);
+        let ac = Euclidean.dissimilarity(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn knn_results_are_sorted_and_contain_the_nearest(
+        fps in prop::collection::vec(fingerprint(3), 2..15),
+        query in fingerprint(3),
+        k in 1usize..10,
+    ) {
+        let entries: Vec<(LocationId, Fingerprint)> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (LocationId::from_index(i), f.clone()))
+            .collect();
+        let db = FingerprintDb::from_fingerprints(entries).unwrap();
+        let nn = k_nearest(&db, &query, k, &Euclidean);
+        prop_assert_eq!(nn.len(), k.min(db.len()));
+        for w in nn.windows(2) {
+            prop_assert!(w[0].dissimilarity <= w[1].dissimilarity + 1e-12);
+        }
+        // The top result really is the global minimum.
+        let best = fps
+            .iter()
+            .map(|f| Euclidean.dissimilarity(&query, f))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((nn[0].dissimilarity - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_excluded_entries_are_never_nearer(
+        fps in prop::collection::vec(fingerprint(3), 3..15),
+        query in fingerprint(3),
+    ) {
+        let entries: Vec<(LocationId, Fingerprint)> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (LocationId::from_index(i), f.clone()))
+            .collect();
+        let db = FingerprintDb::from_fingerprints(entries).unwrap();
+        let k = 2;
+        let nn = k_nearest(&db, &query, k, &Euclidean);
+        let worst_kept = nn.last().unwrap().dissimilarity;
+        for (i, f) in fps.iter().enumerate() {
+            let id = LocationId::from_index(i);
+            if !nn.iter().any(|n| n.location == id) {
+                prop_assert!(
+                    Euclidean.dissimilarity(&query, f) + 1e-12 >= worst_kept,
+                    "excluded entry nearer than kept one"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_probabilities_normalize_and_order_by_dissimilarity(
+        ms in prop::collection::vec(0.001..100.0f64, 1..10),
+    ) {
+        let neighbors: Vec<Neighbor> = ms
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| Neighbor {
+                location: LocationId::from_index(i),
+                dissimilarity: m,
+            })
+            .collect();
+        let set = CandidateSet::from_neighbors(&neighbors).unwrap();
+        prop_assert!((set.total_probability() - 1.0).abs() < 1e-9);
+        // Smaller dissimilarity ⇒ larger probability (Eq. 4).
+        for i in 0..ms.len() {
+            for j in 0..ms.len() {
+                if ms[i] < ms[j] {
+                    prop_assert!(
+                        set.probability_of(LocationId::from_index(i))
+                            >= set.probability_of(LocationId::from_index(j)) - 1e-12
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_weights_are_scale_invariant(
+        ws in prop::collection::vec(0.01..10.0f64, 1..8),
+        scale in 0.1..100.0f64,
+    ) {
+        let base: Vec<(LocationId, f64)> = ws
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (LocationId::from_index(i), w))
+            .collect();
+        let scaled: Vec<(LocationId, f64)> =
+            base.iter().map(|&(id, w)| (id, w * scale)).collect();
+        let a = CandidateSet::from_weights(base).unwrap();
+        let b = CandidateSet::from_weights(scaled).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.0, y.0);
+            prop_assert!((x.1 - y.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn db_ap_subsets_preserve_locations(
+        fps in prop::collection::vec(fingerprint(4), 2..10),
+        n in 1usize..4,
+    ) {
+        let entries: Vec<(LocationId, Fingerprint)> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (LocationId::from_index(i), f.clone()))
+            .collect();
+        let db = FingerprintDb::from_fingerprints(entries).unwrap();
+        let sub = db.with_first_aps(n);
+        prop_assert_eq!(sub.len(), db.len());
+        prop_assert_eq!(sub.ap_count(), n);
+        for (id, fp) in sub.iter() {
+            prop_assert_eq!(fp.values(), &db.fingerprint(id).unwrap().values()[..n]);
+        }
+    }
+}

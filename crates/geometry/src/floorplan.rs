@@ -1,0 +1,250 @@
+//! Floor plans: bounded halls with attenuating walls and impassable
+//! obstacles.
+//!
+//! A [`FloorPlan`] plays two roles in the reproduction:
+//!
+//! * **Radio**: each [`Wall`] crossed by the straight path from an access
+//!   point to a receiver adds its attenuation to the path loss (the wall
+//!   attenuation factor model of RADAR).
+//! * **Mobility**: walls and obstacle polygons block walking, so the
+//!   walkable graph edges and the map-derived offsets differ from plain
+//!   straight-line geometry — the *consistency principle* of Sec. IV-A.
+
+use crate::polygon::{Aabb, Polygon};
+use crate::segment::Segment;
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A wall or partition board with a radio attenuation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wall {
+    /// The wall's footprint as a segment.
+    pub segment: Segment,
+    /// Signal attenuation when crossing the wall, in dB (non-negative).
+    pub attenuation_db: f64,
+    /// Whether the wall also blocks walking (partition boards do; a desk
+    /// row modeled as a wall might only attenuate).
+    pub blocks_walking: bool,
+}
+
+impl Wall {
+    /// A partition: attenuates radio and blocks walking.
+    pub fn partition(a: Vec2, b: Vec2, attenuation_db: f64) -> Self {
+        Self {
+            segment: Segment::new(a, b),
+            attenuation_db,
+            blocks_walking: true,
+        }
+    }
+
+    /// A radio-only attenuator (e.g. shelving) that people can walk
+    /// around/through in the aisle model.
+    pub fn attenuator(a: Vec2, b: Vec2, attenuation_db: f64) -> Self {
+        Self {
+            segment: Segment::new(a, b),
+            attenuation_db,
+            blocks_walking: false,
+        }
+    }
+}
+
+/// A floor plan: outer bounds, walls, and obstacle footprints.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_geometry::floorplan::{FloorPlan, Wall};
+/// use moloc_geometry::polygon::Aabb;
+/// use moloc_geometry::Vec2;
+///
+/// let bounds = Aabb::new(Vec2::ZERO, Vec2::new(40.8, 16.0)).unwrap();
+/// let mut plan = FloorPlan::new(bounds);
+/// plan.add_wall(Wall::partition(Vec2::new(10.0, 0.0), Vec2::new(10.0, 8.0), 5.0));
+/// let att = plan.attenuation_db(Vec2::new(5.0, 4.0), Vec2::new(15.0, 4.0));
+/// assert_eq!(att, 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloorPlan {
+    bounds: Aabb,
+    walls: Vec<Wall>,
+    obstacles: Vec<Polygon>,
+}
+
+impl FloorPlan {
+    /// Creates an empty plan with the given outer bounds.
+    pub fn new(bounds: Aabb) -> Self {
+        Self {
+            bounds,
+            walls: Vec::new(),
+            obstacles: Vec::new(),
+        }
+    }
+
+    /// The outer bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Adds a wall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attenuation is negative or not finite.
+    pub fn add_wall(&mut self, wall: Wall) -> &mut Self {
+        assert!(
+            wall.attenuation_db.is_finite() && wall.attenuation_db >= 0.0,
+            "wall attenuation must be finite and non-negative"
+        );
+        self.walls.push(wall);
+        self
+    }
+
+    /// Adds an impassable obstacle footprint.
+    pub fn add_obstacle(&mut self, obstacle: Polygon) -> &mut Self {
+        self.obstacles.push(obstacle);
+        self
+    }
+
+    /// The walls.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// The obstacles.
+    pub fn obstacles(&self) -> &[Polygon] {
+        &self.obstacles
+    }
+
+    /// Total wall attenuation along the straight radio path `a → b`,
+    /// in dB.
+    pub fn attenuation_db(&self, a: Vec2, b: Vec2) -> f64 {
+        let path = Segment::new(a, b);
+        self.walls
+            .iter()
+            .filter(|w| w.segment.intersects(&path))
+            .map(|w| w.attenuation_db)
+            .sum()
+    }
+
+    /// Number of walls crossed by the straight path `a → b`.
+    pub fn wall_crossings(&self, a: Vec2, b: Vec2) -> usize {
+        let path = Segment::new(a, b);
+        self.walls
+            .iter()
+            .filter(|w| w.segment.intersects(&path))
+            .count()
+    }
+
+    /// Whether one can walk straight from `a` to `b`: both endpoints in
+    /// bounds, no walking-blocking wall crossed, no obstacle blocking.
+    pub fn is_walkable(&self, a: Vec2, b: Vec2) -> bool {
+        if !self.bounds.contains(a) || !self.bounds.contains(b) {
+            return false;
+        }
+        let path = Segment::new(a, b);
+        if self
+            .walls
+            .iter()
+            .any(|w| w.blocks_walking && w.segment.intersects(&path))
+        {
+            return false;
+        }
+        !self.obstacles.iter().any(|o| o.blocks(&path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hall() -> FloorPlan {
+        FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(40.0, 16.0)).unwrap())
+    }
+
+    #[test]
+    fn empty_plan_is_fully_walkable() {
+        let plan = hall();
+        assert!(plan.is_walkable(Vec2::new(1.0, 1.0), Vec2::new(39.0, 15.0)));
+        assert_eq!(
+            plan.attenuation_db(Vec2::new(1.0, 1.0), Vec2::new(39.0, 15.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_is_not_walkable() {
+        let plan = hall();
+        assert!(!plan.is_walkable(Vec2::new(-1.0, 1.0), Vec2::new(5.0, 5.0)));
+        assert!(!plan.is_walkable(Vec2::new(5.0, 5.0), Vec2::new(41.0, 1.0)));
+    }
+
+    #[test]
+    fn walls_attenuate_cumulatively() {
+        let mut plan = hall();
+        plan.add_wall(Wall::partition(
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 16.0),
+            5.0,
+        ));
+        plan.add_wall(Wall::partition(
+            Vec2::new(20.0, 0.0),
+            Vec2::new(20.0, 16.0),
+            3.0,
+        ));
+        let a = Vec2::new(5.0, 8.0);
+        let b = Vec2::new(25.0, 8.0);
+        assert_eq!(plan.attenuation_db(a, b), 8.0);
+        assert_eq!(plan.wall_crossings(a, b), 2);
+        // A path crossing only the first wall.
+        assert_eq!(plan.attenuation_db(a, Vec2::new(15.0, 8.0)), 5.0);
+    }
+
+    #[test]
+    fn partitions_block_walking_but_attenuators_do_not() {
+        let mut plan = hall();
+        plan.add_wall(Wall::partition(
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 16.0),
+            5.0,
+        ));
+        plan.add_wall(Wall::attenuator(
+            Vec2::new(20.0, 0.0),
+            Vec2::new(20.0, 16.0),
+            3.0,
+        ));
+        assert!(!plan.is_walkable(Vec2::new(5.0, 8.0), Vec2::new(15.0, 8.0)));
+        assert!(plan.is_walkable(Vec2::new(15.0, 8.0), Vec2::new(25.0, 8.0)));
+    }
+
+    #[test]
+    fn obstacles_block_walking() {
+        let mut plan = hall();
+        plan.add_obstacle(Polygon::rect(Vec2::new(9.0, 7.0), Vec2::new(11.0, 9.0)).unwrap());
+        assert!(!plan.is_walkable(Vec2::new(5.0, 8.0), Vec2::new(15.0, 8.0)));
+        // Going around (above) is fine.
+        assert!(plan.is_walkable(Vec2::new(5.0, 12.0), Vec2::new(15.0, 12.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_attenuation_panics() {
+        let mut plan = hall();
+        plan.add_wall(Wall::partition(Vec2::ZERO, Vec2::new(1.0, 0.0), -1.0));
+    }
+
+    #[test]
+    fn path_parallel_to_wall_not_attenuated() {
+        let mut plan = hall();
+        plan.add_wall(Wall::partition(
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 8.0),
+            5.0,
+        ));
+        // Walk north of the wall's extent.
+        assert_eq!(
+            plan.attenuation_db(Vec2::new(5.0, 12.0), Vec2::new(15.0, 12.0)),
+            0.0
+        );
+        assert!(plan.is_walkable(Vec2::new(5.0, 12.0), Vec2::new(15.0, 12.0)));
+    }
+}

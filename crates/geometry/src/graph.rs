@@ -1,0 +1,251 @@
+//! The walkable-path graph between reference locations.
+//!
+//! Nodes are [`LocationId`]s; an undirected edge connects two locations a
+//! user can walk between directly (the paper's notion of *adjacent*
+//! locations). [`WalkGraph::from_grid`] derives the graph from a
+//! [`ReferenceGrid`] and a [`FloorPlan`]: 4-neighbors are connected
+//! unless a partition or obstacle blocks the straight aisle between
+//! them — so geographic closeness does not imply adjacency, exactly the
+//! consistency pitfall Sec. IV-A warns about.
+
+use crate::floorplan::FloorPlan;
+use crate::grid::{LocationId, ReferenceGrid};
+use serde::{Deserialize, Serialize};
+
+/// An undirected weighted graph over reference locations.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_geometry::graph::WalkGraph;
+/// use moloc_geometry::grid::{LocationId, ReferenceGrid};
+/// use moloc_geometry::floorplan::FloorPlan;
+/// use moloc_geometry::polygon::Aabb;
+/// use moloc_geometry::Vec2;
+///
+/// let grid = ReferenceGrid::new(Vec2::new(1.0, 3.0), 3, 2, 2.0, 2.0)?;
+/// let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(8.0, 5.0)).unwrap());
+/// let graph = WalkGraph::from_grid(&grid, &plan);
+/// assert!(graph.are_adjacent(LocationId::new(1), LocationId::new(2)));
+/// assert!(!graph.are_adjacent(LocationId::new(1), LocationId::new(6)));
+/// # Ok::<(), moloc_geometry::grid::InvalidGridError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalkGraph {
+    node_count: usize,
+    /// adjacency[i] = sorted list of (neighbor index, edge length).
+    adjacency: Vec<Vec<(usize, f64)>>,
+}
+
+impl WalkGraph {
+    /// Creates a graph with `node_count` isolated nodes.
+    pub fn with_nodes(node_count: usize) -> Self {
+        Self {
+            node_count,
+            adjacency: vec![Vec::new(); node_count],
+        }
+    }
+
+    /// Builds the walkable graph of a reference grid inside a floor
+    /// plan: 4-neighbor cells are joined when the straight segment
+    /// between them is walkable.
+    pub fn from_grid(grid: &ReferenceGrid, plan: &FloorPlan) -> Self {
+        let mut g = Self::with_nodes(grid.len());
+        for id in grid.ids() {
+            for n in grid.neighbors4(id) {
+                if n > id && plan.is_walkable(grid.position(id), grid.position(n)) {
+                    g.add_edge(id, n, grid.distance(id, n));
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Adds an undirected edge. Re-adding an existing edge updates its
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range, the ids are equal, or the
+    /// length is not finite and positive.
+    pub fn add_edge(&mut self, a: LocationId, b: LocationId, length: f64) {
+        assert!(a != b, "self-loops are not allowed");
+        assert!(
+            length.is_finite() && length > 0.0,
+            "edge length must be finite and positive"
+        );
+        let (ia, ib) = (self.check_index(a), self.check_index(b));
+        Self::upsert(&mut self.adjacency[ia], ib, length);
+        Self::upsert(&mut self.adjacency[ib], ia, length);
+    }
+
+    fn upsert(list: &mut Vec<(usize, f64)>, target: usize, length: f64) {
+        match list.iter_mut().find(|(n, _)| *n == target) {
+            Some(entry) => entry.1 = length,
+            None => {
+                list.push((target, length));
+                list.sort_by_key(|&(n, _)| n);
+            }
+        }
+    }
+
+    fn check_index(&self, id: LocationId) -> usize {
+        let idx = id.index();
+        assert!(idx < self.node_count, "{id} out of range for graph");
+        idx
+    }
+
+    /// Whether an edge joins `a` and `b`.
+    pub fn are_adjacent(&self, a: LocationId, b: LocationId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ia, ib) = (self.check_index(a), self.check_index(b));
+        self.adjacency[ia].iter().any(|&(n, _)| n == ib)
+    }
+
+    /// The edge length between adjacent nodes, `None` otherwise.
+    pub fn edge_length(&self, a: LocationId, b: LocationId) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        let (ia, ib) = (self.check_index(a), self.check_index(b));
+        self.adjacency[ia]
+            .iter()
+            .find(|&&(n, _)| n == ib)
+            .map(|&(_, l)| l)
+    }
+
+    /// The neighbors of `a` with edge lengths.
+    pub fn neighbors(&self, a: LocationId) -> impl Iterator<Item = (LocationId, f64)> + '_ {
+        let ia = self.check_index(a);
+        self.adjacency[ia]
+            .iter()
+            .map(|&(n, l)| (LocationId::from_index(n), l))
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, a: LocationId) -> usize {
+        let ia = self.check_index(a);
+        self.adjacency[ia].len()
+    }
+
+    /// Iterates over all undirected edges once (a < b).
+    pub fn edges(&self) -> impl Iterator<Item = (LocationId, LocationId, f64)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(ia, list)| {
+            list.iter()
+                .filter(move |&&(ib, _)| ia < ib)
+                .map(move |&(ib, l)| (LocationId::from_index(ia), LocationId::from_index(ib), l))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Wall;
+    use crate::polygon::Aabb;
+    use crate::vec2::Vec2;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn grid_3x2() -> ReferenceGrid {
+        // ids: 1 2 3 / 4 5 6, spacing 2 m.
+        ReferenceGrid::new(Vec2::new(1.0, 3.0), 3, 2, 2.0, 2.0).unwrap()
+    }
+
+    fn open_plan() -> FloorPlan {
+        FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(8.0, 5.0)).unwrap())
+    }
+
+    #[test]
+    fn open_grid_connects_all_neighbors() {
+        let g = WalkGraph::from_grid(&grid_3x2(), &open_plan());
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 7); // 4 horizontal + 3 vertical
+        assert!(g.are_adjacent(l(1), l(2)));
+        assert!(g.are_adjacent(l(2), l(5)));
+        assert!(!g.are_adjacent(l(1), l(5))); // diagonal
+        assert!(!g.are_adjacent(l(1), l(3))); // two apart
+    }
+
+    #[test]
+    fn partition_cuts_an_edge() {
+        let grid = grid_3x2();
+        let mut plan = open_plan();
+        // Vertical partition between columns 1 and 2, full height.
+        plan.add_wall(Wall::partition(
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 5.0),
+            5.0,
+        ));
+        let g = WalkGraph::from_grid(&grid, &plan);
+        assert!(!g.are_adjacent(l(1), l(2)));
+        assert!(!g.are_adjacent(l(4), l(5)));
+        assert!(g.are_adjacent(l(2), l(3)));
+        assert!(g.are_adjacent(l(1), l(4)));
+    }
+
+    #[test]
+    fn edge_lengths_match_grid_spacing() {
+        let g = WalkGraph::from_grid(&grid_3x2(), &open_plan());
+        assert!((g.edge_length(l(1), l(2)).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(g.edge_length(l(1), l(5)), None);
+        assert_eq!(g.edge_length(l(1), l(1)), None);
+    }
+
+    #[test]
+    fn add_edge_updates_existing() {
+        let mut g = WalkGraph::with_nodes(3);
+        g.add_edge(l(1), l(2), 1.0);
+        g.add_edge(l(1), l(2), 2.5);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_length(l(1), l(2)), Some(2.5));
+        assert_eq!(g.edge_length(l(2), l(1)), Some(2.5));
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let g = WalkGraph::from_grid(&grid_3x2(), &open_plan());
+        let n: Vec<_> = g.neighbors(l(2)).map(|(id, _)| id).collect();
+        assert_eq!(n, vec![l(1), l(3), l(5)]);
+        assert_eq!(g.degree(l(2)), 3);
+        assert_eq!(g.degree(l(1)), 2);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = WalkGraph::from_grid(&grid_3x2(), &open_plan());
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        for (a, b, _) in edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = WalkGraph::with_nodes(2);
+        g.add_edge(l(1), l(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_node_panics() {
+        let mut g = WalkGraph::with_nodes(2);
+        g.add_edge(l(1), l(5), 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! 2-D geometry and floor-plan substrate for the MoLoc reproduction.
+//!
+//! MoLoc's evaluation happens in a physical office hall; this crate is the
+//! simulated counterpart:
+//!
+//! * [`vec2`] — points/vectors and compass bearings between them.
+//! * [`segment`] — line segments with robust intersection tests (walls
+//!   crossing walking paths and radio paths).
+//! * [`polygon`] — simple polygons for furniture/obstacle footprints.
+//! * [`floorplan`] — a floor plan with attenuating walls and impassable
+//!   obstacles.
+//! * [`grid`] — the reference-location grid (the paper's 28 circles of
+//!   Fig. 5) and the [`grid::LocationId`] newtype used across the stack.
+//! * [`graph`] — the walkable-path graph between adjacent reference
+//!   locations.
+//! * [`shortest_path`] — Dijkstra walkable distances, the ground truth
+//!   against which crowdsourced offsets are sanity-checked.
+//!
+//! # Examples
+//!
+//! ```
+//! use moloc_geometry::vec2::Vec2;
+//!
+//! let a = Vec2::new(0.0, 0.0);
+//! let b = Vec2::new(0.0, 5.0);
+//! // North is bearing 0°.
+//! assert!((a.bearing_deg_to(b) - 0.0).abs() < 1e-9);
+//! assert!((a.dist(b) - 5.0).abs() < 1e-12);
+//! ```
+
+pub mod floorplan;
+pub mod graph;
+pub mod grid;
+pub mod polygon;
+pub mod segment;
+pub mod shortest_path;
+pub mod vec2;
+
+pub use floorplan::{FloorPlan, Wall};
+pub use graph::WalkGraph;
+pub use grid::{LocationId, ReferenceGrid};
+pub use segment::Segment;
+pub use vec2::Vec2;

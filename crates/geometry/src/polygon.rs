@@ -1,0 +1,254 @@
+//! Simple polygons and axis-aligned boxes.
+//!
+//! Polygons model furniture/column footprints that block walking;
+//! [`Aabb`] models the hall's outer boundary.
+
+use crate::segment::Segment;
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_geometry::polygon::Aabb;
+/// use moloc_geometry::Vec2;
+///
+/// let hall = Aabb::new(Vec2::ZERO, Vec2::new(40.8, 16.0)).unwrap();
+/// assert!(hall.contains(Vec2::new(20.0, 8.0)));
+/// assert!(!hall.contains(Vec2::new(-1.0, 8.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    min: Vec2,
+    max: Vec2,
+}
+
+/// Error constructing a degenerate [`Aabb`] or [`Polygon`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidShapeError;
+
+impl std::fmt::Display for InvalidShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shape is degenerate (empty box or fewer than 3 vertices)"
+        )
+    }
+}
+
+impl std::error::Error for InvalidShapeError {}
+
+impl Aabb {
+    /// Creates a box from its min and max corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidShapeError`] when `min` is not strictly below
+    /// `max` in both coordinates.
+    pub fn new(min: Vec2, max: Vec2) -> Result<Self, InvalidShapeError> {
+        if min.x >= max.x || min.y >= max.y {
+            return Err(InvalidShapeError);
+        }
+        Ok(Self { min, max })
+    }
+
+    /// The min corner.
+    pub fn min(&self) -> Vec2 {
+        self.min
+    }
+
+    /// The max corner.
+    pub fn max(&self) -> Vec2 {
+        self.max
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Whether the point lies inside or on the boundary.
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The center point.
+    pub fn center(&self) -> Vec2 {
+        self.min.lerp(self.max, 0.5)
+    }
+}
+
+/// A simple polygon given by its vertices in order.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_geometry::polygon::Polygon;
+/// use moloc_geometry::Vec2;
+///
+/// let square = Polygon::new(vec![
+///     Vec2::new(0.0, 0.0),
+///     Vec2::new(1.0, 0.0),
+///     Vec2::new(1.0, 1.0),
+///     Vec2::new(0.0, 1.0),
+/// ])?;
+/// assert!(square.contains(Vec2::new(0.5, 0.5)));
+/// # Ok::<(), moloc_geometry::polygon::InvalidShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Vec2>,
+}
+
+impl Polygon {
+    /// Creates a polygon from at least three vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidShapeError`] with fewer than three vertices.
+    pub fn new(vertices: Vec<Vec2>) -> Result<Self, InvalidShapeError> {
+        if vertices.len() < 3 {
+            return Err(InvalidShapeError);
+        }
+        Ok(Self { vertices })
+    }
+
+    /// An axis-aligned rectangle polygon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidShapeError`] for an empty box.
+    pub fn rect(min: Vec2, max: Vec2) -> Result<Self, InvalidShapeError> {
+        let b = Aabb::new(min, max)?;
+        Self::new(vec![
+            b.min(),
+            Vec2::new(b.max().x, b.min().y),
+            b.max(),
+            Vec2::new(b.min().x, b.max().y),
+        ])
+    }
+
+    /// The vertices.
+    pub fn vertices(&self) -> &[Vec2] {
+        &self.vertices
+    }
+
+    /// Iterates over the boundary edges.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Point-in-polygon by ray casting (boundary points may go either
+    /// way; obstacles in the simulator are used with strictly interior or
+    /// strictly exterior queries).
+    pub fn contains(&self, p: Vec2) -> bool {
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (vi, vj) = (self.vertices[i], self.vertices[j]);
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Whether a segment crosses the polygon boundary or has an endpoint
+    /// strictly inside — i.e. whether walking along `s` is blocked by
+    /// this obstacle.
+    pub fn blocks(&self, s: &Segment) -> bool {
+        self.contains(s.a) || self.contains(s.b) || self.edges().any(|e| e.intersects(&s.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rect(Vec2::ZERO, Vec2::new(1.0, 1.0)).unwrap()
+    }
+
+    #[test]
+    fn aabb_rejects_degenerate() {
+        assert!(Aabb::new(Vec2::ZERO, Vec2::ZERO).is_err());
+        assert!(Aabb::new(Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn aabb_contains_boundary() {
+        let b = Aabb::new(Vec2::ZERO, Vec2::new(2.0, 2.0)).unwrap();
+        assert!(b.contains(Vec2::ZERO));
+        assert!(b.contains(Vec2::new(2.0, 2.0)));
+        assert!(!b.contains(Vec2::new(2.0, 2.1)));
+        assert_eq!(b.center(), Vec2::new(1.0, 1.0));
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 2.0);
+    }
+
+    #[test]
+    fn polygon_needs_three_vertices() {
+        assert!(Polygon::new(vec![Vec2::ZERO, Vec2::new(1.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn point_in_square() {
+        let sq = unit_square();
+        assert!(sq.contains(Vec2::new(0.5, 0.5)));
+        assert!(!sq.contains(Vec2::new(1.5, 0.5)));
+        assert!(!sq.contains(Vec2::new(-0.5, 0.5)));
+    }
+
+    #[test]
+    fn point_in_concave_polygon() {
+        // L-shape: the notch at the top-right is outside.
+        let l = Polygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 2.0),
+            Vec2::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(l.contains(Vec2::new(0.5, 1.5)));
+        assert!(l.contains(Vec2::new(1.5, 0.5)));
+        assert!(!l.contains(Vec2::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn edges_close_the_loop() {
+        let sq = unit_square();
+        let edges: Vec<_> = sq.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].b, edges[0].a);
+        let perimeter: f64 = edges.iter().map(Segment::length).sum();
+        assert!((perimeter - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocks_detects_crossing_and_containment() {
+        let sq = unit_square();
+        // Passes straight through.
+        let through = Segment::new(Vec2::new(-1.0, 0.5), Vec2::new(2.0, 0.5));
+        assert!(sq.blocks(&through));
+        // Fully outside.
+        let outside = Segment::new(Vec2::new(-1.0, 2.0), Vec2::new(2.0, 2.0));
+        assert!(!sq.blocks(&outside));
+        // One endpoint inside.
+        let dangling = Segment::new(Vec2::new(0.5, 0.5), Vec2::new(3.0, 3.0));
+        assert!(sq.blocks(&dangling));
+    }
+}

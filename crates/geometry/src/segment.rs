@@ -1,0 +1,204 @@
+//! Line segments and intersection predicates.
+//!
+//! Segments model walls and partition boards; the key query is whether a
+//! walking path or radio path between two points crosses a wall.
+
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A directed line segment from `a` to `b`.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_geometry::{Segment, Vec2};
+///
+/// let s = Segment::new(Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0));
+/// let t = Segment::new(Vec2::new(1.0, -1.0), Vec2::new(1.0, 1.0));
+/// assert!(s.intersects(&t));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub a: Vec2,
+    /// End point.
+    pub b: Vec2,
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    pub fn new(a: Vec2, b: Vec2) -> Self {
+        Self { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// The midpoint.
+    pub fn midpoint(&self) -> Vec2 {
+        self.a.lerp(self.b, 0.5)
+    }
+
+    /// Whether two segments intersect (including touching endpoints and
+    /// collinear overlap).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        orientation_based_intersect(self.a, self.b, other.a, other.b)
+    }
+
+    /// The intersection point when the segments cross at a single point
+    /// (not collinear overlap), `None` otherwise.
+    pub fn intersection_point(&self, other: &Segment) -> Option<Vec2> {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        if denom.abs() < 1e-12 {
+            return None; // parallel or collinear
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (0.0..=1.0).contains(&t) && (0.0..=1.0).contains(&u) {
+            Some(self.a + r * t)
+        } else {
+            None
+        }
+    }
+
+    /// Minimum distance from a point to this segment.
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        let d = self.b - self.a;
+        let len_sq = d.norm_sq();
+        if len_sq < 1e-24 {
+            return self.a.dist(p);
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        (self.a + d * t).dist(p)
+    }
+
+    /// The segment with endpoints swapped.
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+}
+
+fn orient(a: Vec2, b: Vec2, c: Vec2) -> i8 {
+    let v = (b - a).cross(c - a);
+    if v > 1e-12 {
+        1
+    } else if v < -1e-12 {
+        -1
+    } else {
+        0
+    }
+}
+
+fn on_segment(a: Vec2, b: Vec2, p: Vec2) -> bool {
+    p.x >= a.x.min(b.x) - 1e-12
+        && p.x <= a.x.max(b.x) + 1e-12
+        && p.y >= a.y.min(b.y) - 1e-12
+        && p.y <= a.y.max(b.y) + 1e-12
+}
+
+fn orientation_based_intersect(p1: Vec2, p2: Vec2, p3: Vec2, p4: Vec2) -> bool {
+    let o1 = orient(p1, p2, p3);
+    let o2 = orient(p1, p2, p4);
+    let o3 = orient(p3, p4, p1);
+    let o4 = orient(p3, p4, p2);
+    if o1 != o2 && o3 != o4 {
+        return true;
+    }
+    (o1 == 0 && on_segment(p1, p2, p3))
+        || (o2 == 0 && on_segment(p1, p2, p4))
+        || (o3 == 0 && on_segment(p3, p4, p1))
+        || (o4 == 0 && on_segment(p3, p4, p2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Vec2::new(ax, ay), Vec2::new(bx, by))
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        let t = seg(0.0, 2.0, 2.0, 0.0);
+        assert!(s.intersects(&t));
+        let p = s.intersection_point(&t).unwrap();
+        assert!(p.dist(Vec2::new(1.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_segments_do_not_intersect() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!s.intersects(&t));
+        assert!(s.intersection_point(&t).is_none());
+    }
+
+    #[test]
+    fn touching_endpoint_counts_as_intersection() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(1.0, 0.0, 1.0, 1.0);
+        assert!(s.intersects(&t));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects_without_point() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        let t = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(s.intersects(&t));
+        // Not a single crossing point.
+        assert!(s.intersection_point(&t).is_none());
+    }
+
+    #[test]
+    fn collinear_disjoint_does_not_intersect() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(2.0, 0.0, 3.0, 0.0);
+        assert!(!s.intersects(&t));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_cross() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        let t = seg(1.0, 0.0, 3.0, 2.0);
+        assert!(!s.intersects(&t));
+    }
+
+    #[test]
+    fn near_miss_does_not_intersect() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(0.5, 1e-6, 0.5, 1.0);
+        assert!(!s.intersects(&t));
+    }
+
+    #[test]
+    fn distance_to_point_cases() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        // Perpendicular foot inside the segment.
+        assert!((s.distance_to_point(Vec2::new(1.0, 3.0)) - 3.0).abs() < 1e-12);
+        // Past the end: distance to endpoint.
+        assert!((s.distance_to_point(Vec2::new(5.0, 0.0)) - 3.0).abs() < 1e-12);
+        // On the segment.
+        assert!(s.distance_to_point(Vec2::new(0.5, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert!((s.distance_to_point(Vec2::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), Vec2::new(1.5, 2.0));
+        assert_eq!(s.reversed().a, s.b);
+    }
+}

@@ -1,0 +1,242 @@
+//! Points and vectors in the plane, with compass bearings.
+//!
+//! The workspace convention for directions follows the paper's digital
+//! compass: bearings are degrees in `[0, 360)` with **0° = north (+y)**
+//! increasing **clockwise**, so east (+x) is 90°.
+
+use moloc_stats::circular::normalize_deg;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point or displacement in the plane, in meters.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_geometry::vec2::Vec2;
+///
+/// let p = Vec2::new(1.0, 2.0) + Vec2::new(3.0, -1.0);
+/// assert_eq!(p, Vec2::new(4.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East coordinate in meters.
+    pub x: f64,
+    /// North coordinate in meters.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// The 2-D cross product (z-component of the 3-D cross product).
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(self, other: Vec2) -> f64 {
+        (other - self).norm()
+    }
+
+    /// The unit vector in the same direction, or `None` for (near-)zero
+    /// vectors.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// The compass bearing from `self` to `to`: 0° = north (+y),
+    /// clockwise, in `[0, 360)`.
+    ///
+    /// Returns 0 for coincident points (callers should treat zero-length
+    /// displacements separately; see [`Vec2::bearing_deg_to_checked`]).
+    pub fn bearing_deg_to(self, to: Vec2) -> f64 {
+        self.bearing_deg_to_checked(to).unwrap_or(0.0)
+    }
+
+    /// Like [`Vec2::bearing_deg_to`], but `None` for coincident points.
+    pub fn bearing_deg_to_checked(self, to: Vec2) -> Option<f64> {
+        let d = to - self;
+        if d.norm() < 1e-12 {
+            return None;
+        }
+        Some(normalize_deg(d.x.atan2(d.y).to_degrees()))
+    }
+
+    /// The displacement of walking `distance` meters along compass
+    /// `bearing_deg` from `self`.
+    pub fn walk(self, bearing_deg: f64, distance: f64) -> Vec2 {
+        let rad = bearing_deg.to_radians();
+        self + Vec2::new(rad.sin(), rad.cos()) * distance
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl std::fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(-3.0, 0.5);
+        assert_eq!(a + b - b, a);
+        assert_eq!(-(-a), a);
+        assert_eq!(a * 2.0 / 2.0, a);
+        assert_eq!(a + Vec2::ZERO, a);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let e1 = Vec2::new(1.0, 0.0);
+        let e2 = Vec2::new(0.0, 1.0);
+        assert_eq!(e1.dot(e2), 0.0);
+        assert_eq!(e1.cross(e2), 1.0);
+        assert_eq!(e2.cross(e1), -1.0);
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(Vec2::ZERO.dist(a), 5.0);
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vec2::new(10.0, -4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!(Vec2::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn bearings_follow_compass_convention() {
+        let o = Vec2::ZERO;
+        assert!((o.bearing_deg_to(Vec2::new(0.0, 1.0)) - 0.0).abs() < 1e-9); // N
+        assert!((o.bearing_deg_to(Vec2::new(1.0, 0.0)) - 90.0).abs() < 1e-9); // E
+        assert!((o.bearing_deg_to(Vec2::new(0.0, -1.0)) - 180.0).abs() < 1e-9); // S
+        assert!((o.bearing_deg_to(Vec2::new(-1.0, 0.0)) - 270.0).abs() < 1e-9); // W
+        assert!((o.bearing_deg_to(Vec2::new(1.0, 1.0)) - 45.0).abs() < 1e-9); // NE
+    }
+
+    #[test]
+    fn bearing_of_coincident_points() {
+        let p = Vec2::new(2.0, 2.0);
+        assert_eq!(p.bearing_deg_to_checked(p), None);
+        assert_eq!(p.bearing_deg_to(p), 0.0);
+    }
+
+    #[test]
+    fn walk_inverts_bearing() {
+        let from = Vec2::new(5.0, -2.0);
+        for bearing in [0.0, 37.0, 90.0, 210.5, 359.0] {
+            let to = from.walk(bearing, 7.5);
+            assert!((from.dist(to) - 7.5).abs() < 1e-9);
+            assert!((from.bearing_deg_to(to) - bearing).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Vec2::new(1.0, 2.5).to_string(), "(1.000, 2.500)");
+    }
+}

@@ -1,0 +1,29 @@
+//! Mobility substrate for the MoLoc reproduction.
+//!
+//! The paper's evaluation is trace-driven: four users with diverse
+//! height and walking speed randomly walked the office hall's aisles for
+//! half an hour each, producing 184 traces. This crate generates the
+//! simulated counterpart:
+//!
+//! * [`user`] — user profiles (height → step length, speed, gait
+//!   vigour, how they hold the phone).
+//! * [`walk`] — seeded random walks over the walkable aisle graph.
+//! * [`trajectory`] — timed paths with ground-truth pass events at
+//!   reference locations.
+//! * [`render`] — full sensor traces: accelerometer + compass at 10 Hz
+//!   and an RSS scan at every reference-location pass.
+//! * [`intervals`] — per-interval motion measurements (raw direction,
+//!   CSC/DSC step counts) extracted from a rendered trace.
+//! * [`corpus`] — bulk trace generation with train/test splits.
+
+pub mod corpus;
+pub mod intervals;
+pub mod render;
+pub mod trajectory;
+pub mod user;
+pub mod walk;
+
+pub use corpus::TraceCorpus;
+pub use render::SensorTrace;
+pub use trajectory::{PassEvent, Trajectory};
+pub use user::UserProfile;

@@ -1,0 +1,205 @@
+//! User profiles.
+//!
+//! Each simulated walker carries the physical attributes the paper's
+//! pipeline consumes: height/weight (→ step length via the stride
+//! model), walking speed (→ step period), gait vigour (accelerometer
+//! amplitude), and how they hold the phone (compass placement offset and
+//! noise).
+
+use moloc_sensors::accel::GaitSynthesizer;
+use moloc_sensors::compass::CompassSynthesizer;
+use moloc_sensors::noise::NoiseModel;
+use moloc_sensors::stride::StepLengthModel;
+use serde::{Deserialize, Serialize};
+
+/// A simulated walker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Identifier for reporting.
+    pub id: u32,
+    /// Height in meters.
+    pub height_m: f64,
+    /// Weight in kilograms.
+    pub weight_kg: f64,
+    /// Walking speed in m/s.
+    pub speed_mps: f64,
+    /// Accelerometer gait amplitude in m/s².
+    pub gait_amplitude: f64,
+    /// Accelerometer white-noise sigma in m/s².
+    pub accel_noise_sigma: f64,
+    /// Constant offset between phone orientation and motion direction,
+    /// degrees.
+    pub placement_offset_deg: f64,
+    /// Compass white-noise sigma in degrees.
+    pub compass_noise_deg: f64,
+    /// Constant compass bias in degrees (device hard-iron error).
+    pub compass_bias_deg: f64,
+    /// Ratio of the user's *actual* step length to the height/weight
+    /// model's prediction. Real gaits deviate from the model by a few
+    /// percent; this is the offset-measurement error source the paper's
+    /// Fig. 6(b) reflects.
+    pub step_length_model_ratio: f64,
+}
+
+impl UserProfile {
+    /// The user's *modeled* step length — what the localization
+    /// pipeline believes, from height and weight.
+    pub fn step_length_m(&self) -> f64 {
+        StepLengthModel::default().step_length_m(self.height_m, self.weight_kg)
+    }
+
+    /// The user's *actual* step length, including the model error.
+    pub fn actual_step_length_m(&self) -> f64 {
+        self.step_length_m() * self.step_length_model_ratio
+    }
+
+    /// The user's step period (`actual step length / speed`), seconds —
+    /// physical, so it uses the actual stride.
+    pub fn step_period_s(&self) -> f64 {
+        self.actual_step_length_m() / self.speed_mps
+    }
+
+    /// The gait synthesizer for this user.
+    pub fn gait(&self) -> GaitSynthesizer {
+        GaitSynthesizer {
+            amplitude: self.gait_amplitude,
+            harmonic_ratio: 0.3,
+            noise: NoiseModel::new(0.0, self.accel_noise_sigma),
+        }
+    }
+
+    /// The compass synthesizer for this user's phone placement.
+    pub fn compass(&self) -> CompassSynthesizer {
+        CompassSynthesizer::new(
+            self.placement_offset_deg,
+            self.compass_noise_deg,
+            self.compass_bias_deg,
+        )
+    }
+
+    /// Validates physical plausibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive height, weight, or speed.
+    pub fn validate(&self) {
+        assert!(self.height_m > 0.0, "height must be positive");
+        assert!(self.weight_kg > 0.0, "weight must be positive");
+        assert!(self.speed_mps > 0.0, "speed must be positive");
+        assert!(self.gait_amplitude > 0.0, "gait amplitude must be positive");
+        assert!(self.accel_noise_sigma >= 0.0 && self.compass_noise_deg >= 0.0);
+    }
+}
+
+/// The four walkers of the paper's evaluation: "4 users with diverse
+/// height and walking speed" (Sec. VI-A).
+pub fn paper_users() -> Vec<UserProfile> {
+    vec![
+        UserProfile {
+            id: 1,
+            height_m: 1.58,
+            weight_kg: 52.0,
+            speed_mps: 0.95,
+            gait_amplitude: 2.2,
+            accel_noise_sigma: 0.25,
+            placement_offset_deg: 15.0,
+            compass_noise_deg: 6.0,
+            compass_bias_deg: 4.0,
+            step_length_model_ratio: 0.97,
+        },
+        UserProfile {
+            id: 2,
+            height_m: 1.70,
+            weight_kg: 65.0,
+            speed_mps: 1.15,
+            gait_amplitude: 2.8,
+            accel_noise_sigma: 0.25,
+            placement_offset_deg: -40.0,
+            compass_noise_deg: 5.0,
+            compass_bias_deg: -6.0,
+            step_length_model_ratio: 1.04,
+        },
+        UserProfile {
+            id: 3,
+            height_m: 1.78,
+            weight_kg: 74.0,
+            speed_mps: 1.30,
+            gait_amplitude: 3.1,
+            accel_noise_sigma: 0.3,
+            placement_offset_deg: 75.0,
+            compass_noise_deg: 7.0,
+            compass_bias_deg: 5.0,
+            step_length_model_ratio: 0.98,
+        },
+        UserProfile {
+            id: 4,
+            height_m: 1.88,
+            weight_kg: 85.0,
+            speed_mps: 1.40,
+            gait_amplitude: 3.4,
+            accel_noise_sigma: 0.3,
+            placement_offset_deg: -110.0,
+            compass_noise_deg: 6.0,
+            compass_bias_deg: -3.0,
+            step_length_model_ratio: 1.03,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_users_are_four_and_diverse() {
+        let users = paper_users();
+        assert_eq!(users.len(), 4);
+        for u in &users {
+            u.validate();
+        }
+        let min_h = users.iter().map(|u| u.height_m).fold(f64::MAX, f64::min);
+        let max_h = users.iter().map(|u| u.height_m).fold(f64::MIN, f64::max);
+        assert!(max_h - min_h > 0.2, "heights should be diverse");
+    }
+
+    #[test]
+    fn step_lengths_are_plausible() {
+        for u in paper_users() {
+            let l = u.step_length_m();
+            assert!((0.6..0.85).contains(&l), "user {}: {l}", u.id);
+        }
+    }
+
+    #[test]
+    fn step_period_consistent_with_speed() {
+        let u = &paper_users()[1];
+        let period = u.step_period_s();
+        assert!((period * u.speed_mps - u.actual_step_length_m()).abs() < 1e-12);
+        assert!((0.4..0.9).contains(&period));
+    }
+
+    #[test]
+    fn actual_step_length_carries_model_error() {
+        for u in paper_users() {
+            let ratio = u.actual_step_length_m() / u.step_length_m();
+            assert!((ratio - u.step_length_model_ratio).abs() < 1e-12);
+            assert!((0.9..1.1).contains(&ratio), "user {}: ratio {ratio}", u.id);
+            assert_ne!(u.step_length_model_ratio, 1.0, "model error must exist");
+        }
+    }
+
+    #[test]
+    fn sensor_factories_reflect_profile() {
+        let u = &paper_users()[2];
+        assert_eq!(u.gait().amplitude, 3.1);
+        assert_eq!(u.compass().placement_offset_deg, 75.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn invalid_speed_rejected() {
+        let mut u = paper_users()[0];
+        u.speed_mps = 0.0;
+        u.validate();
+    }
+}

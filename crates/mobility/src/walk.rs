@@ -1,0 +1,164 @@
+//! Seeded random walks on the walkable aisle graph.
+//!
+//! The crowdsourcing users "randomly walked along the aisles"
+//! (Sec. VI-A); [`random_walk`] reproduces that: start anywhere, repeat
+//! "pick a random neighbor, preferring not to immediately backtrack".
+
+use moloc_geometry::{LocationId, WalkGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates a random walk of `segments + 1` reference locations over
+/// the graph, starting at a uniformly random node.
+///
+/// Immediate backtracking (`a → b → a`) is avoided whenever the current
+/// node has another neighbor, matching how people wander aisles. Nodes
+/// with no neighbors end the walk early.
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+pub fn random_walk<R: Rng + ?Sized>(
+    graph: &WalkGraph,
+    segments: usize,
+    rng: &mut R,
+) -> Vec<LocationId> {
+    assert!(graph.node_count() > 0, "graph must have nodes");
+    let start = LocationId::from_index(rng.gen_range(0..graph.node_count()));
+    random_walk_from(graph, start, segments, rng)
+}
+
+/// Like [`random_walk`] but with an explicit start node.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range for the graph.
+pub fn random_walk_from<R: Rng + ?Sized>(
+    graph: &WalkGraph,
+    start: LocationId,
+    segments: usize,
+    rng: &mut R,
+) -> Vec<LocationId> {
+    assert!(
+        start.index() < graph.node_count(),
+        "{start} out of range for graph"
+    );
+    let mut path = Vec::with_capacity(segments + 1);
+    path.push(start);
+    let mut previous: Option<LocationId> = None;
+    let mut current = start;
+    for _ in 0..segments {
+        let neighbors: Vec<LocationId> = graph.neighbors(current).map(|(id, _)| id).collect();
+        if neighbors.is_empty() {
+            break;
+        }
+        let non_backtracking: Vec<LocationId> = neighbors
+            .iter()
+            .copied()
+            .filter(|&n| Some(n) != previous)
+            .collect();
+        let pool = if non_backtracking.is_empty() {
+            &neighbors
+        } else {
+            &non_backtracking
+        };
+        let next = *pool.choose(rng).expect("pool is non-empty");
+        previous = Some(current);
+        path.push(next);
+        current = next;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_geometry::floorplan::FloorPlan;
+    use moloc_geometry::polygon::Aabb;
+    use moloc_geometry::{ReferenceGrid, Vec2};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn world() -> WalkGraph {
+        let grid = ReferenceGrid::new(Vec2::new(1.0, 7.0), 4, 4, 2.0, 2.0).unwrap();
+        let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(9.0, 9.0)).unwrap());
+        WalkGraph::from_grid(&grid, &plan)
+    }
+
+    #[test]
+    fn walk_has_requested_length_and_valid_edges() {
+        let g = world();
+        let mut rng = StdRng::seed_from_u64(1);
+        let path = random_walk(&g, 30, &mut rng);
+        assert_eq!(path.len(), 31);
+        for w in path.windows(2) {
+            assert!(g.are_adjacent(w[0], w[1]), "{} !~ {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn walk_avoids_immediate_backtracking_when_possible() {
+        let g = world();
+        let mut rng = StdRng::seed_from_u64(2);
+        let path = random_walk(&g, 200, &mut rng);
+        let backtracks = path.windows(3).filter(|w| w[0] == w[2]).count();
+        // Interior nodes always offer an alternative; only degree-1
+        // dead-ends could force backtracking, and this grid has none.
+        assert_eq!(backtracks, 0);
+    }
+
+    #[test]
+    fn walk_from_fixed_start() {
+        let g = world();
+        let mut rng = StdRng::seed_from_u64(3);
+        let path = random_walk_from(&g, l(6), 10, &mut rng);
+        assert_eq!(path[0], l(6));
+        assert_eq!(path.len(), 11);
+    }
+
+    #[test]
+    fn isolated_node_ends_walk() {
+        let g = WalkGraph::with_nodes(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let path = random_walk_from(&g, l(2), 10, &mut rng);
+        assert_eq!(path, vec![l(2)]);
+    }
+
+    #[test]
+    fn dead_end_backtracks_rather_than_stalls() {
+        // 1 - 2 - 3 as a path graph: from 1, a long walk must bounce.
+        let mut g = WalkGraph::with_nodes(3);
+        g.add_edge(l(1), l(2), 1.0);
+        g.add_edge(l(2), l(3), 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let path = random_walk_from(&g, l(1), 6, &mut rng);
+        assert_eq!(path.len(), 7);
+        for w in path.windows(2) {
+            assert!(g.are_adjacent(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn walks_are_reproducible_and_seed_sensitive() {
+        let g = world();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_walk(&g, 50, &mut rng)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn long_walks_cover_most_of_the_grid() {
+        let g = world();
+        let mut rng = StdRng::seed_from_u64(11);
+        let path = random_walk(&g, 400, &mut rng);
+        let distinct: std::collections::HashSet<_> = path.iter().collect();
+        assert!(distinct.len() >= 12, "covered {} of 16", distinct.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the mobility substrate.
+
+use moloc_geometry::polygon::Aabb;
+use moloc_geometry::{FloorPlan, LocationId, ReferenceGrid, Vec2, WalkGraph};
+use moloc_mobility::trajectory::Trajectory;
+use moloc_mobility::user::{paper_users, UserProfile};
+use moloc_mobility::walk::{random_walk, random_walk_from};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn world(cols: u32, rows: u32) -> (ReferenceGrid, WalkGraph) {
+    let grid = ReferenceGrid::new(Vec2::new(2.0, 50.0), cols, rows, 3.0, 3.0).unwrap();
+    let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(100.0, 100.0)).unwrap());
+    let graph = WalkGraph::from_grid(&grid, &plan);
+    (grid, graph)
+}
+
+fn user() -> UserProfile {
+    paper_users()[1]
+}
+
+proptest! {
+    #[test]
+    fn walks_stay_on_graph_edges(
+        cols in 2u32..7, rows in 2u32..5,
+        segments in 1usize..60,
+        seed in 0u64..300,
+    ) {
+        let (_, graph) = world(cols, rows);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = random_walk(&graph, segments, &mut rng);
+        prop_assert_eq!(path.len(), segments + 1);
+        for w in path.windows(2) {
+            prop_assert!(graph.are_adjacent(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn walks_from_every_start_are_valid(
+        start in 0usize..20,
+        seed in 0u64..100,
+    ) {
+        let (_, graph) = world(5, 4);
+        let start = LocationId::from_index(start % graph.node_count());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = random_walk_from(&graph, start, 10, &mut rng);
+        prop_assert_eq!(path[0], start);
+    }
+
+    #[test]
+    fn trajectory_times_are_strictly_increasing(
+        segments in 1usize..40,
+        seed in 0u64..200,
+        speed in 0.5..2.0f64,
+    ) {
+        let (grid, graph) = world(5, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = random_walk(&graph, segments, &mut rng);
+        let mut u = user();
+        u.speed_mps = speed;
+        let traj = Trajectory::from_path(&path, &grid, &u).unwrap();
+        for w in traj.passes().windows(2) {
+            prop_assert!(w[1].time > w[0].time);
+        }
+        // Total duration = total path length / speed.
+        let length: f64 = path.windows(2).map(|w| grid.distance(w[0], w[1])).sum();
+        prop_assert!((traj.duration() - length / speed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn position_at_pass_times_is_the_pass_position(
+        segments in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        let (grid, graph) = world(4, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = random_walk(&graph, segments, &mut rng);
+        let traj = Trajectory::from_path(&path, &grid, &user()).unwrap();
+        for p in traj.passes() {
+            prop_assert!(traj.position_at(p.time).dist(p.position) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn headings_at_mid_segment_match_segment_bearings(
+        segments in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        let (grid, graph) = world(4, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = random_walk(&graph, segments, &mut rng);
+        let traj = Trajectory::from_path(&path, &grid, &user()).unwrap();
+        for (a, b) in traj.segments() {
+            let mid = (a.time + b.time) / 2.0;
+            let heading = traj.heading_at(mid).expect("inside the trajectory");
+            let bearing = a.position.bearing_deg_to(b.position);
+            prop_assert!(
+                moloc_stats::circular::abs_diff_deg(heading, bearing) < 1e-6,
+                "segment heading {heading} vs bearing {bearing}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_period_scales_inversely_with_speed(
+        s1 in 0.6..1.8f64,
+        s2 in 0.6..1.8f64,
+    ) {
+        let mut a = user();
+        let mut b = user();
+        a.speed_mps = s1;
+        b.speed_mps = s2;
+        if s1 < s2 {
+            prop_assert!(a.step_period_s() > b.step_period_s());
+        } else if s2 < s1 {
+            prop_assert!(b.step_period_s() > a.step_period_s());
+        }
+    }
+}

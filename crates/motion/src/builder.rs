@@ -1,0 +1,365 @@
+//! Crowdsourced motion-database construction (paper Sec. IV-B).
+//!
+//! [`MotionDbBuilder`] ingests raw RLMs — whose endpoints are *location
+//! estimates* from the fingerprint engine and whose direction/offset
+//! come from noisy sensors — reassembles them, applies the coarse
+//! map-based filter on ingestion, and at [`MotionDbBuilder::build`] time
+//! applies the fine Gaussian filter and fits the per-pair statistics.
+
+use crate::filter::SanitationConfig;
+use crate::matrix::{MotionDb, PairStats};
+use crate::rlm::Rlm;
+use moloc_geometry::shortest_path::all_pairs;
+use moloc_geometry::{LocationId, ReferenceGrid, WalkGraph};
+use moloc_stats::circular::{abs_diff_deg, CircularWelford};
+use moloc_stats::gaussian::Gaussian;
+use moloc_stats::online::Welford;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Map-derived reference values for the coarse filter: straight-line
+/// bearings from location coordinates and walkable offsets from the
+/// aisle graph (falling back to straight-line distance for unreachable
+/// pairs).
+#[derive(Debug, Clone)]
+pub struct MapReference {
+    grid: ReferenceGrid,
+    walk_dist: Vec<Vec<Option<f64>>>,
+}
+
+impl MapReference {
+    /// Builds the reference from the grid and its walkable graph.
+    pub fn new(grid: &ReferenceGrid, graph: &WalkGraph) -> Self {
+        Self {
+            grid: grid.clone(),
+            walk_dist: all_pairs(graph),
+        }
+    }
+
+    /// The map direction from `a` to `b` (straight-line compass
+    /// bearing), `None` for identical locations.
+    pub fn direction_deg(&self, a: LocationId, b: LocationId) -> Option<f64> {
+        self.grid.bearing_deg(a, b)
+    }
+
+    /// The map offset from `a` to `b`: walkable distance when the graph
+    /// connects them, straight-line distance otherwise.
+    pub fn offset_m(&self, a: LocationId, b: LocationId) -> f64 {
+        self.walk_dist[a.index()][b.index()].unwrap_or_else(|| self.grid.distance(a, b))
+    }
+
+    /// Whether the pair is connected on the walkable graph.
+    pub fn walkably_connected(&self, a: LocationId, b: LocationId) -> bool {
+        self.walk_dist[a.index()][b.index()].is_some()
+    }
+
+    /// The reference grid.
+    pub fn grid(&self) -> &ReferenceGrid {
+        &self.grid
+    }
+}
+
+/// Counters describing a construction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BuildReport {
+    /// RLMs offered to the builder.
+    pub observed: u64,
+    /// RLMs dropped by the coarse filter.
+    pub rejected_coarse: u64,
+    /// Measurements dropped by the fine (2σ) filter.
+    pub rejected_fine: u64,
+    /// Pairs dropped for having fewer than `min_samples` measurements.
+    pub underpopulated_pairs: u64,
+    /// Pairs that made it into the database.
+    pub pairs_built: u64,
+}
+
+/// Accumulates crowdsourced RLMs into a [`MotionDb`].
+///
+/// # Examples
+///
+/// ```
+/// use moloc_geometry::polygon::Aabb;
+/// use moloc_geometry::{FloorPlan, LocationId, ReferenceGrid, Vec2, WalkGraph};
+/// use moloc_motion::builder::{MapReference, MotionDbBuilder};
+/// use moloc_motion::filter::SanitationConfig;
+/// use moloc_motion::rlm::Rlm;
+///
+/// let grid = ReferenceGrid::new(Vec2::new(1.0, 3.0), 3, 2, 2.0, 2.0)?;
+/// let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(8.0, 5.0)).unwrap());
+/// let graph = WalkGraph::from_grid(&grid, &plan);
+/// let map = MapReference::new(&grid, &graph);
+/// let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper());
+/// for _ in 0..5 {
+///     builder.observe(Rlm::new(LocationId::new(1), LocationId::new(2), 91.0, 2.05).unwrap());
+/// }
+/// let (db, report) = builder.build();
+/// assert_eq!(report.pairs_built, 1);
+/// assert!(db.get(LocationId::new(1), LocationId::new(2)).is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct MotionDbBuilder {
+    map: MapReference,
+    config: SanitationConfig,
+    /// Per canonical pair: direction accumulator and raw offsets.
+    pending: BTreeMap<(u32, u32), (CircularWelford, Vec<f64>)>,
+    report: BuildReport,
+}
+
+impl MotionDbBuilder {
+    /// Creates a builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SanitationConfig::validate`]).
+    pub fn new(map: MapReference, config: SanitationConfig) -> Self {
+        config.validate();
+        Self {
+            map,
+            config,
+            pending: BTreeMap::new(),
+            report: BuildReport::default(),
+        }
+    }
+
+    /// The map reference used for coarse filtering.
+    pub fn map(&self) -> &MapReference {
+        &self.map
+    }
+
+    /// Offers one crowdsourced RLM. Reassembles it, applies the coarse
+    /// filter, and accumulates it. Returns whether it was accepted.
+    pub fn observe(&mut self, rlm: Rlm) -> bool {
+        self.report.observed += 1;
+        let canon = rlm.canonical();
+        if self.config.coarse_enabled && !self.coarse_accepts(&canon) {
+            self.report.rejected_coarse += 1;
+            return false;
+        }
+        let key = (canon.from.get(), canon.to.get());
+        let entry = self
+            .pending
+            .entry(key)
+            .or_insert_with(|| (CircularWelford::new(), Vec::new()));
+        entry.0.push(canon.direction_deg);
+        entry.1.push(canon.offset_m);
+        true
+    }
+
+    fn coarse_accepts(&self, canon: &Rlm) -> bool {
+        let Some(map_dir) = self.map.direction_deg(canon.from, canon.to) else {
+            return false;
+        };
+        if abs_diff_deg(canon.direction_deg, map_dir) > self.config.coarse_direction_deg {
+            return false;
+        }
+        let map_off = self.map.offset_m(canon.from, canon.to);
+        (canon.offset_m - map_off).abs() <= self.config.coarse_offset_m
+    }
+
+    /// Applies the fine filter, fits per-pair Gaussians, and produces
+    /// the database plus a construction report.
+    pub fn build(mut self) -> (MotionDb, BuildReport) {
+        let mut db = MotionDb::new(self.map.grid.len());
+        for ((i, j), (mut dirs, mut offsets)) in std::mem::take(&mut self.pending) {
+            if self.config.fine_enabled {
+                self.report.rejected_fine +=
+                    Self::fine_filter(&mut dirs, &mut offsets, self.config.fine_sigma) as u64;
+            }
+            if dirs.count() < self.config.min_samples {
+                self.report.underpopulated_pairs += 1;
+                continue;
+            }
+            let Some(mu_d) = dirs.mean() else {
+                self.report.underpopulated_pairs += 1;
+                continue;
+            };
+            let sigma_d = dirs
+                .std()
+                .unwrap_or(0.0)
+                .max(self.config.min_direction_std_deg);
+            let off_acc: Welford = offsets.iter().copied().collect();
+            let sigma_o = off_acc.std().max(self.config.min_offset_std_m);
+            let stats = PairStats {
+                direction: Gaussian::new(mu_d, sigma_d).expect("floored std"),
+                offset: Gaussian::new(off_acc.mean(), sigma_o).expect("floored std"),
+                sample_count: dirs.count() as u64,
+            };
+            db.insert(LocationId::new(i), LocationId::new(j), stats);
+            self.report.pairs_built += 1;
+        }
+        (db, self.report)
+    }
+
+    /// Drops direction/offset measurements beyond `k·σ` of their means;
+    /// a measurement index is removed from *both* channels if either
+    /// channel flags it (the RLM as a whole is the outlier). Returns how
+    /// many measurements were removed.
+    fn fine_filter(dirs: &mut CircularWelford, offsets: &mut Vec<f64>, k: f64) -> usize {
+        let Some(mu_d) = dirs.mean() else {
+            return 0;
+        };
+        let sigma_d = dirs.std().unwrap_or(0.0);
+        let off_acc: Welford = offsets.iter().copied().collect();
+        let (mu_o, sigma_o) = (off_acc.mean(), off_acc.std());
+
+        let dir_values: Vec<f64> = dirs.iter().collect();
+        let keep: Vec<bool> = dir_values
+            .iter()
+            .zip(offsets.iter())
+            .map(|(&d, &o)| {
+                let dir_ok = sigma_d == 0.0 || abs_diff_deg(d, mu_d) <= k * sigma_d;
+                let off_ok = sigma_o == 0.0 || (o - mu_o).abs() <= k * sigma_o;
+                dir_ok && off_ok
+            })
+            .collect();
+        let removed = keep.iter().filter(|&&b| !b).count();
+        if removed > 0 {
+            let mut kept_dirs = CircularWelford::new();
+            let mut kept_offsets = Vec::with_capacity(offsets.len() - removed);
+            for ((d, o), &k) in dir_values.iter().zip(offsets.iter()).zip(&keep) {
+                if k {
+                    kept_dirs.push(*d);
+                    kept_offsets.push(*o);
+                }
+            }
+            *dirs = kept_dirs;
+            *offsets = kept_offsets;
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_geometry::polygon::Aabb;
+    use moloc_geometry::{FloorPlan, Vec2};
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    /// 3×2 grid spaced 2 m in an open hall; 1→2 runs east (90°).
+    fn map() -> MapReference {
+        let grid = ReferenceGrid::new(Vec2::new(1.0, 3.0), 3, 2, 2.0, 2.0).unwrap();
+        let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(8.0, 5.0)).unwrap());
+        let graph = WalkGraph::from_grid(&grid, &plan);
+        MapReference::new(&grid, &graph)
+    }
+
+    fn rlm(from: u32, to: u32, d: f64, o: f64) -> Rlm {
+        Rlm::new(l(from), l(to), d, o).unwrap()
+    }
+
+    #[test]
+    fn map_reference_values() {
+        let m = map();
+        assert!((m.direction_deg(l(1), l(2)).unwrap() - 90.0).abs() < 1e-9);
+        assert!((m.offset_m(l(1), l(2)) - 2.0).abs() < 1e-9);
+        // Non-adjacent but reachable: walkable distance (L-shaped).
+        assert!((m.offset_m(l(1), l(5)) - 4.0).abs() < 1e-9);
+        assert!(m.walkably_connected(l(1), l(6)));
+    }
+
+    #[test]
+    fn clean_measurements_build_a_pair() {
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        for k in 0..6 {
+            assert!(b.observe(rlm(1, 2, 88.0 + k as f64, 2.0 + 0.02 * k as f64)));
+        }
+        let (db, report) = b.build();
+        assert_eq!(report.pairs_built, 1);
+        assert_eq!(report.rejected_coarse, 0);
+        let s = db.get(l(1), l(2)).unwrap();
+        assert!((s.direction.mean() - 90.5).abs() < 1.0);
+        assert!((s.offset.mean() - 2.05).abs() < 0.05);
+        assert_eq!(s.sample_count, 6);
+    }
+
+    #[test]
+    fn coarse_filter_drops_wild_directions_and_offsets() {
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        // 1→2 map direction is 90°; 150° is 60° off → rejected.
+        assert!(!b.observe(rlm(1, 2, 150.0, 2.0)));
+        // Offset 6 m differs from map 2 m by 4 m > 3 m → rejected.
+        assert!(!b.observe(rlm(1, 2, 90.0, 6.0)));
+        assert_eq!(b.report.rejected_coarse, 2);
+    }
+
+    #[test]
+    fn coarse_filter_can_be_disabled() {
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::disabled());
+        assert!(b.observe(rlm(1, 2, 150.0, 6.0)));
+    }
+
+    #[test]
+    fn fine_filter_removes_2_sigma_outliers() {
+        let mut cfg = SanitationConfig::paper();
+        cfg.coarse_enabled = false; // isolate the fine filter
+        let mut b = MotionDbBuilder::new(map(), cfg);
+        // Cluster at 90° / 2 m with one wild outlier.
+        for _ in 0..10 {
+            b.observe(rlm(1, 2, 90.0, 2.0));
+        }
+        for _ in 0..10 {
+            b.observe(rlm(1, 2, 94.0, 2.1));
+        }
+        b.observe(rlm(1, 2, 140.0, 2.05));
+        let (db, report) = b.build();
+        assert_eq!(report.rejected_fine, 1);
+        let s = db.get(l(1), l(2)).unwrap();
+        assert_eq!(s.sample_count, 20);
+        assert!(s.direction.mean() < 95.0);
+    }
+
+    #[test]
+    fn reversed_observations_train_the_same_pair() {
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        for _ in 0..3 {
+            b.observe(rlm(1, 2, 90.0, 2.0)); // east
+            b.observe(rlm(2, 1, 270.0, 2.0)); // back west
+        }
+        let (db, report) = b.build();
+        assert_eq!(report.pairs_built, 1);
+        assert_eq!(db.get(l(1), l(2)).unwrap().sample_count, 6);
+    }
+
+    #[test]
+    fn underpopulated_pairs_are_dropped() {
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        b.observe(rlm(1, 2, 90.0, 2.0));
+        b.observe(rlm(1, 2, 90.0, 2.0)); // only 2 < min_samples = 3
+        let (db, report) = b.build();
+        assert!(db.is_empty());
+        assert_eq!(report.underpopulated_pairs, 1);
+        assert_eq!(report.pairs_built, 0);
+    }
+
+    #[test]
+    fn std_floors_apply() {
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        for _ in 0..5 {
+            b.observe(rlm(1, 2, 90.0, 2.0)); // identical → zero variance
+        }
+        let (db, _) = b.build();
+        let s = db.get(l(1), l(2)).unwrap();
+        assert_eq!(s.direction.std(), 2.0);
+        assert_eq!(s.offset.std(), 0.05);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        for _ in 0..5 {
+            b.observe(rlm(1, 2, 90.0, 2.0));
+        }
+        b.observe(rlm(1, 2, 10.0, 2.0)); // coarse reject
+        let (_, report) = b.build();
+        assert_eq!(report.observed, 6);
+        assert_eq!(report.rejected_coarse, 1);
+        assert_eq!(report.pairs_built, 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Sanitation configuration for the motion database.
+//!
+//! The paper filters outliers at two granularities (Sec. IV-B2):
+//!
+//! * **Coarse**: discard an RLM whose direction or offset differs from
+//!   the map-derived value by more than a threshold (20° / 3 m).
+//! * **Fine**: fit Gaussians to the survivors per pair and drop
+//!   measurements beyond `k·σ` of the mean (k = 2).
+//!
+//! [`SanitationConfig`] carries the thresholds plus the standard-
+//! deviation floors that keep the fitted Gaussians non-degenerate.
+
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for the two-level sanitation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SanitationConfig {
+    /// Coarse: maximum |measured − map| direction difference, degrees
+    /// (paper: 20°).
+    pub coarse_direction_deg: f64,
+    /// Coarse: maximum |measured − map| offset difference, meters
+    /// (paper: 3 m).
+    pub coarse_offset_m: f64,
+    /// Fine: reject beyond this many standard deviations of the fitted
+    /// Gaussian (paper: 2).
+    pub fine_sigma: f64,
+    /// Minimum measurements a pair needs to enter the database.
+    pub min_samples: usize,
+    /// Floor for the fitted direction std, degrees.
+    pub min_direction_std_deg: f64,
+    /// Floor for the fitted offset std, meters.
+    pub min_offset_std_m: f64,
+    /// Whether the coarse filter is enabled (ablation switch).
+    pub coarse_enabled: bool,
+    /// Whether the fine filter is enabled (ablation switch).
+    pub fine_enabled: bool,
+}
+
+impl Default for SanitationConfig {
+    fn default() -> Self {
+        Self {
+            coarse_direction_deg: 20.0,
+            coarse_offset_m: 3.0,
+            fine_sigma: 2.0,
+            min_samples: 3,
+            min_direction_std_deg: 2.0,
+            min_offset_std_m: 0.05,
+            coarse_enabled: true,
+            fine_enabled: true,
+        }
+    }
+}
+
+impl SanitationConfig {
+    /// The paper's configuration (same as `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A configuration with all filtering disabled, for the sanitation
+    /// ablation.
+    pub fn disabled() -> Self {
+        Self {
+            coarse_enabled: false,
+            fine_enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any threshold is non-positive or non-finite.
+    pub fn validate(&self) {
+        assert!(
+            self.coarse_direction_deg > 0.0 && self.coarse_direction_deg.is_finite(),
+            "coarse direction threshold must be positive"
+        );
+        assert!(
+            self.coarse_offset_m > 0.0 && self.coarse_offset_m.is_finite(),
+            "coarse offset threshold must be positive"
+        );
+        assert!(
+            self.fine_sigma > 0.0 && self.fine_sigma.is_finite(),
+            "fine sigma must be positive"
+        );
+        assert!(self.min_samples >= 1, "min samples must be at least 1");
+        assert!(
+            self.min_direction_std_deg > 0.0 && self.min_offset_std_m > 0.0,
+            "std floors must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_sec_4b2() {
+        let c = SanitationConfig::paper();
+        assert_eq!(c.coarse_direction_deg, 20.0);
+        assert_eq!(c.coarse_offset_m, 3.0);
+        assert_eq!(c.fine_sigma, 2.0);
+        assert!(c.coarse_enabled && c.fine_enabled);
+        c.validate();
+    }
+
+    #[test]
+    fn disabled_keeps_thresholds_but_turns_off_filters() {
+        let c = SanitationConfig::disabled();
+        assert!(!c.coarse_enabled && !c.fine_enabled);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn validate_rejects_zero_threshold() {
+        let c = SanitationConfig {
+            coarse_direction_deg: 0.0,
+            ..SanitationConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min samples")]
+    fn validate_rejects_zero_min_samples() {
+        let c = SanitationConfig {
+            min_samples: 0,
+            ..SanitationConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,148 @@
+//! Map-derived motion database — the rejected alternative of Sec. IV-A.
+//!
+//! Computing RLMs from location coordinates is cheap but violates the
+//! *consistency principle*: two locations that are geographically close
+//! yet separated by a wall get connected with a straight-line offset no
+//! user can actually walk. The reproduction keeps this constructor as an
+//! ablation comparator (`abl-mapdb` in DESIGN.md).
+
+use crate::matrix::{MotionDb, PairStats};
+use moloc_geometry::ReferenceGrid;
+use moloc_stats::gaussian::Gaussian;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the map-based construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapBasedConfig {
+    /// Pairs within this straight-line distance are treated as
+    /// adjacent (walls ignored — that is the point of the ablation).
+    pub adjacency_distance_m: f64,
+    /// Direction std assigned to every entry, degrees.
+    pub direction_std_deg: f64,
+    /// Offset std assigned to every entry, meters.
+    pub offset_std_m: f64,
+}
+
+impl Default for MapBasedConfig {
+    fn default() -> Self {
+        Self {
+            adjacency_distance_m: 6.5,
+            direction_std_deg: 5.0,
+            offset_std_m: 0.3,
+        }
+    }
+}
+
+/// Builds a motion database purely from grid coordinates.
+///
+/// # Panics
+///
+/// Panics if any configured value is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_geometry::{LocationId, ReferenceGrid, Vec2};
+/// use moloc_motion::map_based::{from_coordinates, MapBasedConfig};
+///
+/// let grid = ReferenceGrid::new(Vec2::new(1.0, 3.0), 3, 2, 2.0, 2.0)?;
+/// let db = from_coordinates(&grid, MapBasedConfig::default());
+/// // Connects straight-line neighbors regardless of walls.
+/// assert!(db.get(LocationId::new(1), LocationId::new(2)).is_some());
+/// # Ok::<(), moloc_geometry::grid::InvalidGridError>(())
+/// ```
+pub fn from_coordinates(grid: &ReferenceGrid, config: MapBasedConfig) -> MotionDb {
+    assert!(
+        config.adjacency_distance_m > 0.0
+            && config.direction_std_deg > 0.0
+            && config.offset_std_m > 0.0,
+        "map-based configuration values must be positive"
+    );
+    let mut db = MotionDb::new(grid.len());
+    let ids: Vec<_> = grid.ids().collect();
+    for (idx, &a) in ids.iter().enumerate() {
+        for &b in &ids[idx + 1..] {
+            let dist = grid.distance(a, b);
+            if dist > config.adjacency_distance_m {
+                continue;
+            }
+            let dir = grid
+                .bearing_deg(a, b)
+                .expect("distinct grid locations have a bearing");
+            db.insert(
+                a,
+                b,
+                PairStats {
+                    direction: Gaussian::new(dir, config.direction_std_deg).expect("positive std"),
+                    offset: Gaussian::new(dist, config.offset_std_m).expect("positive std"),
+                    sample_count: 0,
+                },
+            );
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_geometry::{LocationId, Vec2};
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn grid() -> ReferenceGrid {
+        ReferenceGrid::new(Vec2::new(1.0, 3.0), 3, 2, 2.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn connects_neighbors_within_radius() {
+        let db = from_coordinates(
+            &grid(),
+            MapBasedConfig {
+                adjacency_distance_m: 2.5,
+                ..MapBasedConfig::default()
+            },
+        );
+        assert!(db.contains(l(1), l(2)));
+        assert!(db.contains(l(1), l(4)));
+        assert!(!db.contains(l(1), l(3))); // 4 m away
+        assert!(!db.contains(l(1), l(5))); // diagonal 2.83 m > 2.5 m
+    }
+
+    #[test]
+    fn entries_carry_map_geometry() {
+        let db = from_coordinates(&grid(), MapBasedConfig::default());
+        let s = db.get(l(1), l(2)).unwrap();
+        assert!((s.direction.mean() - 90.0).abs() < 1e-9);
+        assert!((s.offset.mean() - 2.0).abs() < 1e-9);
+        assert_eq!(s.sample_count, 0);
+    }
+
+    #[test]
+    fn larger_radius_connects_diagonals() {
+        let db = from_coordinates(
+            &grid(),
+            MapBasedConfig {
+                adjacency_distance_m: 3.0,
+                ..MapBasedConfig::default()
+            },
+        );
+        assert!(db.contains(l(1), l(5)));
+        let s = db.get(l(1), l(5)).unwrap();
+        assert!((s.direction.mean() - 135.0).abs() < 1e-9); // SE
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_config_panics() {
+        let _ = from_coordinates(
+            &grid(),
+            MapBasedConfig {
+                adjacency_distance_m: 0.0,
+                ..MapBasedConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Data reassembling (paper Sec. IV-B2).
+//!
+//! Under the *mutual reachability* assumption — if one can walk `i → j`,
+//! one can walk `j → i` with the reversed direction and the same
+//! offset — every crowdsourced RLM is stored with the smaller-id
+//! location first, so a single measurement trains the pair in both
+//! directions and the motion database fills up twice as fast.
+
+use crate::rlm::Rlm;
+
+/// Reassembles a batch of RLMs into canonical orientation.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_geometry::LocationId;
+/// use moloc_motion::reassemble::reassemble;
+/// use moloc_motion::rlm::Rlm;
+///
+/// let raw = vec![
+///     Rlm::new(LocationId::new(4), LocationId::new(1), 0.0, 2.0).unwrap(),
+///     Rlm::new(LocationId::new(1), LocationId::new(4), 180.0, 2.0).unwrap(),
+/// ];
+/// let out = reassemble(raw);
+/// // Both now describe 1 → 4 walking south.
+/// assert!(out.iter().all(|r| r.from == LocationId::new(1)));
+/// assert!(out.iter().all(|r| (r.direction_deg - 180.0).abs() < 1e-9));
+/// ```
+pub fn reassemble<I: IntoIterator<Item = Rlm>>(rlms: I) -> Vec<Rlm> {
+    rlms.into_iter().map(|r| r.canonical()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_geometry::LocationId;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    #[test]
+    fn all_outputs_are_canonical() {
+        let raw = vec![
+            Rlm::new(l(3), l(1), 45.0, 1.0).unwrap(),
+            Rlm::new(l(1), l(3), 225.0, 1.0).unwrap(),
+            Rlm::new(l(2), l(9), 10.0, 2.0).unwrap(),
+        ];
+        let out = reassemble(raw);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(Rlm::is_canonical));
+    }
+
+    #[test]
+    fn forward_and_backward_collapse_to_same_measurement() {
+        let forward = Rlm::new(l(1), l(3), 225.0, 1.5).unwrap();
+        let backward = Rlm::new(l(3), l(1), 45.0, 1.5).unwrap();
+        let out = reassemble(vec![forward, backward]);
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(reassemble(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the motion database.
+
+use moloc_geometry::polygon::Aabb;
+use moloc_geometry::{FloorPlan, LocationId, ReferenceGrid, Vec2, WalkGraph};
+use moloc_motion::builder::{MapReference, MotionDbBuilder};
+use moloc_motion::filter::SanitationConfig;
+use moloc_motion::matrix::{MotionDb, PairStats};
+use moloc_motion::reassemble::reassemble;
+use moloc_motion::rlm::Rlm;
+use moloc_stats::circular::abs_diff_deg;
+use moloc_stats::gaussian::Gaussian;
+use proptest::prelude::*;
+
+fn ids() -> impl Strategy<Value = (u32, u32)> {
+    (1u32..30, 1u32..30).prop_filter("distinct endpoints", |(a, b)| a != b)
+}
+
+fn rlm_strategy() -> impl Strategy<Value = Rlm> {
+    (ids(), 0.0..360.0f64, 0.0..50.0f64).prop_map(|((a, b), d, o)| {
+        Rlm::new(LocationId::new(a), LocationId::new(b), d, o).expect("valid rlm")
+    })
+}
+
+proptest! {
+    #[test]
+    fn canonical_is_idempotent_and_oriented(rlm in rlm_strategy()) {
+        let c = rlm.canonical();
+        prop_assert!(c.is_canonical());
+        prop_assert_eq!(c.canonical(), c);
+        prop_assert_eq!(c.pair(), rlm.pair());
+        prop_assert_eq!(c.offset_m, rlm.offset_m);
+    }
+
+    #[test]
+    fn mirror_preserves_offset_and_reverses_direction(rlm in rlm_strategy()) {
+        let m = rlm.mirror();
+        prop_assert_eq!(m.offset_m, rlm.offset_m);
+        prop_assert_eq!(m.from, rlm.to);
+        prop_assert_eq!(m.to, rlm.from);
+        prop_assert!((abs_diff_deg(m.direction_deg, rlm.direction_deg) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reassembled_batches_are_all_canonical(rlms in prop::collection::vec(rlm_strategy(), 0..30)) {
+        for r in reassemble(rlms) {
+            prop_assert!(r.is_canonical());
+        }
+    }
+
+    #[test]
+    fn motion_db_forward_and_reverse_are_mirrors(
+        (a, b) in ids(),
+        dir in 0.0..360.0f64,
+        dir_std in 0.5..30.0f64,
+        off in 0.1..30.0f64,
+        off_std in 0.05..2.0f64,
+    ) {
+        let mut db = MotionDb::new(30);
+        let (a, b) = (LocationId::new(a), LocationId::new(b));
+        db.insert(a, b, PairStats {
+            direction: Gaussian::new(dir, dir_std).unwrap(),
+            offset: Gaussian::new(off, off_std).unwrap(),
+            sample_count: 5,
+        });
+        let fwd = db.get(a, b).unwrap();
+        let rev = db.get(b, a).unwrap();
+        prop_assert!((abs_diff_deg(fwd.direction.mean(), dir)) < 1e-9);
+        prop_assert!((abs_diff_deg(rev.direction.mean(), fwd.direction.mean()) - 180.0).abs() < 1e-9);
+        prop_assert_eq!(rev.offset, fwd.offset);
+        prop_assert_eq!(rev.direction.std(), fwd.direction.std());
+        prop_assert_eq!(db.pair_count(), 1);
+    }
+
+    #[test]
+    fn builder_accepts_clean_edge_measurements(
+        noise in prop::collection::vec((-5.0..5.0f64, -0.2..0.2f64), 3..20),
+    ) {
+        // Clean measurements of the 1 → 2 aisle (east, 2 m) plus small
+        // noise must always produce exactly that pair.
+        let grid = ReferenceGrid::new(Vec2::new(1.0, 3.0), 3, 2, 2.0, 2.0).unwrap();
+        let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(8.0, 5.0)).unwrap());
+        let graph = WalkGraph::from_grid(&grid, &plan);
+        let map = MapReference::new(&grid, &graph);
+        let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper());
+        for (dd, d_off) in &noise {
+            let rlm = Rlm::new(
+                LocationId::new(1),
+                LocationId::new(2),
+                90.0 + dd,
+                (2.0 + d_off).max(0.0),
+            ).unwrap();
+            prop_assert!(builder.observe(rlm), "clean measurement rejected");
+        }
+        let (db, report) = builder.build();
+        prop_assert_eq!(report.pairs_built, 1);
+        let stats = db.get(LocationId::new(1), LocationId::new(2)).unwrap();
+        prop_assert!(abs_diff_deg(stats.direction.mean(), 90.0) < 6.0);
+        prop_assert!((stats.offset.mean() - 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn builder_rejects_marsian_offsets(extra in 5.0..50.0f64) {
+        let grid = ReferenceGrid::new(Vec2::new(1.0, 3.0), 3, 2, 2.0, 2.0).unwrap();
+        let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(8.0, 5.0)).unwrap());
+        let graph = WalkGraph::from_grid(&grid, &plan);
+        let map = MapReference::new(&grid, &graph);
+        let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper());
+        // Map offset for 1 → 2 is 2 m; anything more than 3 m away is
+        // coarse-rejected.
+        let rlm = Rlm::new(LocationId::new(1), LocationId::new(2), 90.0, 5.0 + extra).unwrap();
+        prop_assert!(!builder.observe(rlm));
+    }
+}

@@ -1,0 +1,87 @@
+//! Access points.
+
+use crate::dbm::Dbm;
+use moloc_geometry::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an access point (index into fingerprint vectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ApId(pub u32);
+
+impl std::fmt::Display for ApId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AP{}", self.0)
+    }
+}
+
+/// A WiFi access point.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_radio::ap::AccessPoint;
+/// use moloc_geometry::Vec2;
+///
+/// let ap = AccessPoint::new(0, Vec2::new(4.0, 8.2), -20.0);
+/// assert_eq!(ap.id().0, 0);
+/// assert_eq!(ap.tx_power().value(), -20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessPoint {
+    id: ApId,
+    position: Vec2,
+    /// Effective transmit power referenced at 1 m, in dBm (i.e. the RSS
+    /// a receiver would see one meter away in free space).
+    tx_power_dbm: f64,
+}
+
+impl AccessPoint {
+    /// Creates an access point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx_power_dbm` is not finite.
+    pub fn new(id: u32, position: Vec2, tx_power_dbm: f64) -> Self {
+        assert!(tx_power_dbm.is_finite(), "tx power must be finite");
+        Self {
+            id: ApId(id),
+            position,
+            tx_power_dbm,
+        }
+    }
+
+    /// The id.
+    pub fn id(&self) -> ApId {
+        self.id
+    }
+
+    /// The position.
+    pub fn position(&self) -> Vec2 {
+        self.position
+    }
+
+    /// The effective transmit power (RSS at 1 m).
+    pub fn tx_power(&self) -> Dbm {
+        Dbm::new(self.tx_power_dbm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let ap = AccessPoint::new(3, Vec2::new(1.0, 2.0), -18.5);
+        assert_eq!(ap.id(), ApId(3));
+        assert_eq!(ap.position(), Vec2::new(1.0, 2.0));
+        assert_eq!(ap.tx_power().value(), -18.5);
+        assert_eq!(ap.id().to_string(), "AP3");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinite_power() {
+        let _ = AccessPoint::new(0, Vec2::ZERO, f64::INFINITY);
+    }
+}

@@ -1,0 +1,192 @@
+//! Temporally correlated RSS scanning.
+//!
+//! [`crate::sampler::RadioEnvironment::scan`] draws independent
+//! temporal noise per scan — the standard assumption, and what the
+//! paper's per-query matching implicitly assumes. Real channels are
+//! stickier: consecutive scans a second apart share fading state.
+//! [`CorrelatedScanner`] wraps an environment with an AR(1) noise
+//! process per AP:
+//!
+//! ```text
+//! ε_t = ρ · ε_{t−1} + √(1 − ρ²) · N(0, σ_T²)
+//! ```
+//!
+//! so the *stationary* noise variance stays σ_T² (results remain
+//! comparable with the independent sampler) while consecutive scans
+//! correlate with coefficient ρ. Use it for sensitivity studies: does
+//! MoLoc's advantage survive when localization-time noise stops being
+//! i.i.d.?
+
+use crate::sampler::{RadioEnvironment, RssScan};
+use moloc_stats::sampling::normal;
+use rand::Rng;
+
+/// An AR(1)-correlated scanning session over a radio environment.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_geometry::polygon::Aabb;
+/// use moloc_geometry::{FloorPlan, Vec2};
+/// use moloc_radio::ap::AccessPoint;
+/// use moloc_radio::correlated::CorrelatedScanner;
+/// use moloc_radio::sampler::RadioEnvironment;
+/// use rand::SeedableRng;
+///
+/// let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(20.0, 10.0)).unwrap());
+/// let env = RadioEnvironment::builder(plan)
+///     .ap(AccessPoint::new(0, Vec2::new(10.0, 5.0), -20.0))
+///     .temporal_sigma_db(3.0)
+///     .build()?;
+/// let mut scanner = CorrelatedScanner::new(&env, 0.8);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let a = scanner.scan(Vec2::new(5.0, 5.0), &mut rng);
+/// let b = scanner.scan(Vec2::new(5.0, 5.0), &mut rng);
+/// assert_eq!(a.len(), b.len());
+/// # Ok::<(), moloc_radio::sampler::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct CorrelatedScanner<'a> {
+    env: &'a RadioEnvironment,
+    rho: f64,
+    state: Vec<f64>,
+}
+
+impl<'a> CorrelatedScanner<'a> {
+    /// Creates a session with correlation coefficient `rho ∈ [0, 1)`.
+    /// `rho = 0` reproduces independent scanning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1)`.
+    pub fn new(env: &'a RadioEnvironment, rho: f64) -> Self {
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+        Self {
+            env,
+            rho,
+            state: vec![0.0; env.aps().len()],
+        }
+    }
+
+    /// The correlation coefficient.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// One scan at `pos`: static channel + the evolving AR(1) noise.
+    pub fn scan<R: Rng + ?Sized>(&mut self, pos: moloc_geometry::Vec2, rng: &mut R) -> RssScan {
+        let sigma = self.env.temporal_sigma_db();
+        let innovation_sigma = sigma * (1.0 - self.rho * self.rho).sqrt();
+        self.env
+            .aps()
+            .iter()
+            .zip(&mut self.state)
+            .map(|(ap, eps)| {
+                *eps = self.rho * *eps + normal(rng, 0.0, innovation_sigma);
+                (self.env.mean_rss(ap, pos) + *eps).clamp_floor(self.env.noise_floor())
+            })
+            .collect()
+    }
+
+    /// Resets the noise state (a fresh session).
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|e| *e = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ap::AccessPoint;
+    use moloc_geometry::polygon::Aabb;
+    use moloc_geometry::{FloorPlan, Vec2};
+    use moloc_stats::online::Welford;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn env(sigma: f64) -> RadioEnvironment {
+        let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(20.0, 10.0)).unwrap());
+        RadioEnvironment::builder(plan)
+            .ap(AccessPoint::new(0, Vec2::new(10.0, 5.0), -20.0))
+            .temporal_sigma_db(sigma)
+            .build()
+            .unwrap()
+    }
+
+    fn noise_series(rho: f64, n: usize) -> Vec<f64> {
+        let env = env(3.0);
+        let pos = Vec2::new(6.0, 5.0);
+        let mean = env.mean_rss(&env.aps()[0], pos).value();
+        let mut scanner = CorrelatedScanner::new(&env, rho);
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..n)
+            .map(|_| scanner.scan(pos, &mut rng)[0].value() - mean)
+            .collect()
+    }
+
+    #[test]
+    fn stationary_variance_matches_configured_sigma() {
+        for rho in [0.0, 0.5, 0.9] {
+            let noise = noise_series(rho, 60_000);
+            // Skip burn-in.
+            let acc: Welford = noise[500..].iter().copied().collect();
+            assert!(
+                (acc.std() - 3.0).abs() < 0.15,
+                "rho {rho}: std {}",
+                acc.std()
+            );
+            assert!(acc.mean().abs() < 0.2, "rho {rho}: mean {}", acc.mean());
+        }
+    }
+
+    #[test]
+    fn lag1_autocorrelation_approximates_rho() {
+        for rho in [0.0, 0.6, 0.9] {
+            let noise = noise_series(rho, 40_000);
+            let n = noise.len();
+            let mean = noise.iter().sum::<f64>() / n as f64;
+            let var: f64 = noise.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            let cov: f64 = noise
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>()
+                / (n - 1) as f64;
+            let r1 = cov / var;
+            assert!((r1 - rho).abs() < 0.05, "rho {rho}: measured {r1}");
+        }
+    }
+
+    #[test]
+    fn rho_zero_is_equivalent_to_independent_statistics() {
+        let noise = noise_series(0.0, 30_000);
+        let n = noise.len();
+        let mean = noise.iter().sum::<f64>() / n as f64;
+        let var: f64 = noise.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let cov: f64 = noise
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        assert!((cov / var).abs() < 0.03);
+    }
+
+    #[test]
+    fn reset_clears_the_state() {
+        let env = env(3.0);
+        let mut scanner = CorrelatedScanner::new(&env, 0.95);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            scanner.scan(Vec2::new(6.0, 5.0), &mut rng);
+        }
+        scanner.reset();
+        assert!(scanner.state.iter().all(|&e| e == 0.0));
+        assert_eq!(scanner.rho(), 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rho_one_rejected() {
+        let env = env(3.0);
+        let _ = CorrelatedScanner::new(&env, 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! The [`Dbm`] newtype for received signal strengths.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Sub};
+
+/// A signal strength in dBm.
+///
+/// A thin newtype so signal strengths do not get mixed up with other
+/// `f64` quantities (distances, probabilities) flowing through the
+/// pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_radio::dbm::Dbm;
+///
+/// let rx = Dbm::new(-20.0) - 35.5;
+/// assert_eq!(rx.value(), -55.5);
+/// assert!(rx > Dbm::new(-60.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Dbm(f64);
+
+impl Dbm {
+    /// Creates a signal strength.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "dBm value must not be NaN");
+        Self(value)
+    }
+
+    /// The raw dBm value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Clamps to be no weaker than `floor` (receiver noise floor).
+    pub fn clamp_floor(self, floor: Dbm) -> Dbm {
+        if self.0 < floor.0 {
+            floor
+        } else {
+            self
+        }
+    }
+}
+
+impl Add<f64> for Dbm {
+    type Output = Dbm;
+    fn add(self, gain_db: f64) -> Dbm {
+        Dbm::new(self.0 + gain_db)
+    }
+}
+
+impl Sub<f64> for Dbm {
+    type Output = Dbm;
+    fn sub(self, loss_db: f64) -> Dbm {
+        Dbm::new(self.0 - loss_db)
+    }
+}
+
+impl Sub for Dbm {
+    type Output = f64;
+    fn sub(self, other: Dbm) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl From<Dbm> for f64 {
+    fn from(d: Dbm) -> f64 {
+        d.0
+    }
+}
+
+impl std::fmt::Display for Dbm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let p = Dbm::new(-30.0);
+        assert_eq!((p + 5.0).value(), -25.0);
+        assert_eq!((p - 5.0).value(), -35.0);
+        assert_eq!(Dbm::new(-30.0) - Dbm::new(-40.0), 10.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Dbm::new(-40.0) > Dbm::new(-70.0));
+    }
+
+    #[test]
+    fn clamp_floor_applies_only_below() {
+        let floor = Dbm::new(-100.0);
+        assert_eq!(Dbm::new(-120.0).clamp_floor(floor), floor);
+        assert_eq!(Dbm::new(-80.0).clamp_floor(floor), Dbm::new(-80.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Dbm::new(f64::NAN);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Dbm::new(-55.25).to_string(), "-55.2 dBm");
+    }
+}

@@ -1,0 +1,180 @@
+//! Deterministic path-loss models.
+//!
+//! Distance-dependent attenuation is the backbone of the simulated
+//! channel. The default for the office-hall scenario is the classic
+//! log-distance model with an indoor exponent; free-space and ITU indoor
+//! variants are provided for sensitivity studies.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic path-loss model: attenuation in dB as a function of
+/// distance in meters.
+///
+/// Implementations must be monotone non-decreasing in distance; the test
+/// suite enforces this for the provided models.
+pub trait PathLossModel: std::fmt::Debug + Send + Sync {
+    /// Path loss in dB at `distance_m` meters (clamped internally to a
+    /// minimum of `0.1 m` so the model is defined at the transmitter).
+    fn path_loss_db(&self, distance_m: f64) -> f64;
+}
+
+/// The log-distance path-loss model:
+/// `PL(d) = 10·γ·log₁₀(d / d₀)` with reference distance `d₀ = 1 m`.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_radio::pathloss::{LogDistance, PathLossModel};
+///
+/// let m = LogDistance::new(3.0).unwrap();
+/// assert_eq!(m.path_loss_db(1.0), 0.0);
+/// assert!((m.path_loss_db(10.0) - 30.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogDistance {
+    exponent: f64,
+}
+
+/// Error constructing a path-loss model with a non-physical exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidExponentError;
+
+impl std::fmt::Display for InvalidExponentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "path-loss exponent must be finite and positive")
+    }
+}
+
+impl std::error::Error for InvalidExponentError {}
+
+impl LogDistance {
+    /// Creates a model with path-loss exponent `γ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidExponentError`] unless `γ` is finite and
+    /// positive.
+    pub fn new(exponent: f64) -> Result<Self, InvalidExponentError> {
+        if !exponent.is_finite() || exponent <= 0.0 {
+            return Err(InvalidExponentError);
+        }
+        Ok(Self { exponent })
+    }
+
+    /// A typical open-office exponent (γ = 3.0): more loss than free
+    /// space because of furniture and people.
+    pub fn indoor_office() -> Self {
+        Self { exponent: 3.0 }
+    }
+
+    /// The exponent γ.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+impl PathLossModel for LogDistance {
+    fn path_loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(0.1);
+        10.0 * self.exponent * d.log10()
+    }
+}
+
+/// Free-space path loss at 2.4 GHz relative to 1 m:
+/// `PL(d) = 20·log₁₀(d)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FreeSpace24GHz;
+
+impl PathLossModel for FreeSpace24GHz {
+    fn path_loss_db(&self, distance_m: f64) -> f64 {
+        20.0 * distance_m.max(0.1).log10()
+    }
+}
+
+/// A simplified ITU indoor propagation model relative to 1 m:
+/// `PL(d) = 10·n·log₁₀(d) + floor_penalty`, with the distance power
+/// coefficient `n = 3.0` for offices at 2.4 GHz. Floor penetration is
+/// irrelevant in the single-floor hall so the penalty defaults to zero,
+/// but it is configurable for multi-floor studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItuIndoor {
+    /// Distance power coefficient `n` (office ≈ 3.0 at 2.4 GHz).
+    pub power_coefficient: f64,
+    /// Floor penetration penalty in dB.
+    pub floor_penalty_db: f64,
+}
+
+impl Default for ItuIndoor {
+    fn default() -> Self {
+        Self {
+            power_coefficient: 3.0,
+            floor_penalty_db: 0.0,
+        }
+    }
+}
+
+impl PathLossModel for ItuIndoor {
+    fn path_loss_db(&self, distance_m: f64) -> f64 {
+        10.0 * self.power_coefficient * distance_m.max(0.1).log10() + self.floor_penalty_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_monotone(model: &dyn PathLossModel) {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..200 {
+            let d = i as f64 * 0.25;
+            let pl = model.path_loss_db(d);
+            assert!(pl >= prev, "path loss decreased at d = {d}");
+            prev = pl;
+        }
+    }
+
+    #[test]
+    fn log_distance_reference_point() {
+        let m = LogDistance::indoor_office();
+        assert_eq!(m.path_loss_db(1.0), 0.0);
+        assert!((m.path_loss_db(100.0) - 60.0).abs() < 1e-9);
+        assert_eq!(m.exponent(), 3.0);
+    }
+
+    #[test]
+    fn log_distance_rejects_bad_exponent() {
+        assert!(LogDistance::new(0.0).is_err());
+        assert!(LogDistance::new(-2.0).is_err());
+        assert!(LogDistance::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn free_space_doubles_slope_of_20() {
+        let m = FreeSpace24GHz;
+        assert!((m.path_loss_db(10.0) - 20.0).abs() < 1e-9);
+        assert!((m.path_loss_db(100.0) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn itu_includes_floor_penalty() {
+        let m = ItuIndoor {
+            power_coefficient: 3.0,
+            floor_penalty_db: 15.0,
+        };
+        assert!((m.path_loss_db(10.0) - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_models_are_monotone() {
+        assert_monotone(&LogDistance::indoor_office());
+        assert_monotone(&FreeSpace24GHz);
+        assert_monotone(&ItuIndoor::default());
+    }
+
+    #[test]
+    fn near_field_is_clamped() {
+        let m = LogDistance::indoor_office();
+        assert_eq!(m.path_loss_db(0.0), m.path_loss_db(0.1));
+        assert!(m.path_loss_db(0.0).is_finite());
+    }
+}

@@ -1,0 +1,186 @@
+//! Static shadow fading.
+//!
+//! Shadowing is the location-specific but time-stable component of the
+//! channel: the extra loss (or gain) a receiver at a fixed spot sees for
+//! a fixed AP, caused by the particular arrangement of furniture and
+//! multipath there. Because it is *stable*, it is captured by the site
+//! survey and does not by itself cause localization errors — but its
+//! magnitude controls how much natural symmetry (and hence how many
+//! fingerprint twins) survive in the environment.
+//!
+//! [`ShadowingField`] derives a deterministic pseudo-random Gaussian
+//! offset from `(seed, AP, quantized position)` with bilinear
+//! interpolation between grid cells, giving a smooth spatially
+//! correlated field without storing anything.
+
+use moloc_geometry::Vec2;
+use moloc_stats::sampling::derive_seed;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic, spatially correlated shadow-fading field.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_radio::shadowing::ShadowingField;
+/// use moloc_radio::ap::ApId;
+/// use moloc_geometry::Vec2;
+///
+/// let field = ShadowingField::new(42, 2.0, 4.0);
+/// let a = field.shadow_db(ApId(0), Vec2::new(3.0, 3.0));
+/// let b = field.shadow_db(ApId(0), Vec2::new(3.0, 3.0));
+/// assert_eq!(a, b); // time-stable
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShadowingField {
+    seed: u64,
+    sigma_db: f64,
+    correlation_m: f64,
+}
+
+impl ShadowingField {
+    /// Creates a field with standard deviation `sigma_db` and
+    /// correlation length `correlation_m` (the grid pitch of the
+    /// underlying lattice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_db` is negative or `correlation_m` is not
+    /// positive.
+    pub fn new(seed: u64, sigma_db: f64, correlation_m: f64) -> Self {
+        assert!(sigma_db >= 0.0, "shadowing sigma must be non-negative");
+        assert!(correlation_m > 0.0, "correlation length must be positive");
+        Self {
+            seed,
+            sigma_db,
+            correlation_m,
+        }
+    }
+
+    /// A field with zero variance (no shadowing).
+    pub fn disabled() -> Self {
+        Self {
+            seed: 0,
+            sigma_db: 0.0,
+            correlation_m: 1.0,
+        }
+    }
+
+    /// The standard deviation in dB.
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// Gaussian lattice value at integer cell `(i, j)` for an AP.
+    fn lattice(&self, ap: crate::ap::ApId, i: i64, j: i64) -> f64 {
+        // Mix the coordinates and AP into one label, then turn the mixed
+        // 64-bit state into a standard normal via two uniform halves
+        // (Box–Muller on the hash output).
+        let label = (ap.0 as u64)
+            .wrapping_mul(0x1000_0000_0000_003F)
+            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9))
+            .wrapping_add((j as u64).wrapping_mul(0x85EB_CA6B_C2B2_AE35));
+        let h1 = derive_seed(self.seed, label);
+        let h2 = derive_seed(h1, 0xDEAD_BEEF);
+        let u1 = ((h1 >> 11) as f64 + 1.0) / (1u64 << 53) as f64; // (0, 1]
+        let u2 = (h2 >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// The shadow fading in dB seen at `pos` for `ap` (zero-mean
+    /// Gaussian with the configured sigma, bilinearly interpolated so
+    /// nearby positions see similar values).
+    pub fn shadow_db(&self, ap: crate::ap::ApId, pos: Vec2) -> f64 {
+        if self.sigma_db == 0.0 {
+            return 0.0;
+        }
+        let gx = pos.x / self.correlation_m;
+        let gy = pos.y / self.correlation_m;
+        let (i0, j0) = (gx.floor() as i64, gy.floor() as i64);
+        let (fx, fy) = (gx - gx.floor(), gy - gy.floor());
+        let v00 = self.lattice(ap, i0, j0);
+        let v10 = self.lattice(ap, i0 + 1, j0);
+        let v01 = self.lattice(ap, i0, j0 + 1);
+        let v11 = self.lattice(ap, i0 + 1, j0 + 1);
+        let v0 = v00 * (1.0 - fx) + v10 * fx;
+        let v1 = v01 * (1.0 - fx) + v11 * fx;
+        // Bilinear mixing shrinks the variance between lattice points;
+        // accept that (it mimics measured shadow maps being smoother
+        // between survey spots).
+        self.sigma_db * (v0 * (1.0 - fy) + v1 * fy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ap::ApId;
+    use moloc_stats::online::Welford;
+
+    #[test]
+    fn deterministic_per_position() {
+        let f = ShadowingField::new(7, 3.0, 2.0);
+        let p = Vec2::new(5.3, 2.7);
+        assert_eq!(f.shadow_db(ApId(1), p), f.shadow_db(ApId(1), p));
+    }
+
+    #[test]
+    fn different_aps_decorrelated() {
+        let f = ShadowingField::new(7, 3.0, 2.0);
+        let p = Vec2::new(5.3, 2.7);
+        assert_ne!(f.shadow_db(ApId(0), p), f.shadow_db(ApId(1), p));
+    }
+
+    #[test]
+    fn disabled_field_is_zero() {
+        let f = ShadowingField::disabled();
+        assert_eq!(f.shadow_db(ApId(0), Vec2::new(1.0, 1.0)), 0.0);
+        assert_eq!(f.sigma_db(), 0.0);
+    }
+
+    #[test]
+    fn statistics_roughly_standard() {
+        let f = ShadowingField::new(11, 4.0, 1.0);
+        let mut acc = Welford::new();
+        // Sample at lattice points so bilinear shrinkage does not apply.
+        for i in 0..60 {
+            for j in 0..60 {
+                acc.push(f.shadow_db(ApId(2), Vec2::new(i as f64, j as f64)));
+            }
+        }
+        assert!(acc.mean().abs() < 0.2, "mean {}", acc.mean());
+        assert!((acc.std() - 4.0).abs() < 0.4, "std {}", acc.std());
+    }
+
+    #[test]
+    fn nearby_points_are_correlated() {
+        let f = ShadowingField::new(3, 5.0, 4.0);
+        let mut near_diff = Welford::new();
+        let mut far_diff = Welford::new();
+        for i in 0..200 {
+            let base = Vec2::new(i as f64 * 0.37, i as f64 * 0.23);
+            let near = base + Vec2::new(0.3, 0.0);
+            let far = base + Vec2::new(40.0, 31.0);
+            near_diff.push((f.shadow_db(ApId(0), base) - f.shadow_db(ApId(0), near)).abs());
+            far_diff.push((f.shadow_db(ApId(0), base) - f.shadow_db(ApId(0), far)).abs());
+        }
+        assert!(
+            near_diff.mean() < far_diff.mean() / 2.0,
+            "near {} vs far {}",
+            near_diff.mean(),
+            far_diff.mean()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let _ = ShadowingField::new(0, -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_correlation_panics() {
+        let _ = ShadowingField::new(0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Synthetic digital-compass readings.
+//!
+//! Compass readings reflect *phone orientation*, not motion direction
+//! (Sec. IV-B1): a user texting holds the phone roughly along her
+//! heading, but a user on a call may point it anywhere. The synthesizer
+//! models this as a per-trace constant *placement offset* plus a
+//! constant hard-iron-like bias and white noise, all wrapped to
+//! `[0, 360)`.
+
+use crate::series::TimeSeries;
+use moloc_stats::circular::normalize_deg;
+use moloc_stats::sampling::normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Synthesizes compass readings from true motion headings.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_sensors::compass::CompassSynthesizer;
+/// use moloc_sensors::series::TimeSeries;
+/// use rand::SeedableRng;
+///
+/// let truth = TimeSeries::new(0.0, 10.0, vec![90.0; 20]).unwrap();
+/// let compass = CompassSynthesizer::new(30.0, 2.0, 0.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let readings = compass.synthesize(&truth, &mut rng);
+/// // Readings sit near heading + placement offset.
+/// assert!((readings.values()[0] - 120.0).abs() < 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompassSynthesizer {
+    /// Constant offset between phone orientation and motion direction,
+    /// in degrees (per-trace; depends on how the phone is held).
+    pub placement_offset_deg: f64,
+    /// White noise standard deviation in degrees.
+    pub noise_sigma_deg: f64,
+    /// Constant magnetic bias in degrees (hard-iron distortion of the
+    /// specific device; the paper observed 10–20° reversal bias).
+    pub bias_deg: f64,
+}
+
+impl CompassSynthesizer {
+    /// Creates a synthesizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_sigma_deg` is negative.
+    pub fn new(placement_offset_deg: f64, noise_sigma_deg: f64, bias_deg: f64) -> Self {
+        assert!(noise_sigma_deg >= 0.0, "noise sigma must be non-negative");
+        Self {
+            placement_offset_deg,
+            noise_sigma_deg,
+            bias_deg,
+        }
+    }
+
+    /// An ideal compass: reading equals motion heading.
+    pub fn ideal() -> Self {
+        Self {
+            placement_offset_deg: 0.0,
+            noise_sigma_deg: 0.0,
+            bias_deg: 0.0,
+        }
+    }
+
+    /// One reading given the true motion heading.
+    pub fn read<R: Rng + ?Sized>(&self, true_heading_deg: f64, rng: &mut R) -> f64 {
+        normalize_deg(
+            true_heading_deg
+                + self.placement_offset_deg
+                + self.bias_deg
+                + normal(rng, 0.0, self.noise_sigma_deg),
+        )
+    }
+
+    /// A reading series from a true-heading series (same timing).
+    pub fn synthesize<R: Rng + ?Sized>(
+        &self,
+        true_headings: &TimeSeries,
+        rng: &mut R,
+    ) -> TimeSeries {
+        true_headings.map(|h| self.read(h, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_stats::circular::{abs_diff_deg, circular_mean_deg};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_compass_is_exact() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = CompassSynthesizer::ideal();
+        assert_eq!(c.read(123.4, &mut rng), 123.4);
+    }
+
+    #[test]
+    fn readings_are_wrapped() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = CompassSynthesizer::new(40.0, 0.0, 0.0);
+        let r = c.read(350.0, &mut rng);
+        assert!((r - 30.0).abs() < 1e-9);
+        assert!((0.0..360.0).contains(&r));
+    }
+
+    #[test]
+    fn mean_reading_reflects_offset_and_bias() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = CompassSynthesizer::new(25.0, 8.0, 10.0);
+        let readings: Vec<f64> = (0..5000).map(|_| c.read(90.0, &mut rng)).collect();
+        let mean = circular_mean_deg(readings.iter().copied()).unwrap();
+        assert!(abs_diff_deg(mean, 125.0) < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn synthesize_preserves_timing() {
+        let truth = TimeSeries::new(2.0, 10.0, vec![45.0; 30]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = CompassSynthesizer::new(0.0, 1.0, 0.0).synthesize(&truth, &mut rng);
+        assert_eq!(out.len(), 30);
+        assert_eq!(out.t0(), 2.0);
+        assert_eq!(out.sample_rate_hz(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_panics() {
+        let _ = CompassSynthesizer::new(0.0, -1.0, 0.0);
+    }
+}

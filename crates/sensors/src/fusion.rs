@@ -1,0 +1,199 @@
+//! Compass–gyroscope heading fusion.
+//!
+//! The paper's future-work extension: the compass is absolute but noisy
+//! and bias-prone; the gyroscope is precise over short horizons but
+//! drifts. [`HeadingFusion`] runs a 1-D Kalman filter on the heading
+//! angle: the gyro rate drives the prediction, each compass reading is
+//! a measurement update, and all arithmetic happens on wrapped angular
+//! *errors* so the 0°/360° seam never bites.
+
+use crate::series::TimeSeries;
+use moloc_stats::circular::{normalize_deg, signed_diff_deg};
+use serde::{Deserialize, Serialize};
+
+/// A Kalman-filter heading fusing gyro predictions with compass
+/// updates.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_sensors::fusion::HeadingFusion;
+///
+/// let mut f = HeadingFusion::new(90.0, 1.0, 36.0);
+/// // Standing still (rate 0), compass reads around 90° with noise.
+/// for reading in [95.0, 88.0, 91.0, 86.0, 92.0] {
+///     f.predict(0.0, 0.1);
+///     f.update(reading);
+/// }
+/// let h = f.heading_deg();
+/// assert!((h - 90.0).abs() < 4.0, "heading {h}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeadingFusion {
+    heading_deg: f64,
+    variance: f64,
+    /// Process noise: variance added per second of gyro integration,
+    /// (°)²/s.
+    process_var_per_s: f64,
+    /// Compass measurement variance, (°)².
+    measurement_var: f64,
+}
+
+impl HeadingFusion {
+    /// Creates a filter at an initial heading with the given process
+    /// (per second) and measurement variances.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both variances are positive.
+    pub fn new(initial_heading_deg: f64, process_var_per_s: f64, measurement_var: f64) -> Self {
+        assert!(
+            process_var_per_s > 0.0 && measurement_var > 0.0,
+            "variances must be positive"
+        );
+        Self {
+            heading_deg: normalize_deg(initial_heading_deg),
+            variance: measurement_var,
+            process_var_per_s,
+            measurement_var,
+        }
+    }
+
+    /// Gyro prediction step: advance the heading by `rate_deg_s · dt_s`
+    /// and grow the uncertainty.
+    pub fn predict(&mut self, rate_deg_s: f64, dt_s: f64) {
+        debug_assert!(dt_s >= 0.0, "time must move forward");
+        self.heading_deg = normalize_deg(self.heading_deg + rate_deg_s * dt_s);
+        self.variance += self.process_var_per_s * dt_s;
+    }
+
+    /// Compass measurement update on the wrapped innovation.
+    pub fn update(&mut self, compass_deg: f64) {
+        let innovation = signed_diff_deg(self.heading_deg, compass_deg);
+        let gain = self.variance / (self.variance + self.measurement_var);
+        self.heading_deg = normalize_deg(self.heading_deg + gain * innovation);
+        self.variance *= 1.0 - gain;
+    }
+
+    /// The fused heading estimate in `[0, 360)`.
+    pub fn heading_deg(&self) -> f64 {
+        self.heading_deg
+    }
+
+    /// The current estimate variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Fuses whole series: per sample, predict with the gyro rate and
+    /// update with the compass reading. Series must share timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths or rates differ.
+    pub fn fuse_series(mut self, gyro_rates: &TimeSeries, compass: &TimeSeries) -> TimeSeries {
+        assert_eq!(gyro_rates.len(), compass.len(), "series lengths differ");
+        assert!(
+            (gyro_rates.sample_rate_hz() - compass.sample_rate_hz()).abs() < 1e-9,
+            "series rates differ"
+        );
+        let dt = gyro_rates.dt();
+        let fused: Vec<f64> = gyro_rates
+            .values()
+            .iter()
+            .zip(compass.values())
+            .map(|(&rate, &reading)| {
+                self.predict(rate, dt);
+                self.update(reading);
+                self.heading_deg
+            })
+            .collect();
+        TimeSeries::new(compass.t0(), compass.sample_rate_hz(), fused).expect("rate unchanged")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compass::CompassSynthesizer;
+    use crate::gyro::GyroSynthesizer;
+    use moloc_stats::circular::abs_diff_deg;
+    use moloc_stats::online::Welford;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Heading truth: straight, sharp 90° turn, straight.
+    fn truth() -> TimeSeries {
+        let mut v = vec![0.0; 30];
+        for i in 0..10 {
+            v.push(i as f64 * 9.0);
+        }
+        v.extend(std::iter::repeat_n(90.0, 30));
+        TimeSeries::new(0.0, 10.0, v).unwrap()
+    }
+
+    #[test]
+    fn fusion_beats_raw_compass() {
+        let truth = truth();
+        let mut rng = StdRng::seed_from_u64(5);
+        let compass = CompassSynthesizer::new(0.0, 8.0, 0.0).synthesize(&truth, &mut rng);
+        let gyro = GyroSynthesizer::new(0.3, 0.5).synthesize(&truth, &mut rng);
+        let fused = HeadingFusion::new(truth.values()[0], 4.0, 64.0).fuse_series(&gyro, &compass);
+
+        let mut raw_err = Welford::new();
+        let mut fused_err = Welford::new();
+        // Skip the settle-in and the turn itself.
+        for i in 45..70 {
+            raw_err.push(abs_diff_deg(compass.values()[i], truth.values()[i]));
+            fused_err.push(abs_diff_deg(fused.values()[i], truth.values()[i]));
+        }
+        assert!(
+            fused_err.mean() < raw_err.mean(),
+            "fused {:.2}° vs raw {:.2}°",
+            fused_err.mean(),
+            raw_err.mean()
+        );
+    }
+
+    #[test]
+    fn fusion_tracks_through_turns() {
+        let truth = truth();
+        let mut rng = StdRng::seed_from_u64(7);
+        let compass = CompassSynthesizer::new(0.0, 6.0, 0.0).synthesize(&truth, &mut rng);
+        let gyro = GyroSynthesizer::new(0.0, 0.3).synthesize(&truth, &mut rng);
+        let fused = HeadingFusion::new(0.0, 4.0, 36.0).fuse_series(&gyro, &compass);
+        let end = *fused.values().last().unwrap();
+        assert!(abs_diff_deg(end, 90.0) < 5.0, "end heading {end}");
+    }
+
+    #[test]
+    fn update_shrinks_variance_predict_grows_it() {
+        let mut f = HeadingFusion::new(0.0, 2.0, 25.0);
+        let v0 = f.variance();
+        f.predict(0.0, 1.0);
+        assert!(f.variance() > v0);
+        let v1 = f.variance();
+        f.update(1.0);
+        assert!(f.variance() < v1);
+    }
+
+    #[test]
+    fn wraparound_innovations_are_short_way() {
+        let mut f = HeadingFusion::new(359.0, 1.0, 4.0);
+        f.predict(0.0, 0.1);
+        f.update(2.0); // 3° away across the seam
+        let h = f.heading_deg();
+        assert!(
+            abs_diff_deg(h, 0.5) < 3.0,
+            "heading {h} should move across the seam"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_series_panic() {
+        let a = TimeSeries::new(0.0, 10.0, vec![0.0; 3]).unwrap();
+        let b = TimeSeries::new(0.0, 10.0, vec![0.0; 4]).unwrap();
+        let _ = HeadingFusion::new(0.0, 1.0, 1.0).fuse_series(&a, &b);
+    }
+}

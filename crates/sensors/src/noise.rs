@@ -1,0 +1,98 @@
+//! Additive sensor noise models.
+//!
+//! Real MEMS sensors carry a constant bias plus white measurement noise;
+//! the paper's data-sanitation stage exists precisely because of these.
+//! [`NoiseModel`] injects both into a clean synthesized signal.
+
+use crate::series::TimeSeries;
+use moloc_stats::sampling::normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Bias + white Gaussian noise.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_sensors::noise::NoiseModel;
+/// use moloc_sensors::series::TimeSeries;
+/// use rand::SeedableRng;
+///
+/// let clean = TimeSeries::new(0.0, 10.0, vec![0.0; 100]).unwrap();
+/// let model = NoiseModel::new(1.0, 0.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let noisy = model.apply(&clean, &mut rng);
+/// assert!(noisy.values().iter().all(|&v| (v - 1.0).abs() < 1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Constant additive bias.
+    pub bias: f64,
+    /// White noise standard deviation.
+    pub white_sigma: f64,
+}
+
+impl NoiseModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `white_sigma` is negative.
+    pub fn new(bias: f64, white_sigma: f64) -> Self {
+        assert!(white_sigma >= 0.0, "noise sigma must be non-negative");
+        Self { bias, white_sigma }
+    }
+
+    /// A noiseless identity model.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// Applies the model to a series.
+    pub fn apply<R: Rng + ?Sized>(&self, series: &TimeSeries, rng: &mut R) -> TimeSeries {
+        series.map(|v| v + self.bias + normal(rng, 0.0, self.white_sigma))
+    }
+
+    /// Applies the model to a single value.
+    pub fn apply_value<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        value + self.bias + normal(rng, 0.0, self.white_sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_stats::online::Welford;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_model_is_identity() {
+        let s = TimeSeries::new(0.0, 10.0, vec![1.0, -2.0, 3.5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(NoiseModel::clean().apply(&s, &mut rng), s);
+    }
+
+    #[test]
+    fn bias_shifts_and_sigma_spreads() {
+        let s = TimeSeries::new(0.0, 10.0, vec![0.0; 50_000]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = NoiseModel::new(2.0, 0.5).apply(&s, &mut rng);
+        let acc: Welford = noisy.values().iter().copied().collect();
+        assert!((acc.mean() - 2.0).abs() < 0.02);
+        assert!((acc.std() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn apply_value_matches_model() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = NoiseModel::new(3.0, 0.0).apply_value(1.0, &mut rng);
+        assert_eq!(v, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let _ = NoiseModel::new(0.0, -0.1);
+    }
+}

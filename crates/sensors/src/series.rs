@@ -1,0 +1,245 @@
+//! Uniformly sampled time series.
+
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled scalar signal.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_sensors::series::TimeSeries;
+///
+/// let s = TimeSeries::new(0.0, 10.0, vec![1.0, 2.0, 3.0]).unwrap();
+/// assert_eq!(s.sample_rate_hz(), 10.0);
+/// assert!((s.time_at(2) - 0.2).abs() < 1e-12);
+/// assert!((s.duration() - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    t0: f64,
+    sample_rate_hz: f64,
+    values: Vec<f64>,
+}
+
+/// Error constructing a [`TimeSeries`] with a non-positive sample rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRateError;
+
+impl std::fmt::Display for InvalidRateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sample rate must be finite and positive")
+    }
+}
+
+impl std::error::Error for InvalidRateError {}
+
+impl TimeSeries {
+    /// Creates a series starting at `t0` seconds with the given sample
+    /// rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] if the rate is not finite and
+    /// positive.
+    pub fn new(t0: f64, sample_rate_hz: f64, values: Vec<f64>) -> Result<Self, InvalidRateError> {
+        if !sample_rate_hz.is_finite() || sample_rate_hz <= 0.0 {
+            return Err(InvalidRateError);
+        }
+        Ok(Self {
+            t0,
+            sample_rate_hz,
+            values,
+        })
+    }
+
+    /// Start time in seconds.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Sample rate in Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// The sampling interval in seconds.
+    pub fn dt(&self) -> f64 {
+        1.0 / self.sample_rate_hz
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Duration covered by the samples (`len / rate`) in seconds.
+    pub fn duration(&self) -> f64 {
+        self.values.len() as f64 * self.dt()
+    }
+
+    /// The timestamp of sample `i`.
+    pub fn time_at(&self, i: usize) -> f64 {
+        self.t0 + i as f64 * self.dt()
+    }
+
+    /// The sample index covering time `t`, or `None` outside the series.
+    pub fn index_at(&self, t: f64) -> Option<usize> {
+        if t < self.t0 {
+            return None;
+        }
+        let i = ((t - self.t0) * self.sample_rate_hz).floor() as usize;
+        (i < self.values.len()).then_some(i)
+    }
+
+    /// Iterates `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (self.time_at(i), v))
+    }
+
+    /// The sub-series covering `[start, end)` seconds (clamped to the
+    /// series extent). The result keeps the same rate and starts at the
+    /// first retained sample's timestamp.
+    pub fn slice_time(&self, start: f64, end: f64) -> TimeSeries {
+        let lo = (((start - self.t0) * self.sample_rate_hz).ceil().max(0.0)) as usize;
+        let hi = ((((end - self.t0) * self.sample_rate_hz).ceil()).max(0.0) as usize)
+            .min(self.values.len());
+        let lo = lo.min(hi);
+        TimeSeries {
+            t0: self.time_at(lo),
+            sample_rate_hz: self.sample_rate_hz,
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
+    /// Appends another series sampled at the same rate; its timestamps
+    /// are assumed to continue this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates differ.
+    pub fn append(&mut self, other: &TimeSeries) {
+        assert!(
+            (self.sample_rate_hz - other.sample_rate_hz).abs() < 1e-9,
+            "cannot append series with different rates"
+        );
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Maps values through `f`, keeping timing.
+    pub fn map<F: FnMut(f64) -> f64>(&self, f: F) -> TimeSeries {
+        TimeSeries {
+            t0: self.t0,
+            sample_rate_hz: self.sample_rate_hz,
+            values: self.values.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Mean of the values, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Population variance of the values, `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        Some(self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / self.values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::new(1.0, 10.0, (0..20).map(|i| i as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(TimeSeries::new(0.0, 0.0, vec![]).is_err());
+        assert!(TimeSeries::new(0.0, -1.0, vec![]).is_err());
+        assert!(TimeSeries::new(0.0, f64::NAN, vec![]).is_err());
+    }
+
+    #[test]
+    fn timing_accessors() {
+        let s = series();
+        assert_eq!(s.t0(), 1.0);
+        assert!((s.dt() - 0.1).abs() < 1e-12);
+        assert!((s.time_at(5) - 1.5).abs() < 1e-12);
+        assert!((s.duration() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_at_time() {
+        let s = series();
+        assert_eq!(s.index_at(0.5), None); // before start
+        assert_eq!(s.index_at(1.0), Some(0));
+        assert_eq!(s.index_at(1.55), Some(5));
+        assert_eq!(s.index_at(2.95), Some(19));
+        assert_eq!(s.index_at(3.5), None); // past end
+    }
+
+    #[test]
+    fn slice_time_clamps() {
+        let s = series();
+        let sub = s.slice_time(1.5, 2.0);
+        assert_eq!(sub.len(), 5);
+        assert_eq!(sub.values()[0], 5.0);
+        assert!((sub.t0() - 1.5).abs() < 1e-12);
+        // Fully outside → empty.
+        assert!(s.slice_time(10.0, 12.0).is_empty());
+        assert!(s.slice_time(2.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn append_continues_series() {
+        let mut a = TimeSeries::new(0.0, 10.0, vec![1.0, 2.0]).unwrap();
+        let b = TimeSeries::new(0.2, 10.0, vec![3.0]).unwrap();
+        a.append(&b);
+        assert_eq!(a.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different rates")]
+    fn append_rate_mismatch_panics() {
+        let mut a = TimeSeries::new(0.0, 10.0, vec![1.0]).unwrap();
+        let b = TimeSeries::new(0.0, 20.0, vec![1.0]).unwrap();
+        a.append(&b);
+    }
+
+    #[test]
+    fn map_and_moments() {
+        let s = TimeSeries::new(0.0, 1.0, vec![1.0, 2.0, 3.0]).unwrap();
+        let doubled = s.map(|v| v * 2.0);
+        assert_eq!(doubled.values(), &[2.0, 4.0, 6.0]);
+        assert_eq!(s.mean(), Some(2.0));
+        assert!((s.variance().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(TimeSeries::default().mean(), None);
+    }
+
+    #[test]
+    fn iter_yields_time_value_pairs() {
+        let s = TimeSeries::new(0.0, 2.0, vec![5.0, 6.0]).unwrap();
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![(0.0, 5.0), (0.5, 6.0)]);
+    }
+}

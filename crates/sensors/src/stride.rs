@@ -1,0 +1,114 @@
+//! Step-length models.
+//!
+//! The paper derives step size "from individual's height and weight
+//! \[25\]" (Constandache et al.). The dominant term in such models is a
+//! linear height factor (~0.41–0.42 of height), with a small weight
+//! correction; [`StepLengthModel`] implements that family.
+
+use serde::{Deserialize, Serialize};
+
+/// Step length as a function of user height and weight.
+///
+/// `L = height_factor · height + weight_slope · (weight − 70 kg)`
+///
+/// # Examples
+///
+/// ```
+/// use moloc_sensors::stride::StepLengthModel;
+///
+/// let model = StepLengthModel::default();
+/// let l = model.step_length_m(1.75, 70.0);
+/// assert!(l > 0.65 && l < 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepLengthModel {
+    /// Fraction of body height contributing to a step (≈ 0.413).
+    pub height_factor: f64,
+    /// Meters of step length per kg away from the 70 kg reference
+    /// (small, may be negative: heavier gait → slightly shorter steps).
+    pub weight_slope: f64,
+}
+
+impl Default for StepLengthModel {
+    fn default() -> Self {
+        Self {
+            height_factor: 0.413,
+            weight_slope: -0.0005,
+        }
+    }
+}
+
+impl StepLengthModel {
+    /// The modeled step length in meters, clamped to a plausible
+    /// `[0.3, 1.2]` m so pathological inputs cannot produce nonsense.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless height and weight are positive.
+    pub fn step_length_m(&self, height_m: f64, weight_kg: f64) -> f64 {
+        assert!(height_m > 0.0, "height must be positive");
+        assert!(weight_kg > 0.0, "weight must be positive");
+        (self.height_factor * height_m + self.weight_slope * (weight_kg - 70.0)).clamp(0.3, 1.2)
+    }
+}
+
+/// Estimates walked distance: (possibly fractional) steps × step length.
+///
+/// # Panics
+///
+/// Panics if `steps` is negative.
+pub fn offset_m(steps: f64, step_length_m: f64) -> f64 {
+    assert!(steps >= 0.0, "step count must be non-negative");
+    steps * step_length_m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_heights_give_normal_steps() {
+        // The paper calls 0.7–0.8 m "a normal step size".
+        let m = StepLengthModel::default();
+        let short = m.step_length_m(1.55, 50.0);
+        let tall = m.step_length_m(1.90, 85.0);
+        assert!(short > 0.55 && short < 0.72, "short {short}");
+        assert!(tall > 0.72 && tall < 0.85, "tall {tall}");
+        assert!(tall > short);
+    }
+
+    #[test]
+    fn weight_correction_is_small() {
+        let m = StepLengthModel::default();
+        let light = m.step_length_m(1.75, 55.0);
+        let heavy = m.step_length_m(1.75, 95.0);
+        assert!((light - heavy).abs() < 0.05);
+        assert!(light > heavy);
+    }
+
+    #[test]
+    fn clamping_bounds_extremes() {
+        let m = StepLengthModel::default();
+        assert_eq!(m.step_length_m(0.3, 70.0), 0.3);
+        assert_eq!(m.step_length_m(5.0, 70.0), 1.2);
+    }
+
+    #[test]
+    fn offset_scales_linearly() {
+        assert_eq!(offset_m(6.0, 0.75), 4.5);
+        assert_eq!(offset_m(0.0, 0.75), 0.0);
+        assert!((offset_m(5.5, 0.8) - 4.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_steps_panics() {
+        let _ = offset_m(-1.0, 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "height")]
+    fn zero_height_panics() {
+        let _ = StepLengthModel::default().step_length_m(0.0, 70.0);
+    }
+}

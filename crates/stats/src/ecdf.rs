@@ -1,0 +1,209 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper reports its results almost exclusively as CDFs of errors
+//! (Figs. 6, 7, 8). [`Ecdf`] stores a sorted sample and answers quantile
+//! and `P(X ≤ x)` queries, and renders the `(x, F(x))` series used by the
+//! reproduction's figure output.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_stats::ecdf::Ecdf;
+///
+/// let e = Ecdf::from_samples(vec![3.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(e.len(), 4);
+/// assert_eq!(e.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(e.max(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF, sorting the samples. Non-finite samples are
+    /// rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN or infinite.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "ECDF samples must be finite"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The fraction of samples `≤ x` (the CDF value at `x`).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]` using the nearest-rank method,
+    /// or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// The median (0.5-quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The sample minimum.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// The sample maximum.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The sample mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Renders the CDF as `n` evenly spaced `(x, F(x))` points spanning
+    /// `[0, max]` (or `[min, max]` when `from_zero` is false) — the series
+    /// plotted in the paper's figures.
+    pub fn series(&self, n: usize, from_zero: bool) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let lo = if from_zero {
+            0.0
+        } else {
+            self.min().expect("non-empty")
+        };
+        let hi = self.max().expect("non-empty");
+        if n == 1 || hi <= lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self::from_samples(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_counts_inclusively() {
+        let e = Ecdf::from_samples(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(e.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(e.fraction_at_or_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::from_samples(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(0.25), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(20.0));
+        assert_eq!(e.quantile(0.75), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(40.0));
+    }
+
+    #[test]
+    fn median_of_odd_sample() {
+        let e = Ecdf::from_samples(vec![5.0, 1.0, 9.0]);
+        assert_eq!(e.median(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_ecdf_behaves() {
+        let e = Ecdf::default();
+        assert!(e.is_empty());
+        assert_eq!(e.median(), None);
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.0);
+        assert!(e.series(10, true).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = Ecdf::from_samples(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn series_is_monotone_and_ends_at_one() {
+        let e: Ecdf = (0..50).map(|i| (i as f64 * 37.0) % 11.0).collect();
+        let s = e.series(20, true);
+        assert_eq!(s.len(), 20);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF series not monotone");
+            assert!(w[1].0 >= w[0].0, "x series not monotone");
+        }
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn series_degenerate_sample() {
+        let e = Ecdf::from_samples(vec![2.0, 2.0]);
+        let s = e.series(5, false);
+        assert_eq!(s, vec![(2.0, 1.0)]);
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let e = Ecdf::from_samples(vec![2.0, 4.0, 9.0]);
+        assert_eq!(e.min(), Some(2.0));
+        assert_eq!(e.max(), Some(9.0));
+        assert!((e.mean().unwrap() - 5.0).abs() < 1e-12);
+    }
+}

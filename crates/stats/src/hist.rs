@@ -1,0 +1,187 @@
+//! Fixed-bin histograms.
+//!
+//! Used by sensor-validation tests and by the evaluation harness when
+//! summarizing error distributions in textual reports.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniform bins over `[lo, hi)`.
+///
+/// Samples below `lo` land in an underflow counter, samples at or above
+/// `hi` in an overflow counter, so no observation is silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// use moloc_stats::hist::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.push(1.0);
+/// h.push(9.5);
+/// h.push(-3.0);
+/// assert_eq!(h.counts(), &[1, 0, 0, 0, 1]);
+/// assert_eq!(h.underflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+/// Error constructing a [`Histogram`] with invalid bounds or zero bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidHistogramError;
+
+impl std::fmt::Display for InvalidHistogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "histogram needs lo < hi (finite) and at least one bin")
+    }
+}
+
+impl std::error::Error for InvalidHistogramError {}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidHistogramError`] if `lo >= hi`, the bounds are not
+    /// finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, InvalidHistogramError> {
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi || bins == 0 {
+            return Err(InvalidHistogramError);
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of samples below the lower bound.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// The index of the most populated bin, ties broken low; `None` when
+    /// all in-range bins are empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let (idx, &max) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))?;
+        if max == 0 {
+            None
+        } else {
+            Some(idx)
+        }
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        for x in [0.0, 0.99, 1.0, 2.5, 3.999] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn upper_bound_is_exclusive() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.push(4.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn total_includes_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.extend([-1.0, 0.5, 2.0]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_edges_are_uniform() {
+        let h = Histogram::new(2.0, 6.0, 4).unwrap();
+        assert_eq!(h.bin_edges(0), (2.0, 3.0));
+        assert_eq!(h.bin_edges(3), (5.0, 6.0));
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        h.extend([0.5, 1.5, 1.6, 2.5]);
+        assert_eq!(h.mode_bin(), Some(1));
+        let empty = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(empty.mode_bin(), None);
+    }
+}

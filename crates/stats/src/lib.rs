@@ -1,0 +1,41 @@
+//! Statistical substrate for the MoLoc reproduction.
+//!
+//! This crate provides the numerical building blocks every other crate in
+//! the workspace relies on:
+//!
+//! * [`erf`] — the error function and friends, needed for Gaussian CDFs.
+//! * [`gaussian`] — a [`gaussian::Gaussian`] distribution type with the
+//!   *windowed mass* operation that implements the discretized integrals
+//!   `D_{i,j}(d)` and `O_{i,j}(o)` of MoLoc's Eq. 5.
+//! * [`sampling`] — seeded Gaussian/uniform sampling (Box–Muller), so the
+//!   whole simulation is reproducible without external distribution crates.
+//! * [`online`] — Welford online mean/variance accumulators.
+//! * [`circular`] — angle arithmetic and circular statistics in degrees,
+//!   used for compass headings and motion directions.
+//! * [`ecdf`] — empirical CDFs for rendering the paper's figures.
+//! * [`hist`] — fixed-bin histograms.
+//!
+//! # Examples
+//!
+//! ```
+//! use moloc_stats::gaussian::Gaussian;
+//!
+//! // The probability mass of a 20-degree window centred on the mean
+//! // direction, as used by MoLoc's direction matching.
+//! let g = Gaussian::new(90.0, 5.0).unwrap();
+//! let mass = g.window_mass(90.0, 20.0);
+//! assert!(mass > 0.95);
+//! ```
+
+pub mod circular;
+pub mod ecdf;
+pub mod erf;
+pub mod gaussian;
+pub mod hist;
+pub mod online;
+pub mod sampling;
+
+pub use circular::{circular_mean_deg, normalize_deg, signed_diff_deg};
+pub use ecdf::Ecdf;
+pub use gaussian::Gaussian;
+pub use online::Welford;

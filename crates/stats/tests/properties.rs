@@ -1,0 +1,150 @@
+//! Property-based tests for the statistical substrate.
+
+use moloc_stats::circular::{
+    abs_diff_deg, circular_mean_deg, normalize_deg, reverse_deg, signed_diff_deg,
+};
+use moloc_stats::ecdf::Ecdf;
+use moloc_stats::erf::{erf, std_normal_cdf};
+use moloc_stats::gaussian::Gaussian;
+use moloc_stats::online::Welford;
+use proptest::prelude::*;
+
+fn finite_angle() -> impl Strategy<Value = f64> {
+    -1e4..1e4f64
+}
+
+proptest! {
+    #[test]
+    fn normalize_lands_in_range(a in finite_angle()) {
+        let n = normalize_deg(a);
+        prop_assert!((0.0..360.0).contains(&n), "normalize({a}) = {n}");
+    }
+
+    #[test]
+    fn normalize_is_idempotent(a in finite_angle()) {
+        let once = normalize_deg(a);
+        prop_assert!((normalize_deg(once) - once).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_diff_in_half_open_range(a in finite_angle(), b in finite_angle()) {
+        let d = signed_diff_deg(a, b);
+        prop_assert!(d > -180.0 - 1e-9 && d <= 180.0 + 1e-9, "diff {d}");
+    }
+
+    #[test]
+    fn signed_diff_is_antisymmetric_mod_360(a in 0.0..360.0f64, b in 0.0..360.0f64) {
+        let ab = signed_diff_deg(a, b);
+        let ba = signed_diff_deg(b, a);
+        // ab = -ba except at exactly ±180 where both are +180.
+        let sum = normalize_deg(ab + ba);
+        prop_assert!(sum < 1e-9 || (sum - 360.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn reverse_twice_is_identity(a in finite_angle()) {
+        let r = reverse_deg(reverse_deg(a));
+        prop_assert!(abs_diff_deg(r, normalize_deg(a)) < 1e-9);
+    }
+
+    #[test]
+    fn abs_diff_symmetric_and_bounded(a in finite_angle(), b in finite_angle()) {
+        let d1 = abs_diff_deg(a, b);
+        let d2 = abs_diff_deg(b, a);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!((0.0..=180.0 + 1e-9).contains(&d1));
+    }
+
+    #[test]
+    fn circular_mean_rotation_equivariance(
+        angles in prop::collection::vec(0.0..360.0f64, 1..20),
+        shift in 0.0..360.0f64,
+    ) {
+        // Rotating every input rotates the mean (when defined).
+        if let Some(m) = circular_mean_deg(angles.iter().copied()) {
+            let shifted = circular_mean_deg(angles.iter().map(|a| a + shift));
+            if let Some(ms) = shifted {
+                prop_assert!(
+                    abs_diff_deg(ms, normalize_deg(m + shift)) < 1e-6,
+                    "mean {m}, shifted {ms}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn erf_is_bounded_and_monotone(a in -6.0..6.0f64, b in -6.0..6.0f64) {
+        prop_assert!((-1.0..=1.0).contains(&erf(a)));
+        if a < b {
+            prop_assert!(erf(a) <= erf(b) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_is_a_cdf(x in -8.0..8.0f64, dx in 0.0..4.0f64) {
+        let lo = std_normal_cdf(x);
+        let hi = std_normal_cdf(x + dx);
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!(hi + 1e-12 >= lo);
+    }
+
+    #[test]
+    fn gaussian_window_mass_is_probability(
+        mean in -100.0..100.0f64,
+        std in 0.01..50.0f64,
+        center in -200.0..200.0f64,
+        width in 0.0..500.0f64,
+    ) {
+        let g = Gaussian::new(mean, std).unwrap();
+        let m = g.window_mass(center, width);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&m), "mass {m}");
+    }
+
+    #[test]
+    fn gaussian_window_mass_monotone_in_width(
+        mean in -10.0..10.0f64,
+        std in 0.1..5.0f64,
+        center in -20.0..20.0f64,
+        w1 in 0.0..30.0f64,
+        w2 in 0.0..30.0f64,
+    ) {
+        let g = Gaussian::new(mean, std).unwrap();
+        let (small, large) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        prop_assert!(g.window_mass(center, small) <= g.window_mass(center, large) + 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential(
+        xs in prop::collection::vec(-1e3..1e3f64, 0..40),
+        ys in prop::collection::vec(-1e3..1e3f64, 0..40),
+    ) {
+        let mut merged: Welford = xs.iter().copied().collect();
+        let other: Welford = ys.iter().copied().collect();
+        merged.merge(&other);
+        let all: Welford = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert!((merged.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((merged.variance() - all.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_normalized(samples in prop::collection::vec(-1e3..1e3f64, 1..60)) {
+        let e = Ecdf::from_samples(samples.clone());
+        prop_assert_eq!(e.fraction_at_or_below(e.max().unwrap()), 1.0);
+        prop_assert_eq!(e.fraction_at_or_below(e.min().unwrap() - 1.0), 0.0);
+        let mut prev = 0.0;
+        for i in -10..=10 {
+            let x = i as f64 * 100.0;
+            let f = e.fraction_at_or_below(x);
+            prop_assert!(f + 1e-12 >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn ecdf_quantiles_are_sample_values(samples in prop::collection::vec(-1e3..1e3f64, 1..60), q in 0.0..=1.0f64) {
+        let e = Ecdf::from_samples(samples.clone());
+        let v = e.quantile(q).unwrap();
+        prop_assert!(samples.iter().any(|&s| (s - v).abs() < 1e-12));
+    }
+}

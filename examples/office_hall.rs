@@ -1,0 +1,90 @@
+//! The full crowdsourcing pipeline on the paper's office-hall testbed.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example office_hall
+//! ```
+//!
+//! Builds the simulated 40.8 m × 16 m hall (28 reference locations,
+//! 6 APs), conducts the 60-samples-per-location site survey, generates
+//! a crowdsourced walking corpus, constructs the motion database with
+//! the paper's two-level sanitation, and compares MoLoc against the
+//! WiFi fingerprinting baseline on held-out traces — a compressed
+//! version of the paper's whole Sec. VI.
+
+use moloc::eval::experiments::fig7;
+use moloc::eval::metrics::{error_ecdf, flatten};
+use moloc::eval::pipeline::{localize_moloc, localize_wifi, EvalWorld};
+use moloc::prelude::*;
+
+fn main() {
+    let seed = 42;
+    println!("building the office hall, surveying, and walking the corpus (seed {seed})...");
+    let world = EvalWorld::small(seed);
+    println!(
+        "  {} reference locations, {} APs, {} train + {} test traces",
+        world.hall.grid.len(),
+        world.hall.env.aps().len(),
+        world.corpus.train.len(),
+        world.corpus.test.len()
+    );
+
+    // Build the 6-AP databases; the construction report shows the
+    // sanitation at work.
+    let setting = world.setting(6);
+    println!(
+        "  motion database: {} pairs (of {} walkable aisles); {} RLMs observed, {} rejected by the coarse filter, {} by the fine filter",
+        setting.motion_db.pair_count(),
+        world.hall.graph.edge_count(),
+        setting.build_report.observed,
+        setting.build_report.rejected_coarse,
+        setting.build_report.rejected_fine,
+    );
+
+    // A few motion-database entries, the paper's ⟨μᵈ, σᵈ, μᵒ, σᵒ⟩ rows.
+    println!("\nsample motion-database entries:");
+    for (a, b, stats) in setting.motion_db.iter().take(5) {
+        println!(
+            "  {a} → {b}: direction {:6.1}° ± {:4.1}°, offset {:4.2} m ± {:4.2} m  ({} samples)",
+            stats.direction.mean(),
+            stats.direction.std(),
+            stats.offset.mean(),
+            stats.offset.std(),
+            stats.sample_count,
+        );
+    }
+
+    // Localize the held-out traces with both methods.
+    let wifi = localize_wifi(&world, &setting);
+    let moloc = localize_moloc(&world, &setting, MoLocConfig::paper());
+    let wifi_flat = flatten(&wifi);
+    let moloc_flat = flatten(&moloc);
+    let wifi_acc =
+        wifi_flat.iter().filter(|o| o.is_accurate()).count() as f64 / wifi_flat.len() as f64;
+    let moloc_acc =
+        moloc_flat.iter().filter(|o| o.is_accurate()).count() as f64 / moloc_flat.len() as f64;
+
+    println!("\nheld-out localization over {} passes:", wifi_flat.len());
+    println!("  WiFi fingerprinting: accuracy {:4.1}%", wifi_acc * 100.0);
+    println!("  MoLoc:               accuracy {:4.1}%", moloc_acc * 100.0);
+
+    let wifi_ecdf = error_ecdf(&wifi_flat);
+    let moloc_ecdf = error_ecdf(&moloc_flat);
+    println!("\nerror CDF (m):         WiFi    MoLoc");
+    for x in [0.0, 2.0, 4.0, 6.0, 8.0, 12.0] {
+        println!(
+            "  P(err <= {x:4.1})      {:5.2}    {:5.2}",
+            wifi_ecdf.fraction_at_or_below(x),
+            moloc_ecdf.fraction_at_or_below(x)
+        );
+    }
+
+    // The same machinery backs the paper-figure runner:
+    let result = fig7::run_setting(&world, &setting, MoLocConfig::paper());
+    println!(
+        "\nfig7-style summary @6 AP: WiFi mean err {:.2} m, MoLoc mean err {:.2} m",
+        result.wifi.summary.mean_error_m, result.moloc.summary.mean_error_m
+    );
+    assert!(moloc_acc > wifi_acc, "MoLoc should beat the baseline");
+}

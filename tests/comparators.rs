@@ -1,0 +1,147 @@
+//! Integration tests across the comparator localizers: the online
+//! tracker, the offline HMM, the particle filter, and the centroid
+//! refinement must agree on easy worlds and expose their documented
+//! trade-offs on hard ones.
+
+use moloc::core::particle::{ParticleConfig, ParticleLocalizer};
+use moloc::core::viterbi::ViterbiLocalizer;
+use moloc::fingerprint::centroid::CentroidLocalizer;
+use moloc::prelude::*;
+use moloc::stats::gaussian::Gaussian;
+
+fn l(i: u32) -> LocationId {
+    LocationId::new(i)
+}
+
+fn fp(v: &[f64]) -> Fingerprint {
+    Fingerprint::new(v.to_vec())
+}
+
+/// Corridor of four locations, 4 m apart going east; L2/L4 twins.
+fn corridor() -> (FingerprintDb, MotionDb, ReferenceGrid) {
+    let fdb = FingerprintDb::from_fingerprints(vec![
+        (l(1), fp(&[-40.0, -70.0])),
+        (l(2), fp(&[-50.0, -55.0])),
+        (l(3), fp(&[-60.0, -45.0])),
+        (l(4), fp(&[-50.0, -55.1])),
+    ])
+    .unwrap();
+    let mut mdb = MotionDb::new(4);
+    let east = PairStats {
+        direction: Gaussian::new(90.0, 5.0).unwrap(),
+        offset: Gaussian::new(4.0, 0.3).unwrap(),
+        sample_count: 10,
+    };
+    for i in 1..4 {
+        mdb.insert(l(i), l(i + 1), east);
+    }
+    let grid = ReferenceGrid::new(Vec2::new(2.0, 2.0), 4, 1, 4.0, 4.0).unwrap();
+    (fdb, mdb, grid)
+}
+
+fn eastward_queries() -> Vec<(Fingerprint, Option<MotionMeasurement>)> {
+    let east = Some(MotionMeasurement {
+        direction_deg: 90.0,
+        offset_m: 4.0,
+    });
+    vec![
+        (fp(&[-40.5, -69.5]), None),
+        (fp(&[-50.2, -54.9]), east),
+        (fp(&[-59.5, -45.3]), east),
+        (fp(&[-50.1, -55.05]), east),
+    ]
+}
+
+#[test]
+fn all_motion_aware_localizers_track_the_eastward_walk() {
+    let (fdb, mdb, grid) = corridor();
+    let expected = vec![l(1), l(2), l(3), l(4)];
+    let queries = eastward_queries();
+
+    // Online tracker.
+    let system = MoLoc::builder(fdb.clone(), mdb.clone()).build();
+    assert_eq!(system.localize_sequence(&queries).unwrap(), expected);
+
+    // Offline Viterbi.
+    let viterbi = ViterbiLocalizer::new(&fdb, &mdb, MoLocConfig::paper());
+    assert_eq!(viterbi.localize_trace(&queries).unwrap(), expected);
+
+    // Particle filter.
+    let mut pf = ParticleLocalizer::new(&fdb, &grid, ParticleConfig::default());
+    let pf_path: Vec<LocationId> = queries.iter().map(|(q, m)| pf.observe(q, *m)).collect();
+    assert_eq!(pf_path, expected);
+}
+
+#[test]
+fn fingerprint_only_methods_cannot_separate_the_twins() {
+    let (fdb, _, grid) = corridor();
+    // A query exactly between the twins' fingerprints.
+    let twin_query = fp(&[-50.0, -55.07]);
+    let nn = NnLocalizer::new(&fdb).localize(&twin_query).unwrap();
+    assert!(nn == l(2) || nn == l(4));
+    // The centroid lands between the twins (x between their positions),
+    // which is 4+ m from both — the geometric cost of ambiguity.
+    let centroid = CentroidLocalizer::new(&fdb, &grid, 4)
+        .localize(&twin_query)
+        .unwrap();
+    let (p2, p4) = (grid.position(l(2)), grid.position(l(4)));
+    assert!(centroid.x > p2.x - 1e-9 && centroid.x < p4.x + 1e-9);
+}
+
+#[test]
+fn viterbi_retroactively_fixes_the_start_that_the_tracker_cannot() {
+    let (fdb, mdb, _) = corridor();
+    // Start on a twin query, then walk east twice: offline smoothing
+    // knows the start must have been L2 (L4 has no east continuation).
+    let east = Some(MotionMeasurement {
+        direction_deg: 90.0,
+        offset_m: 4.0,
+    });
+    let queries = vec![
+        (fp(&[-50.0, -55.05]), None), // ambiguous start
+        (fp(&[-60.0, -45.0]), east),  // L3
+        (fp(&[-50.0, -55.05]), east), // L4
+    ];
+    let viterbi = ViterbiLocalizer::new(&fdb, &mdb, MoLocConfig::paper());
+    let path = viterbi.localize_trace(&queries).unwrap();
+    assert_eq!(path, vec![l(2), l(3), l(4)]);
+}
+
+#[test]
+fn particle_filter_is_seed_stable_on_unambiguous_worlds() {
+    let (fdb, _, grid) = corridor();
+    for seed in [0, 1, 2, 3] {
+        let config = ParticleConfig {
+            seed,
+            ..ParticleConfig::default()
+        };
+        let mut pf = ParticleLocalizer::new(&fdb, &grid, config);
+        assert_eq!(pf.observe(&fp(&[-40.0, -70.0]), None), l(1));
+    }
+}
+
+#[test]
+fn centroid_refinement_beats_nn_between_survey_points() {
+    // Two surveyed locations 8 m apart; the user stands midway. NN must
+    // err by 4 m; the centroid interpolates.
+    let fdb = FingerprintDb::from_fingerprints(vec![
+        (l(1), fp(&[-40.0, -70.0])),
+        (l(2), fp(&[-60.0, -50.0])),
+    ])
+    .unwrap();
+    let grid = ReferenceGrid::new(Vec2::new(0.0, 0.0), 2, 1, 8.0, 8.0).unwrap();
+    let midway_query = fp(&[-50.0, -60.0]);
+    let truth = Vec2::new(4.0, 0.0);
+
+    let nn = NnLocalizer::new(&fdb).localize(&midway_query).unwrap();
+    let nn_error = grid.position(nn).dist(truth);
+    let centroid = CentroidLocalizer::new(&fdb, &grid, 2)
+        .localize(&midway_query)
+        .unwrap();
+    let centroid_error = centroid.dist(truth);
+    assert!(
+        centroid_error < nn_error,
+        "centroid {centroid_error:.2} m vs NN {nn_error:.2} m"
+    );
+    assert!(centroid_error < 0.5, "centroid error {centroid_error:.2} m");
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration tests: the full survey → crowdsourcing →
+//! localization pipeline on the simulated office hall.
+
+use moloc::core::config::MoLocConfig;
+use moloc::eval::convergence::convergence_stats;
+use moloc::eval::experiments::{fig6, fig7, fig8, table1};
+use moloc::eval::metrics::{flatten, summarize};
+use moloc::eval::pipeline::{localize_moloc, localize_wifi, EvalWorld};
+
+fn world() -> EvalWorld {
+    EvalWorld::small(101)
+}
+
+#[test]
+fn moloc_outperforms_wifi_end_to_end() {
+    let world = world();
+    let setting = world.setting(6);
+    let wifi = summarize(&flatten(&localize_wifi(&world, &setting)));
+    let moloc = summarize(&flatten(&localize_moloc(
+        &world,
+        &setting,
+        MoLocConfig::paper(),
+    )));
+    assert!(
+        moloc.accuracy > wifi.accuracy,
+        "MoLoc {:.2} vs WiFi {:.2}",
+        moloc.accuracy,
+        wifi.accuracy
+    );
+    assert!(
+        moloc.mean_error_m < wifi.mean_error_m,
+        "MoLoc {:.2} m vs WiFi {:.2} m",
+        moloc.mean_error_m,
+        wifi.mean_error_m
+    );
+}
+
+#[test]
+fn accuracy_improves_with_more_aps() {
+    let world = world();
+    let mut prev = 0.0;
+    for n_aps in [4, 6] {
+        let setting = world.setting(n_aps);
+        let wifi = summarize(&flatten(&localize_wifi(&world, &setting)));
+        assert!(
+            wifi.accuracy >= prev - 0.03,
+            "WiFi accuracy dropped from {prev:.2} at {n_aps} APs: {:.2}",
+            wifi.accuracy
+        );
+        prev = wifi.accuracy;
+    }
+}
+
+#[test]
+fn motion_database_is_valid_against_the_map() {
+    let world = world();
+    let setting = world.setting(6);
+    let fig = fig6::run(&world, &setting);
+    assert!(fig.pairs >= 20, "only {} pairs trained", fig.pairs);
+    // Direction errors bounded by the coarse threshold; offsets well
+    // under a step length — the paper's validity criteria.
+    assert!(fig.direction_errors.max().unwrap() <= 20.0);
+    assert!(fig.offset_errors.max().unwrap() < 0.9);
+    assert!(fig.direction_errors.median().unwrap() < 10.0);
+    assert!(fig.offset_errors.median().unwrap() < 0.4);
+}
+
+#[test]
+fn pipeline_is_deterministic_for_a_seed() {
+    let w1 = EvalWorld::small(55);
+    let w2 = EvalWorld::small(55);
+    let s1 = w1.setting(5);
+    let s2 = w2.setting(5);
+    assert_eq!(s1.fdb, s2.fdb);
+    assert_eq!(s1.motion_db, s2.motion_db);
+    let o1 = flatten(&localize_moloc(&w1, &s1, MoLocConfig::paper()));
+    let o2 = flatten(&localize_moloc(&w2, &s2, MoLocConfig::paper()));
+    assert_eq!(o1, o2);
+}
+
+#[test]
+fn different_seeds_produce_different_worlds() {
+    let w1 = EvalWorld::small(1);
+    let w2 = EvalWorld::small(2);
+    assert_ne!(w1.corpus.train[0].scans, w2.corpus.train[0].scans);
+}
+
+#[test]
+fn full_figure_suite_runs_on_one_setting() {
+    let world = world();
+    let setting = world.setting(6);
+    let f7 = fig7::Fig7 {
+        settings: vec![fig7::run_setting(&world, &setting, MoLocConfig::paper())],
+    };
+    // Fig. 8 derives from fig7; a symmetric hall must yield twins.
+    let f8 = fig8::run(&f7);
+    for s in &f8.settings {
+        assert!(!s.ambiguous_locations.is_empty());
+        assert!(s.wifi.mean_error_m > 0.0);
+    }
+    // Table I renders for the same outcomes.
+    let t1 = table1::run(&f7);
+    assert_eq!(t1.rows.len(), 2);
+    let text = table1::render(&t1);
+    assert!(text.contains("6-AP MoLoc"));
+}
+
+#[test]
+fn convergence_stats_exist_for_wifi() {
+    let world = world();
+    let setting = world.setting(4);
+    let wifi = localize_wifi(&world, &setting);
+    // At 4 APs, some trace must start with a wrong estimate.
+    let stats = convergence_stats(&wifi).expect("some trace starts wrong at 4 APs");
+    assert!(stats.traces > 0);
+    assert!(stats.mean_el >= 1.0);
+}
+
+#[test]
+fn moloc_with_empty_motion_db_degrades_to_fingerprinting() {
+    let world = world();
+    let mut setting = world.setting(6);
+    setting.motion_db = moloc::motion::matrix::MotionDb::new(world.hall.grid.len());
+    let wifi = summarize(&flatten(&localize_wifi(&world, &setting)));
+    let moloc = summarize(&flatten(&localize_moloc(
+        &world,
+        &setting,
+        MoLocConfig::paper(),
+    )));
+    // With no motion entries every pair is "missing": posterior equals
+    // the fingerprint distribution and MoLoc ≈ top-1 fingerprinting.
+    assert!(
+        (moloc.accuracy - wifi.accuracy).abs() < 0.1,
+        "MoLoc {:.2} should track WiFi {:.2} with an empty motion DB",
+        moloc.accuracy,
+        wifi.accuracy
+    );
+}

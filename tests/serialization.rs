@@ -1,0 +1,143 @@
+//! Serde round-trip tests: the deployable artifacts (databases,
+//! configurations, measurements) must survive serialization, since a
+//! real deployment ships them between phones and a server.
+
+use moloc::core::config::MoLocConfig;
+use moloc::core::tracker::MotionMeasurement;
+use moloc::prelude::*;
+use moloc::stats::gaussian::Gaussian;
+
+fn l(i: u32) -> LocationId {
+    LocationId::new(i)
+}
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn fingerprint_round_trips() {
+    let fp = Fingerprint::new(vec![-40.5, -62.25, -71.0]);
+    assert_eq!(round_trip(&fp), fp);
+}
+
+#[test]
+fn fingerprint_db_round_trips() {
+    let db = FingerprintDb::from_fingerprints(vec![
+        (l(1), Fingerprint::new(vec![-40.0, -60.0])),
+        (l(2), Fingerprint::new(vec![-60.0, -40.0])),
+    ])
+    .unwrap();
+    let back = round_trip(&db);
+    assert_eq!(back, db);
+    assert_eq!(back.fingerprint(l(2)).unwrap().values(), &[-60.0, -40.0]);
+}
+
+#[test]
+fn motion_db_round_trips_with_mirror_semantics() {
+    let mut db = MotionDb::new(4);
+    db.insert(
+        l(1),
+        l(3),
+        PairStats {
+            direction: Gaussian::new(90.0, 4.0).unwrap(),
+            offset: Gaussian::new(5.8, 0.2).unwrap(),
+            sample_count: 31,
+        },
+    );
+    let back = round_trip(&db);
+    assert_eq!(back, db);
+    // Mirror lookups still derive after the round trip.
+    let rev = back.get(l(3), l(1)).unwrap();
+    assert_eq!(rev.direction.mean(), 270.0);
+    assert_eq!(rev.sample_count, 31);
+}
+
+#[test]
+fn rlm_round_trips() {
+    let rlm = Rlm::new(l(5), l(2), 271.5, 5.75).unwrap();
+    let back = round_trip(&rlm);
+    assert_eq!(back, rlm);
+    assert_eq!(back.canonical().from, l(2));
+}
+
+#[test]
+fn configs_round_trip() {
+    let config = MoLocConfig {
+        k: 6,
+        alpha_deg: 15.0,
+        ..MoLocConfig::paper()
+    };
+    assert_eq!(round_trip(&config), config);
+
+    let sanitation = SanitationConfig {
+        coarse_offset_m: 2.5,
+        ..SanitationConfig::paper()
+    };
+    assert_eq!(round_trip(&sanitation), sanitation);
+}
+
+#[test]
+fn motion_measurement_round_trips() {
+    let m = MotionMeasurement {
+        direction_deg: 123.4,
+        offset_m: 4.2,
+    };
+    assert_eq!(round_trip(&m), m);
+}
+
+#[test]
+fn candidate_set_round_trips_normalized() {
+    let set = CandidateSet::from_weights(vec![(l(1), 3.0), (l(2), 1.0)]).unwrap();
+    let back = round_trip(&set);
+    assert_eq!(back, set);
+    assert!((back.total_probability() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn user_profile_round_trips() {
+    let user = moloc::mobility::user::paper_users()[2];
+    assert_eq!(round_trip(&user), user);
+}
+
+#[test]
+fn deployed_system_survives_database_round_trips() {
+    // Serialize both databases, rebuild the system, and check the
+    // tracker behaves identically.
+    let fdb = FingerprintDb::from_fingerprints(vec![
+        (l(1), Fingerprint::new(vec![-40.0, -70.0])),
+        (l(2), Fingerprint::new(vec![-70.0, -40.0])),
+    ])
+    .unwrap();
+    let mut mdb = MotionDb::new(2);
+    mdb.insert(
+        l(1),
+        l(2),
+        PairStats {
+            direction: Gaussian::new(90.0, 5.0).unwrap(),
+            offset: Gaussian::new(5.0, 0.3).unwrap(),
+            sample_count: 9,
+        },
+    );
+    let original = MoLoc::builder(fdb.clone(), mdb.clone()).build();
+    let revived = MoLoc::builder(round_trip(&fdb), round_trip(&mdb)).build();
+
+    let queries = [
+        (Fingerprint::new(vec![-41.0, -69.0]), None),
+        (
+            Fingerprint::new(vec![-69.0, -41.0]),
+            Some(MotionMeasurement {
+                direction_deg: 91.0,
+                offset_m: 5.1,
+            }),
+        ),
+    ];
+    assert_eq!(
+        original.localize_sequence(&queries).unwrap(),
+        revived.localize_sequence(&queries).unwrap()
+    );
+}
