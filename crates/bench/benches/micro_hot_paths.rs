@@ -1,10 +1,18 @@
 //! Microbenchmarks of the pipeline's hot paths: fingerprint matching,
 //! motion matching, RSS scanning, shortest paths.
+//!
+//! The motion-matching and tracker benchmarks come in pairs — the
+//! production path (precomputed [`MotionKernel`] lookup tables) against
+//! the `_naive` exact path it replaced (per-call `Gaussian::new` and
+//! `erf` window evaluation) — and one fig. 7 setting is localized both
+//! serially (`MOLOC_THREADS=1`) and under the ambient worker pool. The
+//! final group target writes all measurements and the derived speedups
+//! to `BENCH_pr1.json` at the repository root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use moloc_bench::{bench_world, light_criterion};
 use moloc_core::config::MoLocConfig;
-use moloc_core::matching::set_motion_probability;
+use moloc_core::matching::{build_kernel, set_motion_probability, set_motion_probability_kernel};
 use moloc_fingerprint::candidates::CandidateSet;
 use moloc_fingerprint::fingerprint::Fingerprint;
 use moloc_fingerprint::knn::k_nearest;
@@ -32,21 +40,53 @@ fn bench_micro(c: &mut Criterion) {
     });
 
     let config = MoLocConfig::paper();
+
+    // Eq. 6 over trained pairs: candidates are the motion-db neighbors
+    // of the best-connected location (plus the location itself, so the
+    // stay-in-place branch is exercised), and the measurement sits at a
+    // trained pair's mean so the Gaussian windows carry real mass.
+    let to = (1..=setting.motion_db.location_count() as u32)
+        .map(LocationId::new)
+        .max_by_key(|&l| setting.motion_db.neighbors_of(l).len())
+        .expect("motion db is non-empty");
+    let mut sources = setting.motion_db.neighbors_of(to);
+    sources.truncate(7);
+    sources.push(to);
     let prev = CandidateSet::from_weights(
-        (1..=8u32)
-            .map(|i| (LocationId::new(i), 1.0 / i as f64))
+        sources
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, 1.0 / (i + 1) as f64))
             .collect(),
     )
     .unwrap();
-    c.bench_function("micro/eq6_set_motion_probability", |b| {
+    let trained = setting
+        .motion_db
+        .get(sources[0], to)
+        .expect("neighbor pair is trained");
+    let (dir, off) = (trained.direction.mean(), trained.offset.mean());
+
+    c.bench_function("micro/eq6_set_motion_probability_naive", |b| {
         b.iter(|| {
             black_box(set_motion_probability(
                 &setting.motion_db,
                 black_box(&prev),
-                LocationId::new(9),
-                91.0,
-                5.7,
+                to,
+                dir,
+                off,
                 &config,
+            ))
+        })
+    });
+    let kernel = build_kernel(&setting.motion_db, &config);
+    c.bench_function("micro/eq6_set_motion_probability", |b| {
+        b.iter(|| {
+            black_box(set_motion_probability_kernel(
+                &kernel,
+                black_box(&prev),
+                to,
+                dir,
+                off,
             ))
         })
     });
@@ -59,30 +99,68 @@ fn bench_micro(c: &mut Criterion) {
     });
 
     // The paper's efficiency argument: MoLoc's O(k²) online step vs the
-    // HMM's O(n²) per-step decoding over the full state space.
+    // HMM's O(n²) per-step decoding over the full state space. Queries
+    // carry the trace's real motion measurements so Eq. 6/7 runs on
+    // every pass after the first.
     let trace0 = &world.corpus.test[0];
+    let detector = moloc_sensors::steps::StepDetector::default();
+    let analysis = moloc_eval::pipeline::analyze_trace(
+        trace0,
+        &setting.fdb,
+        &world.hall,
+        &detector,
+        moloc_eval::pipeline::CountingMethod::Continuous,
+        6,
+    );
     let queries: Vec<(Fingerprint, Option<moloc_core::tracker::MotionMeasurement>)> = trace0
         .scans
         .iter()
-        .map(|scan| (Fingerprint::new(scan.clone()), None))
+        .enumerate()
+        .map(|(i, scan)| {
+            let motion = if i == 0 {
+                None
+            } else {
+                analysis.measurements[i - 1]
+            };
+            (Fingerprint::new(scan.clone()), motion)
+        })
         .collect();
     let viterbi =
         moloc_core::viterbi::ViterbiLocalizer::new(&setting.fdb, &setting.motion_db, config);
     c.bench_function("micro/viterbi_decode_full_trace", |b| {
         b.iter(|| black_box(viterbi.localize_trace(black_box(&queries)).unwrap()))
     });
+
+    // Both tracker variants are constructed once and reset per
+    // iteration, so the comparison isolates the per-observation motion
+    // matching (neither arm pays a kernel build inside the loop).
+    let mut exact_tracker =
+        moloc_core::tracker::MoLocTracker::new(&setting.fdb, &setting.motion_db, config)
+            .with_exact_matching();
+    c.bench_function("micro/moloc_tracker_full_trace_naive", |b| {
+        b.iter(|| {
+            exact_tracker.reset();
+            for (fp, m) in &queries {
+                black_box(exact_tracker.observe(fp, *m).unwrap());
+            }
+        })
+    });
+    let mut kernel_tracker = moloc_core::tracker::MoLocTracker::new_with_kernel(
+        &setting.fdb,
+        &setting.motion_db,
+        config,
+        &kernel,
+    );
     c.bench_function("micro/moloc_tracker_full_trace", |b| {
         b.iter(|| {
-            let mut t =
-                moloc_core::tracker::MoLocTracker::new(&setting.fdb, &setting.motion_db, config);
+            kernel_tracker.reset();
             for (fp, m) in &queries {
-                black_box(t.observe(fp, *m).unwrap());
+                black_box(kernel_tracker.observe(fp, *m).unwrap());
             }
         })
     });
 
     let trace = &world.corpus.test[0];
-    let detector = moloc_sensors::steps::StepDetector::default();
     c.bench_function("micro/step_detection_full_trace", |b| {
         b.iter(|| black_box(detector.detect(&trace.accel)))
     });
@@ -98,11 +176,88 @@ fn bench_micro(c: &mut Criterion) {
             ))
         })
     });
+
+    // One full fig. 7 setting end-to-end, serial vs the ambient worker
+    // pool. The bench binary is single-threaded between benchmarks (the
+    // pool's scoped workers are joined before `par_run` returns), so
+    // toggling the env var here is race-free.
+    std::env::set_var("MOLOC_THREADS", "1");
+    c.bench_function("eval/localize_moloc_fig7_setting_serial", |b| {
+        b.iter(|| {
+            black_box(moloc_eval::pipeline::localize_moloc(
+                &world, &setting, config,
+            ))
+        })
+    });
+    std::env::remove_var("MOLOC_THREADS");
+    c.bench_function("eval/localize_moloc_fig7_setting_parallel", |b| {
+        b.iter(|| {
+            black_box(moloc_eval::pipeline::localize_moloc(
+                &world, &setting, config,
+            ))
+        })
+    });
+}
+
+/// Final group target: serializes every recorded measurement plus the
+/// kernel-vs-naive and parallel-vs-serial speedups to `BENCH_pr1.json`
+/// at the repository root.
+fn emit_bench_json(c: &mut Criterion) {
+    // The parallel arm's speedup is bounded by the worker count, so
+    // record it alongside the measurements (a 1-CPU host reports ~1x).
+    let mut out = format!(
+        "{{\n  \"pr\": 1,\n  \"parallel_threads\": {},\n  \"benchmarks\": [\n",
+        moloc_eval::parallel::thread_count(),
+    );
+    let measurements = c.measurements();
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.3}, \"median_ns\": {:.3}, \
+             \"min_ns\": {:.3}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            m.name,
+            m.mean_ns,
+            m.median_ns,
+            m.min_ns,
+            m.samples,
+            m.iters_per_sample,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"comparisons\": [\n");
+    let pairs = [
+        (
+            "micro/eq6_set_motion_probability",
+            "micro/eq6_set_motion_probability_naive",
+        ),
+        (
+            "micro/moloc_tracker_full_trace",
+            "micro/moloc_tracker_full_trace_naive",
+        ),
+        (
+            "eval/localize_moloc_fig7_setting_parallel",
+            "eval/localize_moloc_fig7_setting_serial",
+        ),
+    ];
+    for (i, (name, baseline)) in pairs.iter().enumerate() {
+        let fast = c.measurement(name).expect("benchmark ran").mean_ns;
+        let slow = c.measurement(baseline).expect("baseline ran").mean_ns;
+        let speedup = slow / fast;
+        println!("{name}: {speedup:.2}x over {baseline}");
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"baseline\": \"{baseline}\", \
+             \"speedup\": {speedup:.3}}}{}\n",
+            if i + 1 < pairs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr1.json");
+    std::fs::write(path, out).expect("write BENCH_pr1.json");
+    println!("wrote {path}");
 }
 
 criterion_group! {
     name = benches;
     config = light_criterion();
-    targets = bench_micro
+    targets = bench_micro, emit_bench_json
 }
 criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! MoLoc algorithm configuration.
 
+use moloc_motion::kernel::KernelConfig;
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the motion-assisted localization algorithm.
@@ -49,6 +50,18 @@ impl MoLocConfig {
     /// The paper's published parameters (α = 20°, β = 1 m).
     pub fn paper() -> Self {
         Self::default()
+    }
+
+    /// The subset of this configuration a
+    /// [`moloc_motion::MotionKernel`](moloc_motion::kernel::MotionKernel)
+    /// bakes into its tables.
+    pub fn kernel_config(&self) -> KernelConfig {
+        KernelConfig {
+            alpha_deg: self.alpha_deg,
+            beta_m: self.beta_m,
+            missing_pair_prob: self.missing_pair_prob,
+            stationary_offset_std_m: self.stationary_offset_std_m,
+        }
     }
 
     /// Validates the configuration.

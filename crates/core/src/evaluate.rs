@@ -15,8 +15,9 @@
 //! DESIGN.md.
 
 use crate::config::MoLocConfig;
-use crate::matching::set_motion_probability;
+use crate::matching::{set_motion_probability, set_motion_probability_kernel};
 use moloc_fingerprint::candidates::CandidateSet;
+use moloc_motion::kernel::MotionKernel;
 use moloc_motion::matrix::MotionDb;
 
 /// Applies Eq. 7: reweights the `current` fingerprint candidates by the
@@ -43,6 +44,32 @@ pub fn evaluate_candidates(
     if total <= config.degenerate_total_floor {
         // Degenerate: motion evidence wiped out every candidate. Trust
         // the fingerprints alone for this step.
+        return current.clone();
+    }
+    CandidateSet::from_weights(weights).expect("total weight checked above")
+}
+
+/// Eq. 7 over a precomputed [`MotionKernel`]: same semantics as
+/// [`evaluate_candidates`] (including the degenerate fallback), with
+/// the motion evidence read from the kernel's lookup tables.
+pub fn evaluate_candidates_kernel(
+    kernel: &MotionKernel,
+    previous: &CandidateSet,
+    current: &CandidateSet,
+    direction_deg: f64,
+    offset_m: f64,
+    config: &MoLocConfig,
+) -> CandidateSet {
+    let weights: Vec<_> = current
+        .iter()
+        .map(|(loc, p_fingerprint)| {
+            let p_motion =
+                set_motion_probability_kernel(kernel, previous, loc, direction_deg, offset_m);
+            (loc, p_fingerprint * p_motion)
+        })
+        .collect();
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    if total <= config.degenerate_total_floor {
         return current.clone();
     }
     CandidateSet::from_weights(weights).expect("total weight checked above")
@@ -137,6 +164,25 @@ mod tests {
         // Direction/offset match nothing trained from L2.
         let posterior = evaluate_candidates(&db, &prev, &current, 0.0, 20.0, &config);
         assert_eq!(posterior, current);
+    }
+
+    #[test]
+    fn kernel_evaluation_matches_exact_evaluation() {
+        let db = twin_db();
+        let config = MoLocConfig::default();
+        let kernel = crate::matching::build_kernel(&db, &config);
+        let prev = CandidateSet::from_weights(vec![(l(1), 0.45), (l(3), 0.55)]).unwrap();
+        let current = CandidateSet::from_weights(vec![(l(2), 0.5), (l(3), 0.5)]).unwrap();
+        let exact = evaluate_candidates(&db, &prev, &current, 270.0, 4.0, &config);
+        let fast = evaluate_candidates_kernel(&kernel, &prev, &current, 270.0, 4.0, &config);
+        assert_eq!(exact.top().location, fast.top().location);
+        for (loc, p) in exact.iter() {
+            assert!(
+                (p - fast.probability_of(loc)).abs() < 1e-6,
+                "{loc}: exact {p} vs kernel {}",
+                fast.probability_of(loc)
+            );
+        }
     }
 
     #[test]

@@ -18,9 +18,27 @@
 use crate::config::MoLocConfig;
 use moloc_fingerprint::candidates::CandidateSet;
 use moloc_geometry::LocationId;
+use moloc_motion::kernel::MotionKernel;
 use moloc_motion::matrix::MotionDb;
 use moloc_stats::circular::signed_diff_deg;
+use moloc_stats::erf::std_normal_cdf;
 use moloc_stats::gaussian::Gaussian;
+
+/// The stay-in-place probability `P_{i,i}(d, o)`: uninformative
+/// direction (`α/360`) times the `β` window of a zero-mean offset
+/// Gaussian with [`MoLocConfig::stationary_offset_std_m`].
+///
+/// Evaluated directly through the standard normal CDF so the per-call
+/// path constructs no [`Gaussian`] (the old code validated and built
+/// one per invocation).
+#[inline]
+fn stationary_probability(offset_m: f64, config: &MoLocConfig) -> f64 {
+    let inv_std = 1.0 / config.stationary_offset_std_m;
+    let lo = (offset_m - config.beta_m / 2.0) * inv_std;
+    let hi = (offset_m + config.beta_m / 2.0) * inv_std;
+    let o_mass = (std_normal_cdf(hi) - std_normal_cdf(lo)).max(0.0);
+    (config.alpha_deg / 360.0).min(1.0) * o_mass
+}
 
 /// The pairwise motion probability `P_{i,j}(d, o)` (Eq. 5).
 ///
@@ -40,10 +58,7 @@ pub fn pair_motion_probability(
     config: &MoLocConfig,
 ) -> f64 {
     if from == to {
-        let stay = Gaussian::new(0.0, config.stationary_offset_std_m)
-            .expect("validated config has positive std");
-        let direction_mass = (config.alpha_deg / 360.0).min(1.0);
-        return direction_mass * stay.window_mass(offset_m, config.beta_m);
+        return stationary_probability(offset_m, config);
     }
     match db.get(from, to) {
         Some(stats) => {
@@ -73,6 +88,34 @@ pub fn set_motion_probability(
     previous
         .iter()
         .map(|(from, p)| p * pair_motion_probability(db, from, to, direction_deg, offset_m, config))
+        .sum()
+}
+
+/// Precomputes a [`MotionKernel`] for `db` under `config` — the
+/// lookup-table form of [`pair_motion_probability`] used by the online
+/// localizers.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`MoLocConfig::validate`]).
+pub fn build_kernel(db: &MotionDb, config: &MoLocConfig) -> MotionKernel {
+    config.validate();
+    MotionKernel::build(db, &config.kernel_config())
+}
+
+/// Eq. 6 over a precomputed kernel: identical to
+/// [`set_motion_probability`] within the kernel's documented `1e-6`
+/// per-pair tolerance, with no map lookups or `erfc` evaluations.
+pub fn set_motion_probability_kernel(
+    kernel: &MotionKernel,
+    previous: &CandidateSet,
+    to: LocationId,
+    direction_deg: f64,
+    offset_m: f64,
+) -> f64 {
+    previous
+        .iter()
+        .map(|(from, p)| p * kernel.pair_probability(from, to, direction_deg, offset_m))
         .sum()
 }
 
@@ -171,6 +214,44 @@ mod tests {
         let p_pair = pair_motion_probability(&db, l(1), l(2), 90.0, 5.0, &config);
         let expected = 0.9 * p_pair + 0.1 * config.missing_pair_prob;
         assert!((p_set - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_matches_exact_computation() {
+        let db = db();
+        let config = cfg();
+        let kernel = build_kernel(&db, &config);
+        for from in 1..=4u32 {
+            for to in 1..=4u32 {
+                for dir in [0.0, 45.0, 90.0, 269.5, 359.9] {
+                    for off in [0.0, 0.4, 5.0, 12.0] {
+                        let exact =
+                            pair_motion_probability(&db, l(from), l(to), dir, off, &config);
+                        let fast = kernel.pair_probability(l(from), l(to), dir, off);
+                        assert!(
+                            (exact - fast).abs() <= 1e-6,
+                            "({from}→{to}, {dir}°, {off} m): exact {exact} vs kernel {fast}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_eq6_matches_exact_eq6() {
+        let db = db();
+        let config = cfg();
+        let kernel = build_kernel(&db, &config);
+        let prev = CandidateSet::from_weights(vec![(l(1), 0.6), (l(2), 0.3), (l(4), 0.1)]).unwrap();
+        for to in 1..=4u32 {
+            let exact = set_motion_probability(&db, &prev, l(to), 91.0, 5.2, &config);
+            let fast = set_motion_probability_kernel(&kernel, &prev, l(to), 91.0, 5.2);
+            assert!(
+                (exact - fast).abs() <= 1e-6,
+                "to = {to}: exact {exact} vs kernel {fast}"
+            );
+        }
     }
 
     #[test]

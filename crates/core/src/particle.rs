@@ -17,13 +17,18 @@
 //! * the emission weight interpolates fingerprint similarity over the
 //!   nearest reference locations (inverse squared dissimilarity);
 //! * systematic resampling triggers when the effective sample size
-//!   drops below half the particle count.
+//!   drops below half the particle count;
+//! * optionally (see [`ParticleLocalizer::with_motion_kernel`]) the
+//!   crowdsourced motion database further reweights each particle by
+//!   the Eq. 5 probability of its reference-location hop, read from a
+//!   precomputed [`MotionKernel`].
 
 use crate::tracker::MotionMeasurement;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
 use moloc_fingerprint::metric::{Dissimilarity, Euclidean};
 use moloc_geometry::{LocationId, ReferenceGrid, Vec2};
+use moloc_motion::kernel::MotionKernel;
 use moloc_stats::sampling::normal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,6 +99,7 @@ pub struct ParticleLocalizer<'a> {
     metric: Euclidean,
     particles: Vec<Particle>,
     rng: StdRng,
+    kernel: Option<&'a MotionKernel>,
 }
 
 impl<'a> ParticleLocalizer<'a> {
@@ -112,7 +118,19 @@ impl<'a> ParticleLocalizer<'a> {
             metric: Euclidean,
             particles: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
+            kernel: None,
         }
+    }
+
+    /// Adds crowdsourced motion evidence: on every motion update, each
+    /// particle's weight is also multiplied by the kernel's Eq. 5
+    /// probability of hopping between the reference locations nearest
+    /// its previous and proposed positions. Without this, the filter
+    /// dead-reckons on the raw measurement alone (the default, which
+    /// reproduces the paper's "delicate comparator" baseline).
+    pub fn with_motion_kernel(mut self, kernel: &'a MotionKernel) -> Self {
+        self.kernel = Some(kernel);
+        self
     }
 
     /// Number of live particles (0 before the first observation).
@@ -230,6 +248,17 @@ impl<'a> ParticleLocalizer<'a> {
                     normal(&mut self.rng, p.y, idle_sigma),
                 ),
             };
+            if let (Some(kernel), Some(m)) = (self.kernel, motion) {
+                // Crowdsourced motion evidence: weight the hop between
+                // the nearest reference locations by Eq. 5. Floored so
+                // an untrained hop dampens rather than kills a particle.
+                let from = self.grid.nearest(p);
+                let to = self.grid.nearest(proposed);
+                let p_hop = kernel
+                    .pair_probability(from, to, m.direction_deg, m.offset_m)
+                    .max(1e-9);
+                self.particles[i].weight *= p_hop;
+            }
             self.particles[i].position = proposed;
         }
         // Emission reweighting.
@@ -325,6 +354,29 @@ mod tests {
             }),
         );
         assert_eq!(est, l(1));
+    }
+
+    #[test]
+    fn motion_kernel_reweighting_still_disambiguates_the_twins() {
+        use crate::config::MoLocConfig;
+        use moloc_motion::matrix::{MotionDb, PairStats};
+        use moloc_stats::gaussian::Gaussian;
+
+        let (fdb, grid) = world();
+        let mut mdb = MotionDb::new(3);
+        let east_pair = PairStats {
+            direction: Gaussian::new(90.0, 5.0).unwrap(),
+            offset: Gaussian::new(4.0, 0.3).unwrap(),
+            sample_count: 10,
+        };
+        mdb.insert(l(1), l(2), east_pair);
+        mdb.insert(l(2), l(3), east_pair);
+        let kernel = crate::matching::build_kernel(&mdb, &MoLocConfig::default());
+        let mut pf = ParticleLocalizer::new(&fdb, &grid, ParticleConfig::default())
+            .with_motion_kernel(&kernel);
+        pf.observe(&fp(&[-40.0, -70.0]), None);
+        let est = pf.observe(&fp(&[-50.0, -50.05]), east(4.0));
+        assert_eq!(est, l(3), "kernel evidence agrees with the walk east");
     }
 
     #[test]

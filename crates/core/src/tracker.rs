@@ -8,13 +8,15 @@
 //! round (Sec. V-C).
 
 use crate::config::MoLocConfig;
-use crate::evaluate::evaluate_candidates;
+use crate::evaluate::{evaluate_candidates, evaluate_candidates_kernel};
+use crate::matching::build_kernel;
 use moloc_fingerprint::candidates::CandidateSet;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
 use moloc_fingerprint::knn::k_nearest;
 use moloc_fingerprint::metric::{Dissimilarity, Euclidean};
 use moloc_geometry::LocationId;
+use moloc_motion::kernel::MotionKernel;
 use moloc_motion::matrix::MotionDb;
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +58,19 @@ impl std::fmt::Display for TrackError {
 
 impl std::error::Error for TrackError {}
 
+/// How a tracker evaluates motion probabilities.
+#[derive(Debug)]
+enum MotionBackend<'a> {
+    /// A kernel this tracker built and owns (the default).
+    OwnedKernel(Box<MotionKernel>),
+    /// A caller-provided kernel, shared across trackers (one build per
+    /// `(MotionDb, config)` instead of one per trace).
+    SharedKernel(&'a MotionKernel),
+    /// The exact per-call Gaussian computation (reference path; used by
+    /// the benches to quantify the kernel's speedup).
+    Exact,
+}
+
 /// The stateful motion-assisted localizer.
 #[derive(Debug)]
 pub struct MoLocTracker<'a> {
@@ -63,15 +78,43 @@ pub struct MoLocTracker<'a> {
     motion_db: &'a MotionDb,
     config: MoLocConfig,
     metric: &'a dyn Dissimilarity,
+    backend: MotionBackend<'a>,
     previous: Option<CandidateSet>,
 }
 
 impl<'a> MoLocTracker<'a> {
-    /// Creates a tracker with the paper's Euclidean metric.
+    /// Creates a tracker with the paper's Euclidean metric. Precomputes
+    /// a [`MotionKernel`] over `motion_db` so every subsequent Eq. 5/6
+    /// evaluation is a table lookup; when constructing many trackers
+    /// over one database (e.g. one per trace), build the kernel once
+    /// with [`build_kernel`] and use [`Self::with_shared_kernel`].
     pub fn new(
         fingerprint_db: &'a FingerprintDb,
         motion_db: &'a MotionDb,
         config: MoLocConfig,
+    ) -> Self {
+        config.validate();
+        let kernel = build_kernel(motion_db, &config);
+        Self {
+            fingerprint_db,
+            motion_db,
+            config,
+            metric: &Euclidean,
+            backend: MotionBackend::OwnedKernel(Box::new(kernel)),
+            previous: None,
+        }
+    }
+
+    /// Creates a tracker over a caller-owned kernel, skipping the
+    /// per-tracker kernel build of [`Self::new`]. The kernel must have
+    /// been built from the same motion database and config (see
+    /// [`build_kernel`]). This is the constructor the evaluation
+    /// pipeline uses when fanning one setting out over many traces.
+    pub fn new_with_kernel(
+        fingerprint_db: &'a FingerprintDb,
+        motion_db: &'a MotionDb,
+        config: MoLocConfig,
+        kernel: &'a MotionKernel,
     ) -> Self {
         config.validate();
         Self {
@@ -79,6 +122,7 @@ impl<'a> MoLocTracker<'a> {
             motion_db,
             config,
             metric: &Euclidean,
+            backend: MotionBackend::SharedKernel(kernel),
             previous: None,
         }
     }
@@ -86,6 +130,21 @@ impl<'a> MoLocTracker<'a> {
     /// Replaces the dissimilarity metric.
     pub fn with_metric(mut self, metric: &'a dyn Dissimilarity) -> Self {
         self.metric = metric;
+        self
+    }
+
+    /// Uses a caller-owned kernel instead of building one. The kernel
+    /// must have been built from the same motion database and config.
+    pub fn with_shared_kernel(mut self, kernel: &'a MotionKernel) -> Self {
+        self.backend = MotionBackend::SharedKernel(kernel);
+        self
+    }
+
+    /// Disables the kernel: motion probabilities are computed exactly
+    /// per call (the pre-kernel reference path). Intended for numerical
+    /// cross-checks and the naive-vs-kernel benchmarks.
+    pub fn with_exact_matching(mut self) -> Self {
+        self.backend = MotionBackend::Exact;
         self
     }
 
@@ -132,14 +191,32 @@ impl<'a> MoLocTracker<'a> {
             CandidateSet::from_neighbors(&neighbors).expect("k >= 1 and db non-empty");
 
         let posterior = match (self.previous.as_ref(), motion) {
-            (Some(prev), Some(m)) => evaluate_candidates(
-                self.motion_db,
-                prev,
-                &fingerprint_set,
-                m.direction_deg,
-                m.offset_m,
-                &self.config,
-            ),
+            (Some(prev), Some(m)) => match &self.backend {
+                MotionBackend::OwnedKernel(kernel) => evaluate_candidates_kernel(
+                    kernel,
+                    prev,
+                    &fingerprint_set,
+                    m.direction_deg,
+                    m.offset_m,
+                    &self.config,
+                ),
+                MotionBackend::SharedKernel(kernel) => evaluate_candidates_kernel(
+                    kernel,
+                    prev,
+                    &fingerprint_set,
+                    m.direction_deg,
+                    m.offset_m,
+                    &self.config,
+                ),
+                MotionBackend::Exact => evaluate_candidates(
+                    self.motion_db,
+                    prev,
+                    &fingerprint_set,
+                    m.direction_deg,
+                    m.offset_m,
+                    &self.config,
+                ),
+            },
             _ => fingerprint_set,
         };
         let estimate = posterior.top().location;
@@ -277,6 +354,41 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, TrackError::BadMeasurement);
+    }
+
+    #[test]
+    fn kernel_shared_and_exact_backends_agree() {
+        let (fdb, mdb) = world();
+        let config = MoLocConfig::default();
+        let kernel = crate::matching::build_kernel(&mdb, &config);
+        let queries: Vec<(Fingerprint, Option<MotionMeasurement>)> = vec![
+            (fp(&[-40.0, -70.0]), None),
+            (
+                fp(&[-50.0, -50.05]),
+                Some(MotionMeasurement {
+                    direction_deg: 91.0,
+                    offset_m: 4.1,
+                }),
+            ),
+            (
+                fp(&[-41.0, -69.5]),
+                Some(MotionMeasurement {
+                    direction_deg: 270.0,
+                    offset_m: 4.0,
+                }),
+            ),
+        ];
+        let run = |mut t: MoLocTracker| -> Vec<LocationId> {
+            queries
+                .iter()
+                .map(|(q, m)| t.observe(q, *m).unwrap())
+                .collect()
+        };
+        let owned = run(MoLocTracker::new(&fdb, &mdb, config));
+        let shared = run(MoLocTracker::new(&fdb, &mdb, config).with_shared_kernel(&kernel));
+        let exact = run(MoLocTracker::new(&fdb, &mdb, config).with_exact_matching());
+        assert_eq!(owned, exact);
+        assert_eq!(shared, exact);
     }
 
     #[test]

@@ -19,12 +19,13 @@
 //! benchmark suite.
 
 use crate::config::MoLocConfig;
-use crate::matching::pair_motion_probability;
+use crate::matching::build_kernel;
 use crate::tracker::MotionMeasurement;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
 use moloc_fingerprint::metric::{Dissimilarity, Euclidean};
 use moloc_geometry::LocationId;
+use moloc_motion::kernel::MotionKernel;
 use moloc_motion::matrix::MotionDb;
 
 /// Error from [`ViterbiLocalizer::localize_trace`].
@@ -55,27 +56,30 @@ impl std::fmt::Display for ViterbiError {
 impl std::error::Error for ViterbiError {}
 
 /// The offline HMM localizer.
+///
+/// Transition probabilities are read from a [`MotionKernel`]
+/// precomputed at construction: the `O(n²)` inner loop per step is pure
+/// table arithmetic with no map lookups or `erfc` evaluations.
 #[derive(Debug)]
 pub struct ViterbiLocalizer<'a> {
     fingerprint_db: &'a FingerprintDb,
-    motion_db: &'a MotionDb,
-    config: MoLocConfig,
+    kernel: MotionKernel,
     metric: &'a dyn Dissimilarity,
 }
 
 impl<'a> ViterbiLocalizer<'a> {
     /// Creates a localizer over the same databases a MoLoc deployment
-    /// carries.
+    /// carries, precomputing the motion kernel for the transition
+    /// matrix.
     pub fn new(
         fingerprint_db: &'a FingerprintDb,
         motion_db: &'a MotionDb,
         config: MoLocConfig,
     ) -> Self {
-        config.validate();
+        let kernel = build_kernel(motion_db, &config);
         Self {
             fingerprint_db,
-            motion_db,
-            config,
+            kernel,
             metric: &Euclidean,
         }
     }
@@ -142,16 +146,11 @@ impl<'a> ViterbiLocalizer<'a> {
                 let mut best_i = 0;
                 for (i, &from) in states.iter().enumerate() {
                     let log_trans = match motion {
-                        Some(m) => pair_motion_probability(
-                            self.motion_db,
-                            from,
-                            to,
-                            m.direction_deg,
-                            m.offset_m,
-                            &self.config,
-                        )
-                        .max(1e-300)
-                        .ln(),
+                        Some(m) => self
+                            .kernel
+                            .pair_probability(from, to, m.direction_deg, m.offset_m)
+                            .max(1e-300)
+                            .ln(),
                         // No motion info: uninformative transition.
                         None => -(n as f64).ln(),
                     };

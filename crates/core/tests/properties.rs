@@ -3,7 +3,7 @@
 
 use moloc_core::config::MoLocConfig;
 use moloc_core::evaluate::evaluate_candidates;
-use moloc_core::matching::{pair_motion_probability, set_motion_probability};
+use moloc_core::matching::{build_kernel, pair_motion_probability, set_motion_probability};
 use moloc_fingerprint::candidates::CandidateSet;
 use moloc_geometry::LocationId;
 use moloc_motion::matrix::{MotionDb, PairStats};
@@ -136,6 +136,28 @@ proptest! {
         for (loc, _) in posterior.iter() {
             prop_assert!(current.probability_of(loc) > 0.0);
         }
+    }
+
+    #[test]
+    fn kernel_matches_exact_probability_within_tolerance(
+        db in arbitrary_db(),
+        from in 0usize..N,
+        to in 0usize..N,
+        d in 0.0..360.0f64,
+        o in 0.0..30.0f64,
+    ) {
+        // The precomputed kernel's documented accuracy contract: every
+        // pair probability agrees with the direct Eq. 5 evaluation to
+        // within 1e-6 (see DESIGN.md, "Performance architecture").
+        let config = MoLocConfig::paper();
+        let kernel = build_kernel(&db, &config);
+        let (i, j) = (LocationId::from_index(from), LocationId::from_index(to));
+        let exact = pair_motion_probability(&db, i, j, d, o, &config);
+        let fast = kernel.pair_probability(i, j, d, o);
+        prop_assert!(
+            (exact - fast).abs() <= 1e-6,
+            "({from}→{to}, {d}°, {o} m): exact {exact} vs kernel {fast}"
+        );
     }
 
     #[test]

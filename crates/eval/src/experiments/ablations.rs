@@ -10,6 +10,7 @@
 
 use crate::experiments::fig6;
 use crate::metrics::{flatten, summarize};
+use crate::parallel::par_map;
 use crate::pipeline::{analyze_trace, localize_moloc, CountingMethod, EvalWorld};
 use crate::report;
 use moloc_core::config::MoLocConfig;
@@ -29,12 +30,14 @@ pub struct CscVsDsc {
 }
 
 /// Compares CSC and DSC offset errors over every training interval.
+/// Traces fan out on the [`crate::parallel`] worker pool; per-trace
+/// error vectors merge back in trace order.
 pub fn csc_vs_dsc(world: &EvalWorld) -> CscVsDsc {
     let detector = StepDetector::default();
-    let (mut csc, mut dsc) = (Vec::new(), Vec::new());
-    for trace in &world.corpus.train {
+    let per_trace = par_map(&world.corpus.train, |trace| {
         let step_length = trace.user.step_length_m();
         let intervals = moloc_mobility::intervals::measure_intervals(trace, &detector);
+        let (mut csc, mut dsc) = (Vec::new(), Vec::new());
         for interval in &intervals {
             let truth = world.hall.grid.distance(
                 trace.passes[interval.from_index].location,
@@ -43,6 +46,12 @@ pub fn csc_vs_dsc(world: &EvalWorld) -> CscVsDsc {
             csc.push((offset_m(interval.steps_csc, step_length) - truth).abs());
             dsc.push((offset_m(interval.steps_dsc, step_length) - truth).abs());
         }
+        (csc, dsc)
+    });
+    let (mut csc, mut dsc) = (Vec::new(), Vec::new());
+    for (c, d) in per_trace {
+        csc.extend(c);
+        dsc.extend(d);
     }
     CscVsDsc {
         csc_errors: Ecdf::from_samples(csc),
@@ -151,19 +160,18 @@ pub fn render_sanitation(result: &SanitationAblation) -> String {
     out
 }
 
-/// Accuracy as a function of the candidate-set size `k`.
+/// Accuracy as a function of the candidate-set size `k`. The `k`
+/// values fan out on the [`crate::parallel`] worker pool.
 pub fn k_sweep(world: &EvalWorld, n_aps: usize, ks: &[usize]) -> Vec<(usize, f64)> {
     let setting = world.setting(n_aps);
-    ks.iter()
-        .map(|&k| {
-            let config = MoLocConfig {
-                k,
-                ..MoLocConfig::paper()
-            };
-            let outcomes = localize_moloc(world, &setting, config);
-            (k, summarize(&flatten(&outcomes)).accuracy)
-        })
-        .collect()
+    par_map(ks, |&k| {
+        let config = MoLocConfig {
+            k,
+            ..MoLocConfig::paper()
+        };
+        let outcomes = localize_moloc(world, &setting, config);
+        (k, summarize(&flatten(&outcomes)).accuracy)
+    })
 }
 
 /// Renders the k sweep.
@@ -187,37 +195,32 @@ pub struct WindowSweep {
     pub beta: Vec<(f64, f64)>,
 }
 
-/// Runs the window sweep.
+/// Runs the window sweep. Each window setting fans out on the
+/// [`crate::parallel`] worker pool.
 pub fn window_sweep(world: &EvalWorld, n_aps: usize, alphas: &[f64], betas: &[f64]) -> WindowSweep {
     let setting = world.setting(n_aps);
     let accuracy = |config: MoLocConfig| {
         summarize(&flatten(&localize_moloc(world, &setting, config))).accuracy
     };
     WindowSweep {
-        alpha: alphas
-            .iter()
-            .map(|&a| {
-                (
-                    a,
-                    accuracy(MoLocConfig {
-                        alpha_deg: a,
-                        ..MoLocConfig::paper()
-                    }),
-                )
-            })
-            .collect(),
-        beta: betas
-            .iter()
-            .map(|&b| {
-                (
-                    b,
-                    accuracy(MoLocConfig {
-                        beta_m: b,
-                        ..MoLocConfig::paper()
-                    }),
-                )
-            })
-            .collect(),
+        alpha: par_map(alphas, |&a| {
+            (
+                a,
+                accuracy(MoLocConfig {
+                    alpha_deg: a,
+                    ..MoLocConfig::paper()
+                }),
+            )
+        }),
+        beta: par_map(betas, |&b| {
+            (
+                b,
+                accuracy(MoLocConfig {
+                    beta_m: b,
+                    ..MoLocConfig::paper()
+                }),
+            )
+        }),
     }
 }
 
@@ -295,22 +298,21 @@ pub fn render_map_db(result: &MapDbAblation) -> String {
 pub fn heading_calibration_errors(world: &EvalWorld, n_aps: usize) -> Ecdf {
     let setting = world.setting(n_aps);
     let detector = StepDetector::default();
-    world
-        .corpus
-        .iter()
-        .map(|trace| {
-            let analysis = analyze_trace(
-                trace,
-                &setting.fdb,
-                &world.hall,
-                &detector,
-                CountingMethod::Continuous,
-                n_aps,
-            );
-            let truth = trace.user.placement_offset_deg + trace.user.compass_bias_deg;
-            moloc_stats::circular::abs_diff_deg(analysis.heading_offset_deg, truth)
-        })
-        .collect()
+    let traces: Vec<_> = world.corpus.iter().collect();
+    par_map(&traces, |trace| {
+        let analysis = analyze_trace(
+            trace,
+            &setting.fdb,
+            &world.hall,
+            &detector,
+            CountingMethod::Continuous,
+            n_aps,
+        );
+        let truth = trace.user.placement_offset_deg + trace.user.compass_bias_deg;
+        moloc_stats::circular::abs_diff_deg(analysis.heading_offset_deg, truth)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -396,8 +398,10 @@ pub fn heading_fusion(world: &EvalWorld, seed: u64) -> HeadingFusionAblation {
         u.compass_noise_deg = 25.0;
     }
     let renderer = TraceRenderer::default();
-    let (mut compass_errors, mut fused_errors) = (Vec::new(), Vec::new());
-    for (i, user) in users.iter().enumerate() {
+    // Users fan out on the worker pool; each derives its own RNG from
+    // (seed, index), so the parallel result matches the serial one.
+    let per_user = crate::parallel::par_run(users.len(), |i| {
+        let user = &users[i];
         let mut rng = StdRng::seed_from_u64(moloc_stats::sampling::derive_seed(seed, i as u64));
         let path = random_walk(&world.hall.graph, 16, &mut rng);
         let trajectory =
@@ -410,6 +414,7 @@ pub fn heading_fusion(world: &EvalWorld, seed: u64) -> HeadingFusionAblation {
         let fused =
             HeadingFusion::new(initial, 4.0, 25.0 * 25.0).fuse_series(&trace.gyro, &trace.compass);
 
+        let (mut compass_errors, mut fused_errors) = (Vec::new(), Vec::new());
         for w in trace.passes.windows(2) {
             let truth = w[0]
                 .position
@@ -424,6 +429,12 @@ pub fn heading_fusion(world: &EvalWorld, seed: u64) -> HeadingFusionAblation {
                 fused_errors.push(abs_diff_deg(d, truth));
             }
         }
+        (compass_errors, fused_errors)
+    });
+    let (mut compass_errors, mut fused_errors) = (Vec::new(), Vec::new());
+    for (c, f) in per_user {
+        compass_errors.extend(c);
+        fused_errors.extend(f);
     }
     HeadingFusionAblation {
         compass_errors: Ecdf::from_samples(compass_errors),

@@ -15,6 +15,7 @@
 //! computational-overhead argument of Sec. V made measurable.
 
 use crate::metrics::{flatten, summarize};
+use crate::parallel::par_run;
 use crate::pipeline::{
     analyze_trace, localize_moloc, localize_wifi, EvalWorld, PassOutcome, Setting,
 };
@@ -84,127 +85,114 @@ pub fn run(world: &EvalWorld, setting: &Setting) -> BaselineComparison {
     }))
     .expect("survey covers every location");
     let t = Instant::now();
-    let horus: Vec<Vec<PassOutcome>> = world
-        .corpus
-        .test
-        .iter()
-        .enumerate()
-        .map(|(trace_index, trace)| {
-            trace
-                .passes
-                .iter()
-                .zip(&trace.scans)
-                .enumerate()
-                .map(|(pass_index, (pass, scan))| {
-                    let estimate = horus_model
-                        .localize(&Fingerprint::new(scan[..n].to_vec()))
-                        .expect("query length matches");
-                    PassOutcome {
-                        trace_index,
-                        pass_index,
-                        truth: pass.location,
-                        estimate,
-                        error_m: world.hall.grid.distance(pass.location, estimate),
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    let horus: Vec<Vec<PassOutcome>> = par_run(world.corpus.test.len(), |trace_index| {
+        let trace = &world.corpus.test[trace_index];
+        trace
+            .passes
+            .iter()
+            .zip(&trace.scans)
+            .enumerate()
+            .map(|(pass_index, (pass, scan))| {
+                let estimate = horus_model
+                    .localize(&Fingerprint::new(scan[..n].to_vec()))
+                    .expect("query length matches");
+                PassOutcome {
+                    trace_index,
+                    pass_index,
+                    truth: pass.location,
+                    estimate,
+                    error_m: world.hall.grid.distance(pass.location, estimate),
+                }
+            })
+            .collect()
+    });
     let horus_s = t.elapsed().as_secs_f64();
 
     // HMM (Viterbi) with MoLoc's motion evidence.
     let detector = StepDetector::default();
     let viterbi = ViterbiLocalizer::new(&setting.fdb, &setting.motion_db, MoLocConfig::paper());
     let t = Instant::now();
-    let hmm: Vec<Vec<PassOutcome>> = world
-        .corpus
-        .test
-        .iter()
-        .enumerate()
-        .map(|(trace_index, trace)| {
-            let analysis = analyze_trace(
-                trace,
-                &setting.fdb,
-                &world.hall,
-                &detector,
-                setting.counting,
-                n,
-            );
-            let queries: Vec<_> = trace
-                .scans
-                .iter()
-                .enumerate()
-                .map(|(i, scan)| {
-                    let motion = if i == 0 {
-                        None
-                    } else {
-                        analysis.measurements[i - 1]
-                    };
-                    (Fingerprint::new(scan[..n].to_vec()), motion)
-                })
-                .collect();
-            let path = viterbi.localize_trace(&queries).expect("valid trace");
-            trace
-                .passes
-                .iter()
-                .zip(path)
-                .enumerate()
-                .map(|(pass_index, (pass, estimate))| PassOutcome {
+    let hmm: Vec<Vec<PassOutcome>> = par_run(world.corpus.test.len(), |trace_index| {
+        let trace = &world.corpus.test[trace_index];
+        let analysis = analyze_trace(
+            trace,
+            &setting.fdb,
+            &world.hall,
+            &detector,
+            setting.counting,
+            n,
+        );
+        let queries: Vec<_> = trace
+            .scans
+            .iter()
+            .enumerate()
+            .map(|(i, scan)| {
+                let motion = if i == 0 {
+                    None
+                } else {
+                    analysis.measurements[i - 1]
+                };
+                (Fingerprint::new(scan[..n].to_vec()), motion)
+            })
+            .collect();
+        let path = viterbi.localize_trace(&queries).expect("valid trace");
+        trace
+            .passes
+            .iter()
+            .zip(path)
+            .enumerate()
+            .map(|(pass_index, (pass, estimate))| PassOutcome {
+                trace_index,
+                pass_index,
+                truth: pass.location,
+                estimate,
+                error_m: world.hall.grid.distance(pass.location, estimate),
+            })
+            .collect()
+    });
+    let hmm_s = t.elapsed().as_secs_f64();
+
+    // Particle filter: continuous-position SMC with the same inputs.
+    let t = Instant::now();
+    let pf_outcomes: Vec<Vec<PassOutcome>> = par_run(world.corpus.test.len(), |trace_index| {
+        let trace = &world.corpus.test[trace_index];
+        let analysis = analyze_trace(
+            trace,
+            &setting.fdb,
+            &world.hall,
+            &detector,
+            setting.counting,
+            n,
+        );
+        // Each trace's filter derives its RNG from its own index, so
+        // the parallel fan-out reproduces the serial outcomes.
+        let config = ParticleConfig {
+            seed: trace_index as u64,
+            ..ParticleConfig::default()
+        };
+        let mut pf = ParticleLocalizer::new(&setting.fdb, &world.hall.grid, config);
+        trace
+            .passes
+            .iter()
+            .zip(&trace.scans)
+            .enumerate()
+            .map(|(pass_index, (pass, scan))| {
+                let motion = if pass_index == 0 {
+                    None
+                } else {
+                    analysis.measurements[pass_index - 1]
+                };
+                let estimate = pf.observe(&Fingerprint::new(scan[..n].to_vec()), motion);
+                PassOutcome {
                     trace_index,
                     pass_index,
                     truth: pass.location,
                     estimate,
                     error_m: world.hall.grid.distance(pass.location, estimate),
-                })
-                .collect()
-        })
-        .collect();
-    let hmm_s = t.elapsed().as_secs_f64();
-
-    // Particle filter: continuous-position SMC with the same inputs.
-    let t = Instant::now();
-    let pf_outcomes: Vec<Vec<PassOutcome>> = world
-        .corpus
-        .test
-        .iter()
-        .enumerate()
-        .map(|(trace_index, trace)| {
-            let analysis = analyze_trace(
-                trace,
-                &setting.fdb,
-                &world.hall,
-                &detector,
-                setting.counting,
-                n,
-            );
-            let config = ParticleConfig {
-                seed: trace_index as u64,
-                ..ParticleConfig::default()
-            };
-            let mut pf = ParticleLocalizer::new(&setting.fdb, &world.hall.grid, config);
-            trace
-                .passes
-                .iter()
-                .zip(&trace.scans)
-                .enumerate()
-                .map(|(pass_index, (pass, scan))| {
-                    let motion = if pass_index == 0 {
-                        None
-                    } else {
-                        analysis.measurements[pass_index - 1]
-                    };
-                    let estimate = pf.observe(&Fingerprint::new(scan[..n].to_vec()), motion);
-                    PassOutcome {
-                        trace_index,
-                        pass_index,
-                        truth: pass.location,
-                        estimate,
-                        error_m: world.hall.grid.distance(pass.location, estimate),
-                    }
-                })
-                .collect()
-        })
-        .collect();
+                }
+            })
+            .collect()
+    });
     let pf_s = t.elapsed().as_secs_f64();
 
     // MoLoc.

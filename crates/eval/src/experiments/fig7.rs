@@ -58,15 +58,16 @@ pub fn run_setting(world: &EvalWorld, setting: &Setting, config: MoLocConfig) ->
 }
 
 /// Runs the full experiment at the paper's 4/5/6-AP settings.
+///
+/// AP counts fan out on the [`crate::parallel`] worker pool (nested
+/// inside, each `localize_*` call fans its traces out on the same
+/// pool).
 pub fn run(world: &EvalWorld) -> Fig7 {
     let config = MoLocConfig::paper();
-    let settings = [4, 5, 6]
-        .into_iter()
-        .map(|n| {
-            let setting = world.setting(n);
-            run_setting(world, &setting, config)
-        })
-        .collect();
+    let settings = crate::parallel::par_map(&[4, 5, 6], |&n| {
+        let setting = world.setting(n);
+        run_setting(world, &setting, config)
+    });
     Fig7 { settings }
 }
 

@@ -57,25 +57,26 @@ impl SeedSweep {
 }
 
 /// Runs the sweep over `seeds` at 6 APs on the reduced corpus.
+///
+/// Seeds fan out on the [`crate::parallel`] worker pool: each world is
+/// a pure function of its seed, so the sweep is order-preserving and
+/// deterministic.
 pub fn run(seeds: &[u64]) -> SeedSweep {
-    let outcomes = seeds
-        .iter()
-        .map(|&seed| {
-            let world = EvalWorld::small(seed);
-            let setting = world.setting(6);
-            let wifi = summarize(&flatten(&localize_wifi(&world, &setting)));
-            let moloc = summarize(&flatten(&localize_moloc(
-                &world,
-                &setting,
-                MoLocConfig::paper(),
-            )));
-            SeedOutcome {
-                seed,
-                wifi_accuracy: wifi.accuracy,
-                moloc_accuracy: moloc.accuracy,
-            }
-        })
-        .collect();
+    let outcomes = crate::parallel::par_map(seeds, |&seed| {
+        let world = EvalWorld::small(seed);
+        let setting = world.setting(6);
+        let wifi = summarize(&flatten(&localize_wifi(&world, &setting)));
+        let moloc = summarize(&flatten(&localize_moloc(
+            &world,
+            &setting,
+            MoLocConfig::paper(),
+        )));
+        SeedOutcome {
+            seed,
+            wifi_accuracy: wifi.accuracy,
+            moloc_accuracy: moloc.accuracy,
+        }
+    });
     SeedSweep { outcomes }
 }
 

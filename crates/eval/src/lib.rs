@@ -13,6 +13,10 @@
 //!   statistics (Table I).
 //! * [`experiments`] — one module per paper artifact: Fig. 4, Fig. 6,
 //!   Fig. 7, Fig. 8, Table I, plus the ablations listed in DESIGN.md.
+//! * [`parallel`] — the scoped-thread worker pool the pipeline and the
+//!   experiments fan out on (`MOLOC_THREADS` controls the width;
+//!   results are order-preserving, so output is byte-identical to a
+//!   serial run).
 //! * [`report`] — plain-text rendering of tables and CDF series in the
 //!   shape the paper reports them.
 //!
@@ -25,6 +29,7 @@
 pub mod convergence;
 pub mod experiments;
 pub mod metrics;
+pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;

@@ -1,0 +1,164 @@
+//! A scoped-thread worker pool for the evaluation fan-outs.
+//!
+//! Every experiment in this crate is embarrassingly parallel at some
+//! granularity — per test trace, per seed, per parameter setting — and
+//! every unit of work is a pure function of shared read-only state
+//! (the [`crate::pipeline::EvalWorld`], databases, kernels). This
+//! module provides the one primitive they all share: [`par_map`], an
+//! order-preserving parallel map built on [`std::thread::scope`], with
+//! no external dependencies.
+//!
+//! # Determinism
+//!
+//! Workers pull indices from an atomic counter, so *which* thread runs
+//! a given item is scheduling-dependent — but results are collected by
+//! index and returned in input order, and each work item derives its
+//! randomness (if any) from its own index/seed, never from a shared
+//! RNG. The output of a parallel run is therefore byte-identical to
+//! the serial run; `determinism.rs` in the test suite locks this in.
+//!
+//! # Thread count
+//!
+//! [`thread_count`] honors the `MOLOC_THREADS` environment variable
+//! (any value ≥ 1; `1` forces serial execution in the calling thread)
+//! and falls back to [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Number of worker threads the evaluation pool uses.
+///
+/// Resolution order:
+/// 1. `MOLOC_THREADS` environment variable, if it parses to an integer
+///    ≥ 1 (invalid values are ignored, not fatal);
+/// 2. [`std::thread::available_parallelism`];
+/// 3. 1 (serial) if the platform cannot report parallelism.
+pub fn thread_count() -> usize {
+    if let Ok(raw) = std::env::var("MOLOC_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to `0..n` on the worker pool and returns the results in
+/// index order.
+///
+/// `f` runs concurrently on up to [`thread_count`] threads (capped at
+/// `n`); with one thread — or `n <= 1` — it runs inline in the caller
+/// with no thread spawned at all. Results are identical to
+/// `(0..n).map(f).collect()` whenever `f` is a pure function of its
+/// index.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (remaining work is
+/// abandoned, as with any panicking iterator).
+pub fn par_run<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = thread_count().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    // Workers pull the next index from a shared counter (cheap dynamic
+    // load balancing — trace lengths vary), buffer results locally, and
+    // merge under the mutex once at the end.
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                collected
+                    .lock()
+                    .expect("a worker panicked while holding the results lock")
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut pairs = collected.into_inner().expect("workers joined");
+    debug_assert_eq!(pairs.len(), n);
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Order-preserving parallel map over a slice: `par_map(items, f)` is
+/// `items.iter().map(f).collect()` spread over the worker pool.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_run(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_run_preserves_index_order() {
+        let out = par_run(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..100).map(|i| i * 3 + 1).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x.wrapping_mul(0x9E37)).collect();
+        let parallel = par_map(&items, |x| x.wrapping_mul(0x9E37));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_run(1, |i| i + 7), vec![7]);
+        assert_eq!(par_map::<u8, u8, _>(&[], |&x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn uneven_work_is_still_ordered() {
+        // Simulate varying item cost: heavier work for low indices so
+        // late items finish first on other threads.
+        let out = par_run(64, |i| {
+            let spins = if i < 8 { 20_000 } else { 10 };
+            let mut acc = i as u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -17,8 +17,10 @@
 //! *estimated* locations of the interval), so localization errors leak
 //! into the calibration exactly as they would in the real system.
 
+use crate::parallel::par_run;
 use crate::scenario::{HallConfig, OfficeHall};
 use moloc_core::config::MoLocConfig;
+use moloc_core::matching::build_kernel;
 use moloc_core::tracker::{MoLocTracker, MotionMeasurement};
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
@@ -110,21 +112,31 @@ impl EvalWorld {
         }))
         .expect("survey covers every location");
 
-        let mut builder = MotionDbBuilder::new(self.hall.map.clone(), sanitation);
+        // Trace analysis fans out on the worker pool; the extracted
+        // RLMs feed the builder in trace order, so the built database
+        // is identical to a serial run.
         let detector = StepDetector::default();
-        for trace in &self.corpus.train {
+        let per_trace_rlms: Vec<Vec<Rlm>> = par_run(self.corpus.train.len(), |i| {
+            let trace = &self.corpus.train[i];
             let analysis = analyze_trace(trace, &fdb, &self.hall, &detector, counting, n_aps);
-            for (interval, measurement) in analysis.intervals.iter().zip(&analysis.measurements) {
-                let Some(m) = measurement else { continue };
-                let from = analysis.nn_estimates[interval.from_index];
-                let to = analysis.nn_estimates[interval.to_index];
-                if from == to {
-                    continue;
-                }
-                if let Ok(rlm) = Rlm::new(from, to, m.direction_deg, m.offset_m) {
-                    builder.observe(rlm);
-                }
-            }
+            analysis
+                .intervals
+                .iter()
+                .zip(&analysis.measurements)
+                .filter_map(|(interval, measurement)| {
+                    let m = measurement.as_ref()?;
+                    let from = analysis.nn_estimates[interval.from_index];
+                    let to = analysis.nn_estimates[interval.to_index];
+                    if from == to {
+                        return None;
+                    }
+                    Rlm::new(from, to, m.direction_deg, m.offset_m).ok()
+                })
+                .collect()
+        });
+        let mut builder = MotionDbBuilder::new(self.hall.map.clone(), sanitation);
+        for rlm in per_trace_rlms.into_iter().flatten() {
+            builder.observe(rlm);
         }
         let (motion_db, build_report) = builder.build();
         Setting {
@@ -272,72 +284,73 @@ impl PassOutcome {
 }
 
 /// Runs the WiFi fingerprinting baseline (Eq. 2) over the test traces.
+///
+/// Traces fan out on the [`crate::parallel`] worker pool; the outcome
+/// of each trace is a pure function of the shared databases, so the
+/// result is identical to a serial run.
 pub fn localize_wifi(world: &EvalWorld, setting: &Setting) -> Vec<Vec<PassOutcome>> {
     let localizer = NnLocalizer::new(&setting.fdb);
-    world
-        .corpus
-        .test
-        .iter()
-        .enumerate()
-        .map(|(trace_index, trace)| {
-            trace
-                .passes
-                .iter()
-                .zip(&trace.scans)
-                .enumerate()
-                .map(|(pass_index, (pass, scan))| {
-                    let estimate = localizer
-                        .localize(&Fingerprint::new(scan[..setting.n_aps].to_vec()))
-                        .expect("scan length matches database");
-                    outcome(world, trace_index, pass_index, pass.location, estimate)
-                })
-                .collect()
-        })
-        .collect()
+    par_run(world.corpus.test.len(), |trace_index| {
+        let trace = &world.corpus.test[trace_index];
+        trace
+            .passes
+            .iter()
+            .zip(&trace.scans)
+            .enumerate()
+            .map(|(pass_index, (pass, scan))| {
+                let estimate = localizer
+                    .localize(&Fingerprint::new(scan[..setting.n_aps].to_vec()))
+                    .expect("scan length matches database");
+                outcome(world, trace_index, pass_index, pass.location, estimate)
+            })
+            .collect()
+    })
 }
 
 /// Runs MoLoc over the test traces.
+///
+/// One [`MotionKernel`](moloc_motion::kernel::MotionKernel) is built
+/// per call and shared by every per-trace tracker; traces fan out on
+/// the [`crate::parallel`] worker pool. Each trace's tracker session is
+/// independent, so the parallel result is identical to a serial run.
 pub fn localize_moloc(
     world: &EvalWorld,
     setting: &Setting,
     config: MoLocConfig,
 ) -> Vec<Vec<PassOutcome>> {
     let detector = StepDetector::default();
-    world
-        .corpus
-        .test
-        .iter()
-        .enumerate()
-        .map(|(trace_index, trace)| {
-            let analysis = analyze_trace(
-                trace,
-                &setting.fdb,
-                &world.hall,
-                &detector,
-                setting.counting,
-                setting.n_aps,
-            );
-            let mut tracker = MoLocTracker::new(&setting.fdb, &setting.motion_db, config);
-            trace
-                .passes
-                .iter()
-                .zip(&trace.scans)
-                .enumerate()
-                .map(|(pass_index, (pass, scan))| {
-                    let query = Fingerprint::new(scan[..setting.n_aps].to_vec());
-                    let motion = if pass_index == 0 {
-                        None
-                    } else {
-                        analysis.measurements[pass_index - 1]
-                    };
-                    let estimate = tracker
-                        .observe(&query, motion)
-                        .expect("query length matches database");
-                    outcome(world, trace_index, pass_index, pass.location, estimate)
-                })
-                .collect()
-        })
-        .collect()
+    let kernel = build_kernel(&setting.motion_db, &config);
+    par_run(world.corpus.test.len(), |trace_index| {
+        let trace = &world.corpus.test[trace_index];
+        let analysis = analyze_trace(
+            trace,
+            &setting.fdb,
+            &world.hall,
+            &detector,
+            setting.counting,
+            setting.n_aps,
+        );
+        let mut tracker =
+            MoLocTracker::new_with_kernel(&setting.fdb, &setting.motion_db, config, &kernel);
+        trace
+            .passes
+            .iter()
+            .zip(&trace.scans)
+            .enumerate()
+            .map(|(pass_index, (pass, scan))| {
+                let query = Fingerprint::new(scan[..setting.n_aps].to_vec());
+                let motion = if pass_index == 0 {
+                    None
+                } else {
+                    analysis.measurements[pass_index - 1]
+                };
+                let estimate = tracker
+                    .observe(&query, motion)
+                    .expect("query length matches database");
+                outcome(world, trace_index, pass_index, pass.location, estimate)
+            })
+            .collect()
+    })
 }
 
 fn outcome(

@@ -65,6 +65,39 @@ proptest! {
     }
 
     #[test]
+    fn knn_heap_selection_matches_full_sort_baseline(
+        fps in prop::collection::vec(fingerprint(3), 2..20),
+        query in fingerprint(3),
+        k in 1usize..12,
+    ) {
+        // The bounded-heap selection must return byte-identical results
+        // to the straightforward sort-then-truncate it replaced,
+        // including the (dissimilarity, location-id) tie order.
+        let entries: Vec<(LocationId, Fingerprint)> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (LocationId::from_index(i), f.clone()))
+            .collect();
+        let db = FingerprintDb::from_fingerprints(entries).unwrap();
+        let fast = k_nearest(&db, &query, k, &Euclidean);
+        let mut baseline: Vec<Neighbor> = db
+            .iter()
+            .map(|(location, fp)| Neighbor {
+                location,
+                dissimilarity: Euclidean.dissimilarity(&query, fp),
+            })
+            .collect();
+        baseline.sort_by(|a, b| {
+            a.dissimilarity
+                .partial_cmp(&b.dissimilarity)
+                .unwrap()
+                .then_with(|| a.location.cmp(&b.location))
+        });
+        baseline.truncate(k);
+        prop_assert_eq!(fast, baseline);
+    }
+
+    #[test]
     fn knn_excluded_entries_are_never_nearer(
         fps in prop::collection::vec(fingerprint(3), 3..15),
         query in fingerprint(3),

@@ -12,6 +12,8 @@
 //!   values, 20°/3 m thresholds) and fine (Gaussian 2σ outlier
 //!   rejection).
 //! * [`matrix`] — the n×n database with mirror-derived reverse entries.
+//! * [`kernel`] — a precomputed flat-table view of the database for the
+//!   Eq. 5/6 hot path (dense pair index + tabulated CDF).
 //! * [`builder`] — the crowdsourcing pipeline putting it all together.
 //! * [`map_based`] — the rejected straight-line alternative of
 //!   Sec. IV-A, kept as an ablation comparator.
@@ -32,6 +34,7 @@
 
 pub mod builder;
 pub mod filter;
+pub mod kernel;
 pub mod map_based;
 pub mod matrix;
 pub mod reassemble;
@@ -39,5 +42,6 @@ pub mod rlm;
 
 pub use builder::{BuildReport, MapReference, MotionDbBuilder};
 pub use filter::SanitationConfig;
+pub use kernel::{KernelConfig, MotionKernel};
 pub use matrix::{MotionDb, PairStats};
 pub use rlm::Rlm;

@@ -4,6 +4,8 @@
 //! the workspace relies on:
 //!
 //! * [`erf`] — the error function and friends, needed for Gaussian CDFs.
+//! * [`normcdf`] — a tabulated standard normal CDF for hot paths that
+//!   evaluate window masses in bulk (the motion kernel).
 //! * [`gaussian`] — a [`gaussian::Gaussian`] distribution type with the
 //!   *windowed mass* operation that implements the discretized integrals
 //!   `D_{i,j}(d)` and `O_{i,j}(o)` of MoLoc's Eq. 5.
@@ -32,6 +34,7 @@ pub mod ecdf;
 pub mod erf;
 pub mod gaussian;
 pub mod hist;
+pub mod normcdf;
 pub mod online;
 pub mod sampling;
 

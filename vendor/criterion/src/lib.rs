@@ -1,0 +1,244 @@
+//! Offline subset of `criterion`.
+//!
+//! Real measurements, minimal machinery: each `bench_function` warms
+//! up, auto-calibrates an iteration count, takes `sample_size` timed
+//! samples, and reports mean/median per-iteration wall time. Results
+//! are kept on the [`Criterion`] value so bench binaries can
+//! post-process them (e.g. write a JSON summary) from a final
+//! `criterion_group!` target.
+
+use std::time::{Duration, Instant};
+
+/// Summary statistics for one completed benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id as passed to `bench_function`.
+    pub name: String,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Median wall time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time, in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Benchmark driver: timing configuration plus collected results.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Untimed warm-up budget per benchmark (also used to calibrate
+    /// the per-sample iteration count).
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark and records its measurement.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            sample_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        let Bencher {
+            mut sample_ns,
+            iters_per_sample,
+            ..
+        } = bencher;
+        assert!(
+            !sample_ns.is_empty(),
+            "benchmark {id} never called Bencher::iter"
+        );
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        let mean_ns = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+        let median_ns = if sample_ns.len() % 2 == 1 {
+            sample_ns[sample_ns.len() / 2]
+        } else {
+            (sample_ns[sample_ns.len() / 2 - 1] + sample_ns[sample_ns.len() / 2]) / 2.0
+        };
+        let measurement = Measurement {
+            name: id.to_string(),
+            mean_ns,
+            median_ns,
+            min_ns: sample_ns[0],
+            samples: sample_ns.len(),
+            iters_per_sample,
+        };
+        println!(
+            "{:<48} time: [{} {} {}]  ({} samples x {} iters)",
+            measurement.name,
+            format_ns(measurement.min_ns),
+            format_ns(measurement.median_ns),
+            format_ns(measurement.mean_ns),
+            measurement.samples,
+            measurement.iters_per_sample,
+        );
+        self.measurements.push(measurement);
+        self
+    }
+
+    /// All measurements recorded so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// The most recent measurement with this exact name.
+    pub fn measurement(&self, name: &str) -> Option<&Measurement> {
+        self.measurements.iter().rev().find(|m| m.name == name)
+    }
+
+    /// Prints a one-line closing summary.
+    pub fn final_summary(&self) {
+        println!("benchmarks complete: {} measurements", self.measurements.len());
+    }
+}
+
+/// Passed to the closure given to `bench_function`; calls the routine
+/// under measurement.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    sample_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording per-iteration wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up and calibrate: run until the warm-up budget is spent,
+        // doubling the batch size so the loop overhead amortizes.
+        let warm_start = Instant::now();
+        let mut batch = 1u64;
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            warm_iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        let warm_elapsed = warm_start.elapsed().as_nanos().max(1) as f64;
+        let est_ns_per_iter = warm_elapsed / warm_iters as f64;
+
+        // Spread the measurement budget across the samples.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let per_sample_ns = budget_ns / self.sample_size as f64;
+        let iters = ((per_sample_ns / est_ns_per_iter).floor() as u64).max(1);
+
+        self.iters_per_sample = iters;
+        self.sample_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.sample_ns.push(elapsed / iters as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a function that runs a list of benchmark targets with a
+/// shared `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` for a bench binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export so bench code can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(50));
+        c.bench_function("tiny/sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        let m = c.measurement("tiny/sum").expect("recorded");
+        assert_eq!(m.samples, 5);
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns * 1.5);
+    }
+}

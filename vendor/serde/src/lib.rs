@@ -1,0 +1,474 @@
+//! Offline, dependency-free subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature serde built around an owned value tree
+//! ([`Value`]): serializers accept a fully built `Value`, deserializers
+//! produce one. The public trait shapes (`Serialize`, `Serializer`,
+//! `Deserialize<'de>`, `Deserializer<'de>`, `de::DeserializeOwned`,
+//! `ser::Error`/`de::Error`) match the subset of real serde this
+//! workspace uses, so application code compiles unchanged against
+//! either implementation.
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros are re-exported from
+//! the sibling `serde_derive` stub and generate code against this data
+//! model. Supported shapes: named-field structs (with the
+//! `#[serde(with = "module")]` field attribute), tuple/newtype/unit
+//! structs, and enums with unit variants.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The owned data-model tree every serializer/deserializer speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Array(Vec<Value>),
+    /// A map with string keys; order-preserving for determinism.
+    Object(Vec<(String, Value)>),
+}
+
+/// The error type of the value-tree serializer/deserializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// Serialization-side traits and errors.
+pub mod ser {
+    /// Errors produced by serializers.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from any displayable message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::ValueError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            super::ValueError(msg.to_string())
+        }
+    }
+}
+
+/// Deserialization-side traits and errors.
+pub mod de {
+    /// Errors produced by deserializers.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from any displayable message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::ValueError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            super::ValueError(msg.to_string())
+        }
+    }
+
+    /// Types deserializable from any lifetime (all of them, in this
+    /// owned-value model).
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// A type that can serialize itself through any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized values.
+pub trait Serializer: Sized {
+    /// What a successful serialization yields.
+    type Ok;
+    /// The serializer's error type.
+    type Error: ser::Error;
+
+    /// Accepts a fully built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source of deserialized values.
+pub trait Deserializer<'de>: Sized {
+    /// The deserializer's error type.
+    type Error: de::Error;
+
+    /// Yields the full value tree of the input.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can deserialize itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The canonical serializer: hands the value tree straight through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// The canonical deserializer: reads from an owned value tree.
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer(Value);
+
+impl ValueDeserializer {
+    /// Wraps a value tree.
+    pub fn new(value: Value) -> Self {
+        Self(value)
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes any owned type from a [`Value`] tree.
+pub fn from_value<T: de::DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Removes and returns the named field from a decoded object, or
+/// `Value::Null` when absent (lets `Option` fields default to `None`).
+/// Used by derive-generated code.
+#[doc(hidden)]
+pub fn take_field(fields: &mut Vec<(String, Value)>, name: &str) -> Value {
+    match fields.iter().position(|(k, _)| k == name) {
+        Some(i) => fields.swap_remove(i).1,
+        None => Value::Null,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                let v = d.deserialize_value()?;
+                let n: u64 = match v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    other => {
+                        return Err(D::Error::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| D::Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::I64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                let v = d.deserialize_value()?;
+                let n: i64 = match v {
+                    Value::I64(n) => n,
+                    Value::U64(n) if n <= i64::MAX as u64 => n as i64,
+                    Value::F64(f) if f.fract() == 0.0 => f as i64,
+                    other => {
+                        return Err(D::Error::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| D::Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(D::Error::custom(format!("expected float, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => {
+                let inner = to_value(v).map_err(S::Error::custom)?;
+                s.serialize_value(inner)
+            }
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other)
+                .map(Some)
+                .map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(to_value(item).map_err(S::Error::custom)?);
+        }
+        s.serialize_value(Value::Array(out))
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.deserialize_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<Ser: Serializer>(&self, s: Ser) -> Result<Ser::Ok, Ser::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx)
+                        .map_err(|e| <Ser::Error as ser::Error>::custom(e))?,)+
+                ];
+                s.serialize_value(Value::Array(items))
+            }
+        }
+        impl<'de, $($name: de::DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                let Value::Array(items) = d.deserialize_value()? else {
+                    return Err(<De::Error as de::Error>::custom("expected tuple array"));
+                };
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                if items.len() != LEN {
+                    return Err(<De::Error as de::Error>::custom(format!(
+                        "expected tuple of length {LEN}, got {}",
+                        items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok(($(
+                    {
+                        let _ = $idx;
+                        let item = iter.next().expect("length checked");
+                        from_value::<$name>(item)
+                            .map_err(|e| <De::Error as de::Error>::custom(e))?
+                    },
+                )+))
+            }
+        }
+    )+};
+}
+
+tuple_impls!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        // Entry-list form: map keys in this workspace are not strings.
+        let mut out = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            out.push(Value::Array(vec![
+                to_value(k).map_err(S::Error::custom)?,
+                to_value(v).map_err(S::Error::custom)?,
+            ]));
+        }
+        s.serialize_value(Value::Array(out))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: de::DeserializeOwned + Ord,
+    V: de::DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        let entries = Vec::<(K, V)>::deserialize(d)?;
+        let _ = |e: ValueError| D::Error::custom(e);
+        Ok(entries.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(from_value::<u32>(to_value(&7u32).unwrap()).unwrap(), 7);
+        assert_eq!(from_value::<f64>(to_value(&1.5f64).unwrap()).unwrap(), 1.5);
+        assert_eq!(from_value::<bool>(to_value(&true).unwrap()).unwrap(), true);
+        let v = vec![(1u32, 2.0f64), (3u32, 4.0f64)];
+        assert_eq!(
+            from_value::<Vec<(u32, f64)>>(to_value(&v).unwrap()).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn option_none_is_null() {
+        assert_eq!(to_value(&None::<u32>).unwrap(), Value::Null);
+        assert_eq!(from_value::<Option<u32>>(Value::Null).unwrap(), None);
+        assert_eq!(
+            from_value::<Option<u32>>(Value::U64(3)).unwrap(),
+            Some(3u32)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(from_value::<u32>(Value::Str("x".into())).is_err());
+        assert!(from_value::<Vec<u32>>(Value::Bool(true)).is_err());
+    }
+}

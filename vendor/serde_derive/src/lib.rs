@@ -1,0 +1,507 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stub.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available offline, so this crate parses the derive input token
+//! stream by hand and emits code as strings. It supports exactly the
+//! shapes this workspace derives on:
+//!
+//! - non-generic structs with named fields (including
+//!   `#[serde(with = "module")]` on individual fields),
+//! - tuple structs (newtype → inner value, otherwise an array),
+//! - unit structs (→ `Value::Null`),
+//! - enums whose variants are all unit variants (→ variant name as a
+//!   string).
+//!
+//! Anything else (generics, payload-carrying enums) panics with a
+//! clear message at macro-expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = gen_serialize(&shape);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive stub produced invalid Rust: {e}\n{code}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = gen_deserialize(&shape);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive stub produced invalid Rust: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// Module path from `#[serde(with = "path")]`, if present.
+    with: Option<String>,
+}
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 1,
+                    other => panic!("serde_derive stub: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            None => Shape::UnitStruct { name },
+            other => panic!("serde_derive stub: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::UnitEnum {
+                name,
+                variants: parse_unit_variants(g.stream()),
+            },
+            other => panic!("serde_derive stub: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    }
+}
+
+/// Extracts `with = "path"` from the contents of a `#[serde(...)]`
+/// attribute, panicking on any serde attribute this stub cannot honor.
+fn parse_serde_attr(group: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    match (tokens.first(), tokens.get(1), tokens.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) if key.to_string() == "with" && eq.as_char() == '=' => {
+            let raw = lit.to_string();
+            let path = raw.trim_matches('"').to_string();
+            Some(path)
+        }
+        _ => panic!(
+            "serde_derive stub: only `#[serde(with = \"path\")]` is supported, got #[serde({})]",
+            tokens
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+
+    while i < tokens.len() {
+        let mut with = None;
+
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 1;
+            let group = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive stub: malformed field attribute: {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if id.to_string() == "serde" {
+                    with = parse_serde_attr(args.stream());
+                }
+            }
+            i += 1;
+        }
+
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, got {other:?}"),
+        }
+
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        // Grouped tokens (parens/brackets) are single trees, so only `<`/`>`
+        // need explicit depth tracking (e.g. `BTreeMap<(u32, u32), PairStats>`).
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+
+        fields.push(Field { name, with });
+    }
+
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut arity = 1;
+    let mut saw_trailing_comma = false;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        saw_trailing_comma = true;
+                    } else {
+                        arity += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = saw_trailing_comma;
+    arity
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+
+    while i < tokens.len() {
+        // Variant attributes (e.g. #[default]).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2; // '#' + bracket group
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive stub: enum variant `{name}` carries data; only unit variants are supported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip `= expr` up to the comma.
+                i += 1;
+                while let Some(tok) = tokens.get(i) {
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive stub: unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(name);
+    }
+
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                let fname = &f.name;
+                let value_expr = match &f.with {
+                    Some(path) => format!(
+                        "{path}::serialize(&self.{fname}, ::serde::ValueSerializer)\
+                         .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?"
+                    ),
+                    None => format!(
+                        "::serde::to_value(&self.{fname})\
+                         .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?"
+                    ),
+                };
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{fname}\"), {value_expr}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                         -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Serializer::serialize_value(serializer, ::serde::Value::Object(__fields))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "let __v = ::serde::to_value(&self.0)\
+                     .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?;\n\
+                 ::serde::Serializer::serialize_value(serializer, __v)"
+                    .to_string()
+            } else {
+                let mut pushes = String::new();
+                for idx in 0..*arity {
+                    pushes.push_str(&format!(
+                        "__items.push(::serde::to_value(&self.{idx})\
+                             .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?);\n"
+                    ));
+                }
+                format!(
+                    "let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     ::serde::Serializer::serialize_value(serializer, ::serde::Value::Array(__items))"
+                )
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                         -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                     -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                     ::serde::Serializer::serialize_value(serializer, ::serde::Value::Null)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                         -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                         let __name = match self {{\n{arms}}};\n\
+                         ::serde::Serializer::serialize_value(\n\
+                             serializer,\n\
+                             ::serde::Value::Str(::std::string::String::from(__name)),\n\
+                         )\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                let expr = match &f.with {
+                    Some(path) => format!(
+                        "{path}::deserialize(::serde::ValueDeserializer::new(\
+                             ::serde::take_field(&mut __fields, \"{fname}\")))\
+                         .map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?"
+                    ),
+                    None => format!(
+                        "::serde::from_value(::serde::take_field(&mut __fields, \"{fname}\"))\
+                         .map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?"
+                    ),
+                };
+                inits.push_str(&format!("{fname}: {expr},\n"));
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                         -> ::core::result::Result<Self, D::Error> {{\n\
+                         let __value = ::serde::Deserializer::deserialize_value(deserializer)?;\n\
+                         let mut __fields = match __value {{\n\
+                             ::serde::Value::Object(fields) => fields,\n\
+                             other => return ::core::result::Result::Err(\n\
+                                 <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                                     \"expected object for struct {name}, got {{:?}}\", other))),\n\
+                         }};\n\
+                         ::core::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "let __value = ::serde::Deserializer::deserialize_value(deserializer)?;\n\
+                     ::core::result::Result::Ok({name}(::serde::from_value(__value)\
+                         .map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?))"
+                )
+            } else {
+                let mut takes = String::new();
+                for _ in 0..*arity {
+                    takes.push_str(
+                        "::serde::from_value(__items.remove(0))\
+                             .map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?,\n",
+                    );
+                }
+                format!(
+                    "let __value = ::serde::Deserializer::deserialize_value(deserializer)?;\n\
+                     let mut __items = match __value {{\n\
+                         ::serde::Value::Array(items) => items,\n\
+                         other => return ::core::result::Result::Err(\n\
+                             <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                                 \"expected array for tuple struct {name}, got {{:?}}\", other))),\n\
+                     }};\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::core::result::Result::Err(\n\
+                             <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                                 \"expected {arity} elements for {name}, got {{}}\", __items.len())));\n\
+                     }}\n\
+                     ::core::result::Result::Ok({name}(\n{takes}))"
+                )
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                         -> ::core::result::Result<Self, D::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                     -> ::core::result::Result<Self, D::Error> {{\n\
+                     let _ = ::serde::Deserializer::deserialize_value(deserializer)?;\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                         -> ::core::result::Result<Self, D::Error> {{\n\
+                         let __value = ::serde::Deserializer::deserialize_value(deserializer)?;\n\
+                         let __s = match __value {{\n\
+                             ::serde::Value::Str(s) => s,\n\
+                             other => return ::core::result::Result::Err(\n\
+                                 <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                                     \"expected string for enum {name}, got {{:?}}\", other))),\n\
+                         }};\n\
+                         match __s.as_str() {{\n\
+                             {arms}\
+                             other => ::core::result::Result::Err(\n\
+                                 <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                                     \"unknown {name} variant: {{}}\", other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
