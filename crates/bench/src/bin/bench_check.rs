@@ -1,0 +1,164 @@
+//! Bench-regression gate: compares two `BENCH_*.json` files emitted by
+//! the `micro_hot_paths` bench and fails when any benchmark shared by
+//! both files regressed by more than the tolerance.
+//!
+//! ```text
+//! bench_check [--old BENCH_pr1.json] [--new BENCH_pr2.json] [--tolerance 1.25]
+//! ```
+//!
+//! Exit status: 0 when every shared benchmark's `new/old` mean-time
+//! ratio is at or under the tolerance, 1 otherwise, 2 on usage or
+//! parse errors. Benchmarks present in only one file are listed but
+//! never gate (new optimizations add arms; old ones may be retired).
+
+use serde::Deserialize;
+
+#[derive(Debug, Deserialize)]
+struct BenchFile {
+    pr: u64,
+    parallel_threads: u64,
+    benchmarks: Vec<Benchmark>,
+    comparisons: Vec<Comparison>,
+}
+
+#[derive(Debug, Deserialize)]
+struct Benchmark {
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: u64,
+    iters_per_sample: u64,
+}
+
+#[derive(Debug, Deserialize)]
+struct Comparison {
+    name: String,
+    baseline: String,
+    speedup: f64,
+}
+
+struct Args {
+    old: String,
+    new: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        old: "BENCH_pr1.json".to_string(),
+        new: "BENCH_pr2.json".to_string(),
+        tolerance: 1.25,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--old" => args.old = value("--old")?,
+            "--new" => args.new = value("--new")?,
+            "--tolerance" => {
+                let v = value("--tolerance")?;
+                args.tolerance = v
+                    .parse()
+                    .map_err(|_| format!("invalid tolerance: {v}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_check [--old FILE] [--new FILE] [--tolerance RATIO]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if !(args.tolerance.is_finite() && args.tolerance >= 1.0) {
+        return Err(format!("tolerance must be >= 1.0, got {}", args.tolerance));
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e:?}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (old, new) = match (load(&args.old), load(&args.new)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (o, n) => {
+            for e in [o.err(), n.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "comparing PR {} ({}, {} threads) -> PR {} ({}, {} threads), tolerance {:.2}x",
+        old.pr, args.old, old.parallel_threads, new.pr, args.new, new.parallel_threads,
+        args.tolerance,
+    );
+
+    let mut regressions = 0usize;
+    let mut shared = 0usize;
+    for nb in &new.benchmarks {
+        let Some(ob) = old.benchmarks.iter().find(|b| b.name == nb.name) else {
+            println!("  NEW       {:<48} {:>12.1} ns", nb.name, nb.mean_ns);
+            continue;
+        };
+        shared += 1;
+        let ratio = nb.mean_ns / ob.mean_ns;
+        let status = if ratio > args.tolerance {
+            regressions += 1;
+            "REGRESSED"
+        } else if ratio < 1.0 {
+            "faster"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<9} {:<48} {:>12.1} -> {:>12.1} ns ({:.2}x)",
+            status, nb.name, ob.mean_ns, nb.mean_ns, ratio,
+        );
+        // Sanity: a benchmark with absurd sampling is a broken run, not
+        // a measurement — refuse to certify it.
+        if nb.samples == 0 || nb.iters_per_sample == 0 || nb.min_ns <= 0.0 || nb.median_ns <= 0.0
+        {
+            eprintln!("error: malformed measurement for {}", nb.name);
+            std::process::exit(2);
+        }
+    }
+    for ob in &old.benchmarks {
+        if !new.benchmarks.iter().any(|b| b.name == ob.name) {
+            println!("  RETIRED   {:<48} {:>12.1} ns", ob.name, ob.mean_ns);
+        }
+    }
+    for cmp in &new.comparisons {
+        println!(
+            "  speedup   {:<48} {:.2}x over {}",
+            cmp.name, cmp.speedup, cmp.baseline
+        );
+    }
+
+    if shared == 0 {
+        eprintln!("error: the two files share no benchmark names");
+        std::process::exit(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} of {shared} shared benchmarks regressed beyond {:.2}x",
+            args.tolerance
+        );
+        std::process::exit(1);
+    }
+    println!("all {shared} shared benchmarks within tolerance");
+}

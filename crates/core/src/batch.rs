@@ -1,0 +1,466 @@
+//! The zero-allocation batched localization engine.
+//!
+//! [`crate::tracker::MoLocTracker`] allocates per observation: a fresh
+//! neighbor vector from k-NN, a [`CandidateSet`] for Eq. 4, a weight
+//! vector plus another set for Eq. 7. Fine for one query; wasteful for
+//! trace-driven evaluation and the "millions of users" serving target,
+//! where the same small buffers are needed over and over.
+//!
+//! [`BatchLocalizer`] owns every per-step buffer — the k-NN selection
+//! heap, the neighbor list, the candidate and posterior tables — and
+//! reuses them across observations: after the first observation warms
+//! the buffers up, a full trace of localization steps performs **zero
+//! heap allocations** (asserted by `tests/zero_alloc.rs` with a
+//! counting allocator).
+//!
+//! The arithmetic replicates the tracker's kernel path exactly — same
+//! expressions, same iteration order, same tie-breaks — so estimates
+//! are bit-identical to `MoLocTracker::observe` with the Euclidean
+//! metric (proven by the digest test in `crates/eval/tests/`).
+
+use crate::config::MoLocConfig;
+use crate::matching::build_kernel;
+use crate::tracker::{MotionMeasurement, TrackError};
+use moloc_fingerprint::db::FingerprintDb;
+use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_fingerprint::index::{FingerprintIndex, KnnScratch, SquaredEuclidean};
+use moloc_fingerprint::knn::Neighbor;
+use moloc_geometry::LocationId;
+use moloc_motion::kernel::MotionKernel;
+use moloc_motion::matrix::MotionDb;
+use std::cmp::Ordering;
+
+#[cfg(doc)]
+use moloc_fingerprint::candidates::CandidateSet;
+
+/// A resource the engine either owns or borrows from a caller who
+/// shares it across engines (one build per setting, not per trace).
+#[derive(Debug)]
+enum Resource<'a, T> {
+    Owned(Box<T>),
+    Shared(&'a T),
+}
+
+impl<T> Resource<'_, T> {
+    fn get(&self) -> &T {
+        match self {
+            Resource::Owned(v) => v,
+            Resource::Shared(v) => v,
+        }
+    }
+}
+
+/// The reusable-buffer localization engine (Euclidean metric, motion
+/// kernel — the production configuration).
+#[derive(Debug)]
+pub struct BatchLocalizer<'a> {
+    index: Resource<'a, FingerprintIndex>,
+    kernel: Resource<'a, MotionKernel>,
+    config: MoLocConfig,
+    scratch: KnnScratch,
+    neighbors: Vec<Neighbor>,
+    current: Vec<(LocationId, f64)>,
+    weights: Vec<(LocationId, f64)>,
+    previous: Vec<(LocationId, f64)>,
+    has_previous: bool,
+}
+
+impl BatchLocalizer<'static> {
+    /// Builds a self-contained engine: flattens `fingerprint_db` into a
+    /// [`FingerprintIndex`] and precomputes a [`MotionKernel`] over
+    /// `motion_db`. When running many traces over one setting, build
+    /// those once and use [`BatchLocalizer::new_with_index`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(
+        fingerprint_db: &FingerprintDb,
+        motion_db: &MotionDb,
+        config: MoLocConfig,
+    ) -> BatchLocalizer<'static> {
+        config.validate();
+        let index = FingerprintIndex::build(fingerprint_db);
+        let kernel = build_kernel(motion_db, &config);
+        BatchLocalizer {
+            index: Resource::Owned(Box::new(index)),
+            kernel: Resource::Owned(Box::new(kernel)),
+            config,
+            scratch: KnnScratch::with_k(config.k),
+            neighbors: Vec::with_capacity(config.k),
+            current: Vec::with_capacity(config.k),
+            weights: Vec::with_capacity(config.k),
+            previous: Vec::with_capacity(config.k),
+            has_previous: false,
+        }
+    }
+}
+
+impl<'a> BatchLocalizer<'a> {
+    /// An engine over caller-shared artifacts: the index and kernel are
+    /// built once per `(fingerprint db, motion db, config)` and shared
+    /// across the per-trace engines, exactly like
+    /// `MoLocTracker::new_with_kernel`. The kernel must have been built
+    /// from the same motion database and config (see [`build_kernel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new_with_index(
+        index: &'a FingerprintIndex,
+        kernel: &'a MotionKernel,
+        config: MoLocConfig,
+    ) -> BatchLocalizer<'a> {
+        config.validate();
+        BatchLocalizer {
+            index: Resource::Shared(index),
+            kernel: Resource::Shared(kernel),
+            config,
+            scratch: KnnScratch::with_k(config.k),
+            neighbors: Vec::with_capacity(config.k),
+            current: Vec::with_capacity(config.k),
+            weights: Vec::with_capacity(config.k),
+            previous: Vec::with_capacity(config.k),
+            has_previous: false,
+        }
+    }
+
+    /// The engine's fingerprint index.
+    pub fn index(&self) -> &FingerprintIndex {
+        self.index.get()
+    }
+
+    /// The retained posterior from the last observation:
+    /// `(location, probability)` in candidate order, empty before the
+    /// first observation.
+    pub fn posterior(&self) -> &[(LocationId, f64)] {
+        if self.has_previous {
+            &self.previous
+        } else {
+            &[]
+        }
+    }
+
+    /// Forgets all history, keeping the warmed buffers.
+    pub fn reset(&mut self) {
+        self.previous.clear();
+        self.has_previous = false;
+    }
+
+    /// Processes one localization query; same contract as
+    /// `MoLocTracker::observe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackError`] for mismatched query lengths or
+    /// non-finite measurements.
+    pub fn observe(
+        &mut self,
+        query: &Fingerprint,
+        motion: Option<MotionMeasurement>,
+    ) -> Result<LocationId, TrackError> {
+        self.observe_slice(query.values(), motion)
+    }
+
+    /// [`BatchLocalizer::observe`] over a raw RSS slice — lets trace
+    /// pipelines feed scan buffers directly, with no per-observation
+    /// [`Fingerprint`] allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackError`] for mismatched query lengths or
+    /// non-finite measurements.
+    pub fn observe_slice(
+        &mut self,
+        query: &[f64],
+        motion: Option<MotionMeasurement>,
+    ) -> Result<LocationId, TrackError> {
+        let index = self.index.get();
+        if query.len() != index.ap_count() {
+            return Err(TrackError::QueryLength {
+                expected: index.ap_count(),
+                found: query.len(),
+            });
+        }
+        if let Some(m) = motion {
+            if !m.direction_deg.is_finite() || !m.offset_m.is_finite() || m.offset_m < 0.0 {
+                return Err(TrackError::BadMeasurement);
+            }
+        }
+
+        index.k_nearest_into::<SquaredEuclidean>(
+            query,
+            self.config.k,
+            &mut self.scratch,
+            &mut self.neighbors,
+        );
+
+        // Eq. 4 into the reusable candidate table — the same arithmetic
+        // as `CandidateSet::from_neighbors`, including the exact-match
+        // branch and the iterator summation order.
+        self.current.clear();
+        let exact = self
+            .neighbors
+            .iter()
+            .filter(|n| n.dissimilarity <= f64::EPSILON)
+            .count();
+        if exact > 0 {
+            let p = 1.0 / exact as f64;
+            for n in &self.neighbors {
+                let probability = if n.dissimilarity <= f64::EPSILON {
+                    p
+                } else {
+                    0.0
+                };
+                self.current.push((n.location, probability));
+            }
+        } else {
+            let total: f64 = self.neighbors.iter().map(|n| 1.0 / n.dissimilarity).sum();
+            for n in &self.neighbors {
+                self.current
+                    .push((n.location, (1.0 / n.dissimilarity) / total));
+            }
+        }
+
+        // Eq. 7 when both history and motion exist — mirrors
+        // `evaluate_candidates_kernel` over the retained buffers.
+        let reweighted = match motion {
+            Some(m) if self.has_previous => {
+                let kernel = self.kernel.get();
+                // The stay-in-place mass ignores the pair, so hoist it
+                // out of the k x k product (consecutive candidate sets
+                // overlap heavily, hitting the diagonal up to k times).
+                let stay = kernel.stay_probability(m.offset_m);
+                self.weights.clear();
+                for &(loc, p_fingerprint) in &self.current {
+                    let p_motion: f64 = self
+                        .previous
+                        .iter()
+                        .map(|&(from, p)| {
+                            p * if from == loc {
+                                stay
+                            } else {
+                                kernel.pair_probability(from, loc, m.direction_deg, m.offset_m)
+                            }
+                        })
+                        .sum();
+                    self.weights.push((loc, p_fingerprint * p_motion));
+                }
+                let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+                // Degenerate totals fall back to the fingerprint-only
+                // distribution, as `evaluate_candidates_kernel` does.
+                if total <= self.config.degenerate_total_floor {
+                    false
+                } else {
+                    for entry in &mut self.weights {
+                        entry.1 /= total;
+                    }
+                    true
+                }
+            }
+            _ => false,
+        };
+        let posterior: &[(LocationId, f64)] = if reweighted {
+            &self.weights
+        } else {
+            &self.current
+        };
+
+        // `CandidateSet::top`: highest probability, ties to lower id.
+        let mut best = 0usize;
+        for i in 1..posterior.len() {
+            let ord = posterior[i]
+                .1
+                .partial_cmp(&posterior[best].1)
+                .expect("probabilities are finite")
+                .then_with(|| posterior[best].0.cmp(&posterior[i].0));
+            if ord == Ordering::Greater {
+                best = i;
+            }
+        }
+        let estimate = posterior[best].0;
+
+        // Retain the posterior by swapping buffers (no copy, no alloc).
+        if reweighted {
+            std::mem::swap(&mut self.previous, &mut self.weights);
+        } else {
+            std::mem::swap(&mut self.previous, &mut self.current);
+        }
+        self.has_previous = true;
+        Ok(estimate)
+    }
+
+    /// Localizes a whole trace into `out` (cleared first), resetting
+    /// history beforehand. With warmed buffers and a pre-sized `out`,
+    /// the entire call performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TrackError`] encountered; `out` then holds
+    /// the estimates produced before the failure.
+    pub fn localize_trace_into(
+        &mut self,
+        queries: &[(Fingerprint, Option<MotionMeasurement>)],
+        out: &mut Vec<LocationId>,
+    ) -> Result<(), TrackError> {
+        self.reset();
+        out.clear();
+        for (query, motion) in queries {
+            out.push(self.observe(query, *motion)?);
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper over
+    /// [`BatchLocalizer::localize_trace_into`] allocating the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TrackError`] encountered.
+    pub fn localize_trace(
+        &mut self,
+        queries: &[(Fingerprint, Option<MotionMeasurement>)],
+    ) -> Result<Vec<LocationId>, TrackError> {
+        let mut out = Vec::with_capacity(queries.len());
+        self.localize_trace_into(queries, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::MoLocTracker;
+    use moloc_motion::matrix::PairStats;
+    use moloc_stats::gaussian::Gaussian;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn fp(v: &[f64]) -> Fingerprint {
+        Fingerprint::new(v.to_vec())
+    }
+
+    /// The tracker module's twin world: L1/L3 fingerprint twins on an
+    /// eastward corridor through L2.
+    fn world() -> (FingerprintDb, MotionDb) {
+        let fdb = FingerprintDb::from_fingerprints(vec![
+            (l(1), fp(&[-50.0, -50.0])),
+            (l(2), fp(&[-40.0, -70.0])),
+            (l(3), fp(&[-50.0, -50.1])),
+        ])
+        .unwrap();
+        let mut mdb = MotionDb::new(3);
+        let east = |mu_o: f64| PairStats {
+            direction: Gaussian::new(90.0, 5.0).unwrap(),
+            offset: Gaussian::new(mu_o, 0.3).unwrap(),
+            sample_count: 10,
+        };
+        mdb.insert(l(1), l(2), east(4.0));
+        mdb.insert(l(2), l(3), east(4.0));
+        mdb.insert(l(1), l(3), east(8.0));
+        (fdb, mdb)
+    }
+
+    fn queries() -> Vec<(Fingerprint, Option<MotionMeasurement>)> {
+        vec![
+            (fp(&[-40.0, -70.0]), None),
+            (
+                fp(&[-50.0, -50.05]),
+                Some(MotionMeasurement {
+                    direction_deg: 91.0,
+                    offset_m: 4.1,
+                }),
+            ),
+            (
+                fp(&[-41.0, -69.5]),
+                Some(MotionMeasurement {
+                    direction_deg: 270.0,
+                    offset_m: 4.0,
+                }),
+            ),
+            (fp(&[-50.0, -50.0]), None),
+        ]
+    }
+
+    #[test]
+    fn matches_tracker_estimates() {
+        let (fdb, mdb) = world();
+        let config = MoLocConfig::default();
+        let mut tracker = MoLocTracker::new(&fdb, &mdb, config);
+        let expected: Vec<LocationId> = queries()
+            .iter()
+            .map(|(q, m)| tracker.observe(q, *m).unwrap())
+            .collect();
+        let mut engine = BatchLocalizer::new(&fdb, &mdb, config);
+        assert_eq!(engine.localize_trace(&queries()).unwrap(), expected);
+    }
+
+    #[test]
+    fn shared_index_matches_owned() {
+        let (fdb, mdb) = world();
+        let config = MoLocConfig::default();
+        let index = FingerprintIndex::build(&fdb);
+        let kernel = build_kernel(&mdb, &config);
+        let mut owned = BatchLocalizer::new(&fdb, &mdb, config);
+        let mut shared = BatchLocalizer::new_with_index(&index, &kernel, config);
+        assert_eq!(
+            owned.localize_trace(&queries()).unwrap(),
+            shared.localize_trace(&queries()).unwrap()
+        );
+    }
+
+    #[test]
+    fn posterior_matches_tracker_candidates() {
+        let (fdb, mdb) = world();
+        let config = MoLocConfig::default();
+        let mut tracker = MoLocTracker::new(&fdb, &mdb, config);
+        let mut engine = BatchLocalizer::new(&fdb, &mdb, config);
+        assert!(engine.posterior().is_empty());
+        for (q, m) in &queries() {
+            tracker.observe(q, *m).unwrap();
+            engine.observe(q, *m).unwrap();
+            let tracked: Vec<(LocationId, f64)> =
+                tracker.candidates().unwrap().iter().collect();
+            assert_eq!(engine.posterior(), tracked.as_slice());
+        }
+    }
+
+    #[test]
+    fn reset_clears_history_and_reuse_is_stable() {
+        let (fdb, mdb) = world();
+        let mut engine = BatchLocalizer::new(&fdb, &mdb, MoLocConfig::default());
+        let first = engine.localize_trace(&queries()).unwrap();
+        // localize_trace resets internally: a second run must agree.
+        let second = engine.localize_trace(&queries()).unwrap();
+        assert_eq!(first, second);
+        engine.reset();
+        assert!(engine.posterior().is_empty());
+    }
+
+    #[test]
+    fn error_contract_matches_tracker() {
+        let (fdb, mdb) = world();
+        let mut engine = BatchLocalizer::new(&fdb, &mdb, MoLocConfig::default());
+        assert_eq!(
+            engine.observe(&fp(&[-40.0]), None).unwrap_err(),
+            TrackError::QueryLength {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert_eq!(
+            engine
+                .observe(
+                    &fp(&[-40.0, -70.0]),
+                    Some(MotionMeasurement {
+                        direction_deg: f64::NAN,
+                        offset_m: 1.0,
+                    })
+                )
+                .unwrap_err(),
+            TrackError::BadMeasurement
+        );
+    }
+}

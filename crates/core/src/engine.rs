@@ -4,14 +4,23 @@
 //! configuration into one deployable unit — the thing a venue operator
 //! would ship — and hands out per-session [`MoLocTracker`]s.
 
+use crate::batch::BatchLocalizer;
 use crate::config::MoLocConfig;
+use crate::matching::build_kernel;
 use crate::tracker::{MoLocTracker, MotionMeasurement, TrackError};
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_fingerprint::index::FingerprintIndex;
 use moloc_geometry::LocationId;
+use moloc_motion::kernel::MotionKernel;
 use moloc_motion::matrix::MotionDb;
 
 /// A deployed MoLoc system.
+///
+/// Construction precomputes the two serving artifacts — the columnar
+/// [`FingerprintIndex`] and the [`MotionKernel`] — once; every tracker
+/// and batch engine handed out shares them instead of rebuilding per
+/// session.
 ///
 /// # Examples
 ///
@@ -21,6 +30,8 @@ pub struct MoLoc {
     fingerprint_db: FingerprintDb,
     motion_db: MotionDb,
     config: MoLocConfig,
+    index: FingerprintIndex,
+    kernel: MotionKernel,
 }
 
 /// Builder for [`MoLoc`].
@@ -45,10 +56,14 @@ impl MoLocBuilder {
     /// Panics if the configuration is invalid.
     pub fn build(self) -> MoLoc {
         self.config.validate();
+        let index = FingerprintIndex::build(&self.fingerprint_db);
+        let kernel = build_kernel(&self.motion_db, &self.config);
         MoLoc {
             fingerprint_db: self.fingerprint_db,
             motion_db: self.motion_db,
             config: self.config,
+            index,
+            kernel,
         }
     }
 }
@@ -78,9 +93,33 @@ impl MoLoc {
         self.config
     }
 
-    /// A fresh per-session tracker.
+    /// The prebuilt columnar fingerprint index.
+    pub fn index(&self) -> &FingerprintIndex {
+        &self.index
+    }
+
+    /// The prebuilt motion kernel.
+    pub fn kernel(&self) -> &MotionKernel {
+        &self.kernel
+    }
+
+    /// A fresh per-session tracker sharing the prebuilt kernel and
+    /// index (no per-session artifact builds).
     pub fn tracker(&self) -> MoLocTracker<'_> {
-        MoLocTracker::new(&self.fingerprint_db, &self.motion_db, self.config)
+        MoLocTracker::new_with_kernel(
+            &self.fingerprint_db,
+            &self.motion_db,
+            self.config,
+            &self.kernel,
+        )
+        .with_shared_index(&self.index)
+    }
+
+    /// A fresh per-session batch engine sharing the prebuilt kernel
+    /// and index; its scratch buffers make repeated observations
+    /// allocation-free.
+    pub fn batch_localizer(&self) -> BatchLocalizer<'_> {
+        BatchLocalizer::new_with_index(&self.index, &self.kernel, self.config)
     }
 
     /// Localizes a whole query sequence, as the trace-driven evaluation
@@ -94,11 +133,7 @@ impl MoLoc {
         &self,
         queries: &[(Fingerprint, Option<MotionMeasurement>)],
     ) -> Result<Vec<LocationId>, TrackError> {
-        let mut tracker = self.tracker();
-        queries
-            .iter()
-            .map(|(fp, motion)| tracker.observe(fp, *motion))
-            .collect()
+        self.batch_localizer().localize_trace(queries)
     }
 }
 

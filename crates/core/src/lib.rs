@@ -12,6 +12,8 @@
 //! * [`evaluate`] — the posterior candidate evaluation (Eq. 7).
 //! * [`tracker`] — [`tracker::MoLocTracker`], the stateful localizer
 //!   that retains the candidate set between queries.
+//! * [`batch`] — [`batch::BatchLocalizer`], the trace-oriented engine
+//!   with reusable scratch buffers (zero allocations after warm-up).
 //! * [`engine`] — [`engine::MoLoc`], the owning facade bundling the
 //!   fingerprint database, motion database, and configuration.
 //! * [`viterbi`] — an offline HMM comparator over the same databases
@@ -54,6 +56,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod evaluate;
@@ -62,6 +65,7 @@ pub mod particle;
 pub mod tracker;
 pub mod viterbi;
 
+pub use batch::BatchLocalizer;
 pub use config::MoLocConfig;
 pub use engine::MoLoc;
 pub use tracker::{MoLocTracker, MotionMeasurement};

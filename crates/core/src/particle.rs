@@ -26,6 +26,8 @@
 use crate::tracker::MotionMeasurement;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_fingerprint::index::MetricKernel as _;
+use moloc_fingerprint::index::{FingerprintIndex, SquaredEuclidean};
 use moloc_fingerprint::metric::{Dissimilarity, Euclidean};
 use moloc_geometry::{LocationId, ReferenceGrid, Vec2};
 use moloc_motion::kernel::MotionKernel;
@@ -100,6 +102,9 @@ pub struct ParticleLocalizer<'a> {
     particles: Vec<Particle>,
     rng: StdRng,
     kernel: Option<&'a MotionKernel>,
+    /// Columnar scan for the per-particle emission weights; `None`
+    /// falls back to the per-fingerprint metric lookup.
+    index: Option<FingerprintIndex>,
 }
 
 impl<'a> ParticleLocalizer<'a> {
@@ -119,7 +124,15 @@ impl<'a> ParticleLocalizer<'a> {
             particles: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
             kernel: None,
+            index: Some(FingerprintIndex::build(fdb)),
         }
+    }
+
+    /// Disables the columnar index: emission weights come from the
+    /// per-fingerprint metric lookup (the pre-index reference path).
+    pub fn with_exact_emissions(mut self) -> Self {
+        self.index = None;
+        self
     }
 
     /// Adds crowdsourced motion evidence: on every motion update, each
@@ -153,10 +166,18 @@ impl<'a> ParticleLocalizer<'a> {
         // location, softened by the distance to it so positions between
         // reference points are not over-penalized.
         let nearest = self.grid.nearest(position);
-        let Some(fp) = self.fdb.fingerprint(nearest) else {
-            return 1e-12;
+        let m = if let Some(index) = &self.index {
+            let Some(row) = index.position_of(nearest) else {
+                return 1e-12;
+            };
+            SquaredEuclidean::finalize(SquaredEuclidean::rank(query.values(), index.row(row)))
+        } else {
+            let Some(fp) = self.fdb.fingerprint(nearest) else {
+                return 1e-12;
+            };
+            self.metric.dissimilarity(query, fp)
         };
-        let m = self.metric.dissimilarity(query, fp).max(0.1);
+        let m = m.max(0.1);
         1.0 / (m * m)
     }
 
@@ -377,6 +398,25 @@ mod tests {
         pf.observe(&fp(&[-40.0, -70.0]), None);
         let est = pf.observe(&fp(&[-50.0, -50.05]), east(4.0));
         assert_eq!(est, l(3), "kernel evidence agrees with the walk east");
+    }
+
+    #[test]
+    fn indexed_emissions_match_exact_path() {
+        // The columnar emission weights are bit-identical to the
+        // per-fingerprint metric path, and neither consumes RNG, so the
+        // whole particle evolution must coincide.
+        let (fdb, grid) = world();
+        let run = |exact: bool| {
+            let mut pf = ParticleLocalizer::new(&fdb, &grid, ParticleConfig::default());
+            if exact {
+                pf = pf.with_exact_emissions();
+            }
+            let a = pf.observe(&fp(&[-40.0, -70.0]), None);
+            let b = pf.observe(&fp(&[-50.0, -50.05]), east(4.0));
+            let c = pf.observe(&fp(&[-41.0, -69.0]), east(4.0));
+            (a, b, c, pf.effective_sample_size())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

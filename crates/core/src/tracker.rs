@@ -13,7 +13,8 @@ use crate::matching::build_kernel;
 use moloc_fingerprint::candidates::CandidateSet;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
-use moloc_fingerprint::knn::k_nearest;
+use moloc_fingerprint::index::{FingerprintIndex, KnnScratch, SquaredEuclidean};
+use moloc_fingerprint::knn::{k_nearest, Neighbor};
 use moloc_fingerprint::metric::{Dissimilarity, Euclidean};
 use moloc_geometry::LocationId;
 use moloc_motion::kernel::MotionKernel;
@@ -71,6 +72,21 @@ enum MotionBackend<'a> {
     Exact,
 }
 
+/// How a tracker scans the fingerprint database.
+#[derive(Debug)]
+enum FingerprintBackend<'a> {
+    /// A columnar index this tracker built and owns (the default for
+    /// the Euclidean metric).
+    OwnedIndex(Box<FingerprintIndex>),
+    /// A caller-provided index, shared across trackers (one flattening
+    /// per fingerprint database instead of one per trace).
+    SharedIndex(&'a FingerprintIndex),
+    /// The generic `k_nearest` walk over the database through the
+    /// configured `dyn Dissimilarity` (reference path; required for
+    /// custom metrics).
+    ExactScan,
+}
+
 /// The stateful motion-assisted localizer.
 #[derive(Debug)]
 pub struct MoLocTracker<'a> {
@@ -79,6 +95,9 @@ pub struct MoLocTracker<'a> {
     config: MoLocConfig,
     metric: &'a dyn Dissimilarity,
     backend: MotionBackend<'a>,
+    fingerprints: FingerprintBackend<'a>,
+    scratch: KnnScratch,
+    neighbors: Vec<Neighbor>,
     previous: Option<CandidateSet>,
 }
 
@@ -101,6 +120,11 @@ impl<'a> MoLocTracker<'a> {
             config,
             metric: &Euclidean,
             backend: MotionBackend::OwnedKernel(Box::new(kernel)),
+            fingerprints: FingerprintBackend::OwnedIndex(Box::new(FingerprintIndex::build(
+                fingerprint_db,
+            ))),
+            scratch: KnnScratch::with_k(config.k),
+            neighbors: Vec::with_capacity(config.k),
             previous: None,
         }
     }
@@ -123,13 +147,37 @@ impl<'a> MoLocTracker<'a> {
             config,
             metric: &Euclidean,
             backend: MotionBackend::SharedKernel(kernel),
+            fingerprints: FingerprintBackend::OwnedIndex(Box::new(FingerprintIndex::build(
+                fingerprint_db,
+            ))),
+            scratch: KnnScratch::with_k(config.k),
+            neighbors: Vec::with_capacity(config.k),
             previous: None,
         }
     }
 
-    /// Replaces the dissimilarity metric.
+    /// Replaces the dissimilarity metric. The columnar index only
+    /// serves the Euclidean metric, so this switches the fingerprint
+    /// scan to the generic path.
     pub fn with_metric(mut self, metric: &'a dyn Dissimilarity) -> Self {
         self.metric = metric;
+        self.fingerprints = FingerprintBackend::ExactScan;
+        self
+    }
+
+    /// Uses a caller-owned columnar index instead of flattening one.
+    /// The index must have been built from the same fingerprint
+    /// database (see [`FingerprintIndex::build`]).
+    pub fn with_shared_index(mut self, index: &'a FingerprintIndex) -> Self {
+        self.fingerprints = FingerprintBackend::SharedIndex(index);
+        self
+    }
+
+    /// Disables the columnar index: candidates come from the generic
+    /// `k_nearest` walk through the configured metric (the pre-index
+    /// reference path; used by the index-vs-naive benchmarks).
+    pub fn with_exact_scan(mut self) -> Self {
+        self.fingerprints = FingerprintBackend::ExactScan;
         self
     }
 
@@ -186,9 +234,25 @@ impl<'a> MoLocTracker<'a> {
                 return Err(TrackError::BadMeasurement);
             }
         }
-        let neighbors = k_nearest(self.fingerprint_db, query, self.config.k, self.metric);
+        match &self.fingerprints {
+            FingerprintBackend::OwnedIndex(index) => index.k_nearest_into::<SquaredEuclidean>(
+                query.values(),
+                self.config.k,
+                &mut self.scratch,
+                &mut self.neighbors,
+            ),
+            FingerprintBackend::SharedIndex(index) => index.k_nearest_into::<SquaredEuclidean>(
+                query.values(),
+                self.config.k,
+                &mut self.scratch,
+                &mut self.neighbors,
+            ),
+            FingerprintBackend::ExactScan => {
+                self.neighbors = k_nearest(self.fingerprint_db, query, self.config.k, self.metric);
+            }
+        }
         let fingerprint_set =
-            CandidateSet::from_neighbors(&neighbors).expect("k >= 1 and db non-empty");
+            CandidateSet::from_neighbors(&self.neighbors).expect("k >= 1 and db non-empty");
 
         let posterior = match (self.previous.as_ref(), motion) {
             (Some(prev), Some(m)) => match &self.backend {
@@ -387,6 +451,38 @@ mod tests {
         let owned = run(MoLocTracker::new(&fdb, &mdb, config));
         let shared = run(MoLocTracker::new(&fdb, &mdb, config).with_shared_kernel(&kernel));
         let exact = run(MoLocTracker::new(&fdb, &mdb, config).with_exact_matching());
+        assert_eq!(owned, exact);
+        assert_eq!(shared, exact);
+    }
+
+    #[test]
+    fn index_shared_and_exact_scans_agree() {
+        let (fdb, mdb) = world();
+        let config = MoLocConfig::default();
+        let index = FingerprintIndex::build(&fdb);
+        let queries: Vec<(Fingerprint, Option<MotionMeasurement>)> = vec![
+            (fp(&[-40.0, -70.0]), None),
+            (
+                fp(&[-50.0, -50.05]),
+                Some(MotionMeasurement {
+                    direction_deg: 91.0,
+                    offset_m: 4.1,
+                }),
+            ),
+            (fp(&[-50.0, -50.0]), None),
+        ];
+        let run = |mut t: MoLocTracker| -> Vec<(LocationId, Vec<(LocationId, f64)>)> {
+            queries
+                .iter()
+                .map(|(q, m)| {
+                    let est = t.observe(q, *m).unwrap();
+                    (est, t.candidates().unwrap().iter().collect())
+                })
+                .collect()
+        };
+        let owned = run(MoLocTracker::new(&fdb, &mdb, config));
+        let shared = run(MoLocTracker::new(&fdb, &mdb, config).with_shared_index(&index));
+        let exact = run(MoLocTracker::new(&fdb, &mdb, config).with_exact_scan());
         assert_eq!(owned, exact);
         assert_eq!(shared, exact);
     }

@@ -23,6 +23,8 @@ use crate::matching::build_kernel;
 use crate::tracker::MotionMeasurement;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_fingerprint::index::{FingerprintIndex, SquaredEuclidean};
+use moloc_fingerprint::index::MetricKernel as _;
 use moloc_fingerprint::metric::{Dissimilarity, Euclidean};
 use moloc_geometry::LocationId;
 use moloc_motion::kernel::MotionKernel;
@@ -65,12 +67,16 @@ pub struct ViterbiLocalizer<'a> {
     fingerprint_db: &'a FingerprintDb,
     kernel: MotionKernel,
     metric: &'a dyn Dissimilarity,
+    /// Columnar scan for the emission distances (rows in the same id
+    /// order as `fingerprint_db.iter()`); `None` falls back to the
+    /// per-fingerprint metric walk.
+    index: Option<FingerprintIndex>,
 }
 
 impl<'a> ViterbiLocalizer<'a> {
     /// Creates a localizer over the same databases a MoLoc deployment
     /// carries, precomputing the motion kernel for the transition
-    /// matrix.
+    /// matrix and the columnar fingerprint index for the emissions.
     pub fn new(
         fingerprint_db: &'a FingerprintDb,
         motion_db: &'a MotionDb,
@@ -81,25 +87,46 @@ impl<'a> ViterbiLocalizer<'a> {
             fingerprint_db,
             kernel,
             metric: &Euclidean,
+            index: Some(FingerprintIndex::build(fingerprint_db)),
         }
+    }
+
+    /// Disables the columnar index: emission distances come from the
+    /// per-fingerprint metric walk (the pre-index reference path).
+    pub fn with_exact_emissions(mut self) -> Self {
+        self.index = None;
+        self
     }
 
     /// Log emission probabilities over all locations for one query:
     /// Eq. 4 weights (1/dissimilarity), normalized across the full
     /// state space.
     fn log_emissions(&self, query: &Fingerprint) -> Vec<f64> {
-        let weights: Vec<f64> = self
-            .fingerprint_db
-            .iter()
-            .map(|(_, fp)| {
-                let m = self.metric.dissimilarity(query, fp);
-                if m <= f64::EPSILON {
-                    1e12 // exact match dominates
-                } else {
-                    1.0 / m
+        let weights: Vec<f64> = match &self.index {
+            Some(index) => {
+                let mut distances = Vec::with_capacity(index.len());
+                for position in 0..index.len() {
+                    let m = SquaredEuclidean::finalize(SquaredEuclidean::rank(
+                        query.values(),
+                        index.row(position),
+                    ));
+                    distances.push(if m <= f64::EPSILON { 1e12 } else { 1.0 / m });
                 }
-            })
-            .collect();
+                distances
+            }
+            None => self
+                .fingerprint_db
+                .iter()
+                .map(|(_, fp)| {
+                    let m = self.metric.dissimilarity(query, fp);
+                    if m <= f64::EPSILON {
+                        1e12 // exact match dominates
+                    } else {
+                        1.0 / m
+                    }
+                })
+                .collect(),
+        };
         let total: f64 = weights.iter().sum();
         weights
             .iter()
@@ -280,6 +307,25 @@ mod tests {
                 found: 1
             }
         );
+    }
+
+    #[test]
+    fn indexed_emissions_match_exact_path() {
+        let (fdb, mdb) = world();
+        let queries = vec![
+            (fp(&[-50.0, -50.05]), None),
+            (fp(&[-41.0, -69.0]), east()),
+            (fp(&[-50.0, -50.08]), east()),
+            (fp(&[-40.0, -70.0]), None),
+        ];
+        let indexed = ViterbiLocalizer::new(&fdb, &mdb, MoLocConfig::paper())
+            .localize_trace(&queries)
+            .unwrap();
+        let exact = ViterbiLocalizer::new(&fdb, &mdb, MoLocConfig::paper())
+            .with_exact_emissions()
+            .localize_trace(&queries)
+            .unwrap();
+        assert_eq!(indexed, exact);
     }
 
     #[test]

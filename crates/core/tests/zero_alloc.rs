@@ -1,0 +1,105 @@
+//! Proof of the `BatchLocalizer` zero-allocation contract: after one
+//! warm-up trace fills the scratch buffers, localizing further traces
+//! must not touch the heap at all. A counting global allocator wraps
+//! the system allocator; this file holds exactly one test so no
+//! concurrent test can perturb the counter.
+
+use moloc_core::batch::BatchLocalizer;
+use moloc_core::config::MoLocConfig;
+use moloc_core::tracker::MotionMeasurement;
+use moloc_fingerprint::db::FingerprintDb;
+use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_geometry::LocationId;
+use moloc_motion::matrix::{MotionDb, PairStats};
+use moloc_stats::gaussian::Gaussian;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn l(i: u32) -> LocationId {
+    LocationId::new(i)
+}
+
+fn fp(v: &[f64]) -> Fingerprint {
+    Fingerprint::new(v.to_vec())
+}
+
+fn world() -> (FingerprintDb, MotionDb) {
+    let fdb = FingerprintDb::from_fingerprints(vec![
+        (l(1), fp(&[-50.0, -50.0])),
+        (l(2), fp(&[-40.0, -70.0])),
+        (l(3), fp(&[-50.0, -50.1])),
+        (l(4), fp(&[-65.0, -45.0])),
+    ])
+    .unwrap();
+    let mut mdb = MotionDb::new(4);
+    let east = |mu_o: f64| PairStats {
+        direction: Gaussian::new(90.0, 5.0).unwrap(),
+        offset: Gaussian::new(mu_o, 0.3).unwrap(),
+        sample_count: 10,
+    };
+    mdb.insert(l(1), l(2), east(4.0));
+    mdb.insert(l(2), l(3), east(4.0));
+    mdb.insert(l(1), l(3), east(8.0));
+    mdb.insert(l(3), l(4), east(4.0));
+    (fdb, mdb)
+}
+
+#[test]
+fn warm_batch_localizer_trace_allocates_nothing() {
+    let (fdb, mdb) = world();
+    let mut engine = BatchLocalizer::new(&fdb, &mdb, MoLocConfig::default());
+    let east = |o: f64| {
+        Some(MotionMeasurement {
+            direction_deg: 90.0,
+            offset_m: o,
+        })
+    };
+    let queries = vec![
+        (fp(&[-40.0, -70.0]), None),
+        (fp(&[-50.0, -50.05]), east(4.1)),
+        (fp(&[-64.0, -46.0]), east(4.0)),
+        (fp(&[-50.0, -50.0]), None),
+        (fp(&[-41.0, -69.0]), east(3.9)),
+    ];
+    let mut out = Vec::with_capacity(queries.len());
+
+    // Warm-up: first trace may grow heap, candidate, and output
+    // buffers to capacity.
+    engine.localize_trace_into(&queries, &mut out).unwrap();
+    let warm = out.clone();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        engine.localize_trace_into(&queries, &mut out).unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm BatchLocalizer traces must not allocate"
+    );
+    assert_eq!(out, warm, "repeated traces must reproduce the estimates");
+}

@@ -7,6 +7,7 @@
 //! `--fast` runs the reduced corpus (for smoke tests); the default runs
 //! the paper-scale 184-trace corpus.
 
+use moloc_eval::cache::ScenarioCache;
 use moloc_eval::experiments::{ablations, baselines, fig4, fig6, fig7, fig8, seeds, table1};
 use moloc_eval::pipeline::EvalWorld;
 
@@ -98,15 +99,22 @@ fn main() {
     } else {
         EvalWorld::paper(args.seed)
     };
+    // Every experiment below shares this scenario; the cache hands each
+    // of them the same built settings, fingerprint indexes, and motion
+    // kernels instead of rebuilding per experiment.
+    let cache = ScenarioCache::new(&world);
 
     if wants("fig6") {
-        let setting = world.setting(6);
-        println!("{}", fig6::render(&fig6::run(&world, &setting)));
-        println!("motion-db construction: {:?}\n", setting.build_report);
+        let artifacts = cache.artifacts(6);
+        println!("{}", fig6::render(&fig6::run(&world, &artifacts.setting)));
+        println!(
+            "motion-db construction: {:?}\n",
+            artifacts.setting.build_report
+        );
     }
 
     let needs_fig7 = ["fig7", "fig8", "table1"].iter().any(|e| wants(e));
-    let f7 = needs_fig7.then(|| fig7::run(&world));
+    let f7 = needs_fig7.then(|| fig7::run_cached(&cache));
 
     if wants("fig7") {
         println!("{}", fig7::render(f7.as_ref().expect("computed above")));
@@ -136,8 +144,11 @@ fn main() {
     }
 
     if wants("baselines") {
-        let setting = world.setting(6);
-        println!("{}", baselines::render(&baselines::run(&world, &setting)));
+        let artifacts = cache.artifacts(6);
+        println!(
+            "{}",
+            baselines::render(&baselines::run(&world, &artifacts.setting))
+        );
     }
 
     if wants("ablations") {
@@ -147,16 +158,16 @@ fn main() {
         );
         println!(
             "{}",
-            ablations::render_sanitation(&ablations::sanitation(&world, 6))
+            ablations::render_sanitation(&ablations::sanitation(&cache, 6))
         );
         println!(
             "{}",
-            ablations::render_k_sweep(&ablations::k_sweep(&world, 6, &[1, 2, 3, 4, 6, 8]))
+            ablations::render_k_sweep(&ablations::k_sweep(&cache, 6, &[1, 2, 3, 4, 6, 8]))
         );
         println!(
             "{}",
             ablations::render_window_sweep(&ablations::window_sweep(
-                &world,
+                &cache,
                 6,
                 &[5.0, 10.0, 20.0, 45.0, 90.0],
                 &[0.25, 0.5, 1.0, 2.0, 4.0],
@@ -164,13 +175,13 @@ fn main() {
         );
         println!(
             "{}",
-            ablations::render_map_db(&ablations::map_db(&world, 6))
+            ablations::render_map_db(&ablations::map_db(&cache, 6))
         );
         println!(
             "{}",
             ablations::render_heading_fusion(&ablations::heading_fusion(&world, args.seed))
         );
-        let calib = ablations::heading_calibration_errors(&world, 6);
+        let calib = ablations::heading_calibration_errors(&cache, 6);
         println!(
             "# Heading calibration |error| over {} traces: median {:.1}°, max {:.1}°\n",
             calib.len(),

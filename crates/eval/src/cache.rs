@@ -1,0 +1,275 @@
+//! Keyed cache of per-setting serving artifacts.
+//!
+//! Several experiments run over the same `(floorplan, AP layout, seed)`
+//! scenario: Fig. 6, Fig. 7, Fig. 8, Table I and most ablations all
+//! start by building a [`Setting`] (fingerprint + motion databases) and
+//! then the serving artifacts derived from it — the columnar
+//! [`FingerprintIndex`] and the [`MotionKernel`]. Those builds dominate
+//! the non-localization time of a `repro --exp all` run, and before
+//! this cache each experiment rebuilt them from scratch.
+//!
+//! [`ScenarioCache`] memoizes both layers:
+//!
+//! * settings are keyed by `(n_aps, sanitation, counting)` — the full
+//!   input of [`EvalWorld::setting_with`];
+//! * kernels are keyed by the setting key **plus** the kernel-relevant
+//!   [`MoLocConfig`] fields (`α`, `β`, floors), so a `k` sweep reuses
+//!   one kernel while a window sweep gets one per `(α, β)`.
+//!
+//! The cache is `Sync`: experiments that fan AP counts out on the
+//! worker pool share it, and each artifact is built exactly once even
+//! under concurrent first access (per-key `OnceLock`s are initialized
+//! outside the map lock, so one slow build never serializes the rest).
+
+use crate::pipeline::{CountingMethod, EvalWorld, Setting};
+use moloc_core::config::MoLocConfig;
+use moloc_core::matching::build_kernel;
+use moloc_fingerprint::index::FingerprintIndex;
+use moloc_motion::filter::SanitationConfig;
+use moloc_motion::kernel::MotionKernel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One setting plus the serving artifact derived from it.
+#[derive(Debug)]
+pub struct SettingArtifacts {
+    /// The fingerprint + motion databases.
+    pub setting: Setting,
+    /// The columnar index flattened from `setting.fdb`.
+    pub index: FingerprintIndex,
+}
+
+/// Identity of a built setting: every input of
+/// [`EvalWorld::setting_with`] except the (fixed) world itself.
+/// Float thresholds are keyed by their bit patterns — settings are
+/// equal exactly when their configurations are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SettingKey {
+    n_aps: usize,
+    counting: u8,
+    sanitation: [u64; 5],
+    min_samples: usize,
+    coarse_enabled: bool,
+    fine_enabled: bool,
+}
+
+impl SettingKey {
+    fn new(n_aps: usize, sanitation: SanitationConfig, counting: CountingMethod) -> Self {
+        Self {
+            n_aps,
+            counting: match counting {
+                CountingMethod::Continuous => 0,
+                CountingMethod::Discrete => 1,
+            },
+            sanitation: [
+                sanitation.coarse_direction_deg.to_bits(),
+                sanitation.coarse_offset_m.to_bits(),
+                sanitation.fine_sigma.to_bits(),
+                sanitation.min_direction_std_deg.to_bits(),
+                sanitation.min_offset_std_m.to_bits(),
+            ],
+            min_samples: sanitation.min_samples,
+            coarse_enabled: sanitation.coarse_enabled,
+            fine_enabled: sanitation.fine_enabled,
+        }
+    }
+}
+
+/// The kernel-relevant configuration fields, by bit pattern (`k` and
+/// the degenerate floor do not enter the kernel tables).
+type KernelKey = [u64; 4];
+
+fn kernel_key(config: &MoLocConfig) -> KernelKey {
+    let kc = config.kernel_config();
+    [
+        kc.alpha_deg.to_bits(),
+        kc.beta_m.to_bits(),
+        kc.missing_pair_prob.to_bits(),
+        kc.stationary_offset_std_m.to_bits(),
+    ]
+}
+
+type Slot<T> = Arc<OnceLock<Arc<T>>>;
+
+/// The memoizing artifact store for one evaluation world.
+#[derive(Debug)]
+pub struct ScenarioCache<'w> {
+    world: &'w EvalWorld,
+    settings: Mutex<HashMap<SettingKey, Slot<SettingArtifacts>>>,
+    kernels: Mutex<HashMap<(SettingKey, KernelKey), Slot<MotionKernel>>>,
+    setting_builds: AtomicUsize,
+    kernel_builds: AtomicUsize,
+}
+
+impl<'w> ScenarioCache<'w> {
+    /// An empty cache over `world`.
+    pub fn new(world: &'w EvalWorld) -> Self {
+        Self {
+            world,
+            settings: Mutex::new(HashMap::new()),
+            kernels: Mutex::new(HashMap::new()),
+            setting_builds: AtomicUsize::new(0),
+            kernel_builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// The underlying world.
+    pub fn world(&self) -> &'w EvalWorld {
+        self.world
+    }
+
+    /// The paper-default setting (CSC counting, paper sanitation) at
+    /// `n_aps` APs, plus its index — built on first request.
+    pub fn artifacts(&self, n_aps: usize) -> Arc<SettingArtifacts> {
+        self.artifacts_with(n_aps, SanitationConfig::paper(), CountingMethod::Continuous)
+    }
+
+    /// Arbitrary-configuration variant of [`ScenarioCache::artifacts`].
+    pub fn artifacts_with(
+        &self,
+        n_aps: usize,
+        sanitation: SanitationConfig,
+        counting: CountingMethod,
+    ) -> Arc<SettingArtifacts> {
+        let key = SettingKey::new(n_aps, sanitation, counting);
+        let slot = self.slot(&self.settings, key);
+        slot.get_or_init(|| {
+            self.setting_builds.fetch_add(1, Ordering::Relaxed);
+            let setting = self.world.setting_with(n_aps, sanitation, counting);
+            let index = FingerprintIndex::build(&setting.fdb);
+            Arc::new(SettingArtifacts { setting, index })
+        })
+        .clone()
+    }
+
+    /// The motion kernel for the paper-default setting at `n_aps` under
+    /// `config` — built on first request per distinct kernel
+    /// configuration. Also builds the setting if needed.
+    pub fn kernel(&self, n_aps: usize, config: &MoLocConfig) -> Arc<MotionKernel> {
+        self.kernel_with(
+            n_aps,
+            SanitationConfig::paper(),
+            CountingMethod::Continuous,
+            config,
+        )
+    }
+
+    /// Arbitrary-configuration variant of [`ScenarioCache::kernel`].
+    pub fn kernel_with(
+        &self,
+        n_aps: usize,
+        sanitation: SanitationConfig,
+        counting: CountingMethod,
+        config: &MoLocConfig,
+    ) -> Arc<MotionKernel> {
+        let setting_key = SettingKey::new(n_aps, sanitation, counting);
+        let slot = self.slot(&self.kernels, (setting_key, kernel_key(config)));
+        slot.get_or_init(|| {
+            let artifacts = self.artifacts_with(n_aps, sanitation, counting);
+            self.kernel_builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(build_kernel(&artifacts.setting.motion_db, config))
+        })
+        .clone()
+    }
+
+    /// How many settings have been built (not served from cache).
+    pub fn setting_builds(&self) -> usize {
+        self.setting_builds.load(Ordering::Relaxed)
+    }
+
+    /// How many kernels have been built (not served from cache).
+    pub fn kernel_builds(&self) -> usize {
+        self.kernel_builds.load(Ordering::Relaxed)
+    }
+
+    /// Fetches (inserting if absent) the per-key init slot. The map
+    /// lock is held only for the lookup; the expensive build runs under
+    /// the slot's own `OnceLock`.
+    fn slot<K: std::hash::Hash + Eq + Copy, T>(
+        &self,
+        map: &Mutex<HashMap<K, Slot<T>>>,
+        key: K,
+    ) -> Slot<T> {
+        map.lock()
+            .expect("cache lock poisoned")
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::par_run;
+
+    #[test]
+    fn repeated_requests_build_once() {
+        let world = EvalWorld::small(31);
+        let cache = ScenarioCache::new(&world);
+        let a = cache.artifacts(6);
+        let b = cache.artifacts(6);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.setting_builds(), 1);
+        // The cached artifacts match a direct build.
+        let direct = world.setting(6);
+        assert_eq!(a.setting.fdb, direct.fdb);
+        assert_eq!(a.setting.motion_db, direct.motion_db);
+        assert_eq!(a.index, FingerprintIndex::build(&direct.fdb));
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_settings() {
+        let world = EvalWorld::small(31);
+        let cache = ScenarioCache::new(&world);
+        cache.artifacts(5);
+        cache.artifacts(6);
+        cache.artifacts_with(
+            6,
+            SanitationConfig::disabled(),
+            CountingMethod::Continuous,
+        );
+        cache.artifacts_with(6, SanitationConfig::paper(), CountingMethod::Discrete);
+        assert_eq!(cache.setting_builds(), 4);
+        // Re-requesting any of them adds no builds.
+        cache.artifacts(5);
+        cache.artifacts_with(6, SanitationConfig::paper(), CountingMethod::Discrete);
+        assert_eq!(cache.setting_builds(), 4);
+    }
+
+    #[test]
+    fn kernel_cache_keys_on_kernel_config_only() {
+        let world = EvalWorld::small(31);
+        let cache = ScenarioCache::new(&world);
+        let paper = MoLocConfig::paper();
+        let k1 = cache.kernel(6, &paper);
+        // k and the degenerate floor do not affect the kernel tables.
+        let k2 = cache.kernel(6, &MoLocConfig { k: 2, ..paper });
+        assert!(Arc::ptr_eq(&k1, &k2));
+        assert_eq!(cache.kernel_builds(), 1);
+        // A window change does.
+        let k3 = cache.kernel(
+            6,
+            &MoLocConfig {
+                alpha_deg: 45.0,
+                ..paper
+            },
+        );
+        assert!(!Arc::ptr_eq(&k1, &k3));
+        assert_eq!(cache.kernel_builds(), 2);
+        // The kernel request also warmed the setting cache.
+        assert_eq!(cache.setting_builds(), 1);
+    }
+
+    #[test]
+    fn concurrent_first_access_builds_once() {
+        let world = EvalWorld::small(32);
+        let cache = ScenarioCache::new(&world);
+        let artifacts = par_run(8, |_| cache.artifacts(6));
+        assert_eq!(cache.setting_builds(), 1);
+        for a in &artifacts[1..] {
+            assert!(Arc::ptr_eq(&artifacts[0], a));
+        }
+    }
+}

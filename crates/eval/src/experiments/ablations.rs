@@ -8,10 +8,11 @@
 //! * [`map_db`] — crowdsourced vs map-derived motion database
 //!   (Sec. IV-A's consistency principle).
 
+use crate::cache::ScenarioCache;
 use crate::experiments::fig6;
 use crate::metrics::{flatten, summarize};
 use crate::parallel::par_map;
-use crate::pipeline::{analyze_trace, localize_moloc, CountingMethod, EvalWorld};
+use crate::pipeline::{analyze_trace, localize_moloc_with, CountingMethod, EvalWorld};
 use crate::report;
 use moloc_core::config::MoLocConfig;
 use moloc_motion::filter::SanitationConfig;
@@ -99,28 +100,39 @@ pub struct SanitationAblation {
 }
 
 fn sanitation_arm(
-    world: &EvalWorld,
+    cache: &ScenarioCache<'_>,
     n_aps: usize,
     config: SanitationConfig,
     label: &str,
 ) -> SanitationArm {
-    let setting = world.setting_with(n_aps, config, CountingMethod::Continuous);
-    let outcomes = localize_moloc(world, &setting, MoLocConfig::paper());
+    let world = cache.world();
+    let moloc_config = MoLocConfig::paper();
+    let artifacts = cache.artifacts_with(n_aps, config, CountingMethod::Continuous);
+    let kernel = cache.kernel_with(n_aps, config, CountingMethod::Continuous, &moloc_config);
+    let outcomes = localize_moloc_with(
+        world,
+        &artifacts.setting,
+        moloc_config,
+        &artifacts.index,
+        &kernel,
+    );
     let flat = flatten(&outcomes);
     let summary = summarize(&flat);
     SanitationArm {
         label: label.to_string(),
-        validity: fig6::run(world, &setting),
+        validity: fig6::run(world, &artifacts.setting),
         accuracy: summary.accuracy,
         mean_error_m: summary.mean_error_m,
     }
 }
 
-/// Runs the sanitation ablation at `n_aps` APs.
-pub fn sanitation(world: &EvalWorld, n_aps: usize) -> SanitationAblation {
+/// Runs the sanitation ablation at `n_aps` APs. The sanitized arm's
+/// setting is shared with any other experiment on `cache` using the
+/// paper configuration.
+pub fn sanitation(cache: &ScenarioCache<'_>, n_aps: usize) -> SanitationAblation {
     SanitationAblation {
-        with_sanitation: sanitation_arm(world, n_aps, SanitationConfig::paper(), "sanitized"),
-        without_sanitation: sanitation_arm(world, n_aps, SanitationConfig::disabled(), "raw"),
+        with_sanitation: sanitation_arm(cache, n_aps, SanitationConfig::paper(), "sanitized"),
+        without_sanitation: sanitation_arm(cache, n_aps, SanitationConfig::disabled(), "raw"),
     }
 }
 
@@ -161,15 +173,20 @@ pub fn render_sanitation(result: &SanitationAblation) -> String {
 }
 
 /// Accuracy as a function of the candidate-set size `k`. The `k`
-/// values fan out on the [`crate::parallel`] worker pool.
-pub fn k_sweep(world: &EvalWorld, n_aps: usize, ks: &[usize]) -> Vec<(usize, f64)> {
-    let setting = world.setting(n_aps);
+/// values fan out on the [`crate::parallel`] worker pool; since `k`
+/// does not enter the kernel tables, every arm shares *one* cached
+/// setting, index, and kernel.
+pub fn k_sweep(cache: &ScenarioCache<'_>, n_aps: usize, ks: &[usize]) -> Vec<(usize, f64)> {
+    let world = cache.world();
+    let artifacts = cache.artifacts(n_aps);
+    let kernel = cache.kernel(n_aps, &MoLocConfig::paper());
     par_map(ks, |&k| {
         let config = MoLocConfig {
             k,
             ..MoLocConfig::paper()
         };
-        let outcomes = localize_moloc(world, &setting, config);
+        let outcomes =
+            localize_moloc_with(world, &artifacts.setting, config, &artifacts.index, &kernel);
         (k, summarize(&flatten(&outcomes)).accuracy)
     })
 }
@@ -196,11 +213,26 @@ pub struct WindowSweep {
 }
 
 /// Runs the window sweep. Each window setting fans out on the
-/// [`crate::parallel`] worker pool.
-pub fn window_sweep(world: &EvalWorld, n_aps: usize, alphas: &[f64], betas: &[f64]) -> WindowSweep {
-    let setting = world.setting(n_aps);
+/// [`crate::parallel`] worker pool; all arms share one cached setting
+/// and index, while each distinct `(α, β)` gets its own cached kernel.
+pub fn window_sweep(
+    cache: &ScenarioCache<'_>,
+    n_aps: usize,
+    alphas: &[f64],
+    betas: &[f64],
+) -> WindowSweep {
+    let world = cache.world();
+    let artifacts = cache.artifacts(n_aps);
     let accuracy = |config: MoLocConfig| {
-        summarize(&flatten(&localize_moloc(world, &setting, config))).accuracy
+        let kernel = cache.kernel(n_aps, &config);
+        summarize(&flatten(&localize_moloc_with(
+            world,
+            &artifacts.setting,
+            config,
+            &artifacts.index,
+            &kernel,
+        )))
+        .accuracy
     };
     WindowSweep {
         alpha: par_map(alphas, |&a| {
@@ -255,19 +287,33 @@ pub struct MapDbAblation {
     pub map_based_pairs: usize,
 }
 
-/// Runs the motion-database-source ablation.
-pub fn map_db(world: &EvalWorld, n_aps: usize) -> MapDbAblation {
-    let crowdsourced = world.setting(n_aps);
-    let crowd_outcomes = localize_moloc(world, &crowdsourced, MoLocConfig::paper());
+/// Runs the motion-database-source ablation. The crowdsourced arm
+/// comes from the cache; the map-based arm swaps the motion database
+/// (and thus needs a fresh kernel) but reuses the cached fingerprint
+/// index, which depends only on the survey.
+pub fn map_db(cache: &ScenarioCache<'_>, n_aps: usize) -> MapDbAblation {
+    let world = cache.world();
+    let config = MoLocConfig::paper();
+    let crowdsourced = cache.artifacts(n_aps);
+    let crowd_kernel = cache.kernel(n_aps, &config);
+    let crowd_outcomes = localize_moloc_with(
+        world,
+        &crowdsourced.setting,
+        config,
+        &crowdsourced.index,
+        &crowd_kernel,
+    );
 
-    let mut map_setting = crowdsourced.clone();
+    let mut map_setting = crowdsourced.setting.clone();
     map_setting.motion_db = from_coordinates(&world.hall.grid, MapBasedConfig::default());
-    let map_outcomes = localize_moloc(world, &map_setting, MoLocConfig::paper());
+    let map_kernel = moloc_core::matching::build_kernel(&map_setting.motion_db, &config);
+    let map_outcomes =
+        localize_moloc_with(world, &map_setting, config, &crowdsourced.index, &map_kernel);
 
     MapDbAblation {
         crowdsourced_accuracy: summarize(&flatten(&crowd_outcomes)).accuracy,
         map_based_accuracy: summarize(&flatten(&map_outcomes)).accuracy,
-        crowdsourced_pairs: crowdsourced.motion_db.pair_count(),
+        crowdsourced_pairs: crowdsourced.setting.motion_db.pair_count(),
         map_based_pairs: map_setting.motion_db.pair_count(),
     }
 }
@@ -295,8 +341,10 @@ pub fn render_map_db(result: &MapDbAblation) -> String {
 
 /// Heading calibration quality over the corpus — how well the Zee-style
 /// procedure recovers each trace's true placement offset.
-pub fn heading_calibration_errors(world: &EvalWorld, n_aps: usize) -> Ecdf {
-    let setting = world.setting(n_aps);
+pub fn heading_calibration_errors(cache: &ScenarioCache<'_>, n_aps: usize) -> Ecdf {
+    let world = cache.world();
+    let artifacts = cache.artifacts(n_aps);
+    let setting = &artifacts.setting;
     let detector = StepDetector::default();
     let traces: Vec<_> = world.corpus.iter().collect();
     par_map(&traces, |trace| {
@@ -336,9 +384,13 @@ mod tests {
     #[test]
     fn k_sweep_reports_each_k() {
         let world = EvalWorld::small(22);
-        let result = k_sweep(&world, 6, &[1, 4]);
+        let cache = ScenarioCache::new(&world);
+        let result = k_sweep(&cache, 6, &[1, 4]);
         assert_eq!(result.len(), 2);
         assert_eq!(result[0].0, 1);
+        // Both arms shared one setting and one kernel.
+        assert_eq!(cache.setting_builds(), 1);
+        assert_eq!(cache.kernel_builds(), 1);
         // k = 1 degenerates to fingerprinting (no alternatives), so a
         // larger k should not hurt much.
         let text = render_k_sweep(&result);
@@ -348,7 +400,8 @@ mod tests {
     #[test]
     fn heading_calibration_is_tight() {
         let world = EvalWorld::small(23);
-        let errors = heading_calibration_errors(&world, 6);
+        let cache = ScenarioCache::new(&world);
+        let errors = heading_calibration_errors(&cache, 6);
         assert!(!errors.is_empty());
         assert!(
             errors.median().unwrap() < 12.0,
@@ -360,7 +413,8 @@ mod tests {
     #[test]
     fn map_db_reports_both_arms() {
         let world = EvalWorld::small(24);
-        let result = map_db(&world, 6);
+        let cache = ScenarioCache::new(&world);
+        let result = map_db(&cache, 6);
         assert!(result.map_based_pairs > 0);
         assert!(result.crowdsourced_pairs > 0);
         let text = render_map_db(&result);

@@ -4,8 +4,9 @@
 //! plain WiFi fingerprinting reaches 31/36/43 %, and MoLoc's maximum
 //! error drops by ≈ 4 m.
 
+use crate::cache::ScenarioCache;
 use crate::metrics::{error_ecdf, flatten, summarize, LocalizationSummary};
-use crate::pipeline::{localize_moloc, localize_wifi, EvalWorld, PassOutcome, Setting};
+use crate::pipeline::{localize_moloc, localize_moloc_with, localize_wifi, EvalWorld, PassOutcome, Setting};
 use crate::report;
 use moloc_core::config::MoLocConfig;
 use moloc_stats::ecdf::Ecdf;
@@ -63,10 +64,30 @@ pub fn run_setting(world: &EvalWorld, setting: &Setting, config: MoLocConfig) ->
 /// inside, each `localize_*` call fans its traces out on the same
 /// pool).
 pub fn run(world: &EvalWorld) -> Fig7 {
+    run_cached(&ScenarioCache::new(world))
+}
+
+/// Runs the full experiment against a [`ScenarioCache`]: the per-AP
+/// settings, fingerprint indexes, and motion kernels are fetched from
+/// (or built into) the cache, so a `repro` run that also produces
+/// Fig. 6, Fig. 8, or Table I builds each artifact exactly once.
+pub fn run_cached(cache: &ScenarioCache<'_>) -> Fig7 {
+    let world = cache.world();
     let config = MoLocConfig::paper();
     let settings = crate::parallel::par_map(&[4, 5, 6], |&n| {
-        let setting = world.setting(n);
-        run_setting(world, &setting, config)
+        let artifacts = cache.artifacts(n);
+        let kernel = cache.kernel(n, &config);
+        ApSettingResult {
+            n_aps: artifacts.setting.n_aps,
+            wifi: method_result(localize_wifi(world, &artifacts.setting)),
+            moloc: method_result(localize_moloc_with(
+                world,
+                &artifacts.setting,
+                config,
+                &artifacts.index,
+                &kernel,
+            )),
+        }
     });
     Fig7 { settings }
 }
@@ -135,6 +156,22 @@ mod tests {
         let expected: usize = world.corpus.test.iter().map(|t| t.pass_count()).sum();
         assert_eq!(result.wifi.summary.passes, expected);
         assert_eq!(result.moloc.summary.passes, expected);
+    }
+
+    #[test]
+    fn cached_run_matches_uncached_setting_run() {
+        let world = EvalWorld::small(5);
+        let cache = ScenarioCache::new(&world);
+        let fig = run_cached(&cache);
+        assert_eq!(fig.settings.len(), 3);
+        // One setting and one kernel built per AP count, nothing more.
+        assert_eq!(cache.setting_builds(), 3);
+        assert_eq!(cache.kernel_builds(), 3);
+        // The cached path reproduces the standalone path exactly
+        // (PartialEq covers every outcome, summary, and CDF point).
+        let six = fig.settings.iter().find(|s| s.n_aps == 6).unwrap();
+        let direct = run_setting(&world, &world.setting(6), MoLocConfig::paper());
+        assert_eq!(*six, direct);
     }
 
     #[test]

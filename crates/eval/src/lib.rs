@@ -8,6 +8,9 @@
 //! * [`pipeline`] — the end-to-end trace-driven protocol: site survey →
 //!   crowdsourced motion database → WiFi-baseline and MoLoc
 //!   localization over held-out traces.
+//! * [`cache`] — the keyed scenario-artifact cache: experiments sharing
+//!   a `(floorplan, AP layout, seed)` scenario reuse one built
+//!   [`Setting`] + fingerprint index + motion kernel.
 //! * [`metrics`] — localization errors, accuracy, error CDFs.
 //! * [`convergence`] — erroneous-localizations-before-first-accurate
 //!   statistics (Table I).
@@ -26,6 +29,7 @@
 //! cargo run -p moloc-eval --bin repro --release -- --exp all
 //! ```
 
+pub mod cache;
 pub mod convergence;
 pub mod experiments;
 pub mod metrics;
@@ -34,5 +38,6 @@ pub mod pipeline;
 pub mod report;
 pub mod scenario;
 
+pub use cache::{ScenarioCache, SettingArtifacts};
 pub use pipeline::{EvalWorld, Setting};
 pub use scenario::OfficeHall;

@@ -19,12 +19,15 @@
 
 use crate::parallel::par_run;
 use crate::scenario::{HallConfig, OfficeHall};
+use moloc_core::batch::BatchLocalizer;
 use moloc_core::config::MoLocConfig;
 use moloc_core::matching::build_kernel;
-use moloc_core::tracker::{MoLocTracker, MotionMeasurement};
+use moloc_core::tracker::MotionMeasurement;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_fingerprint::index::FingerprintIndex;
 use moloc_fingerprint::nn_localizer::NnLocalizer;
+use moloc_motion::kernel::MotionKernel;
 use moloc_geometry::LocationId;
 use moloc_mobility::corpus::{CorpusConfig, TraceCorpus};
 use moloc_mobility::intervals::{measure_intervals, IntervalMeasurement};
@@ -197,13 +200,56 @@ pub fn analyze_trace(
     counting: CountingMethod,
     n_aps: usize,
 ) -> TraceAnalysis {
-    let localizer = NnLocalizer::new(fdb);
+    analyze_trace_with(trace, &NnLocalizer::new(fdb), hall, detector, counting, n_aps)
+}
+
+/// [`analyze_trace`] over a caller-shared [`FingerprintIndex`]: skips
+/// the per-trace index build, so the per-setting index (e.g. from a
+/// [`crate::cache::ScenarioCache`]) serves every trace. `index` must
+/// have been built from `fdb`. Results are identical to
+/// [`analyze_trace`].
+pub fn analyze_trace_indexed(
+    trace: &SensorTrace,
+    fdb: &FingerprintDb,
+    index: &FingerprintIndex,
+    hall: &OfficeHall,
+    detector: &StepDetector,
+    counting: CountingMethod,
+    n_aps: usize,
+) -> TraceAnalysis {
+    let localizer = NnLocalizer::with_index(fdb, index);
+    analyze_trace_with(trace, &localizer, hall, detector, counting, n_aps)
+}
+
+/// [`analyze_trace`] with the pre-index NN scan (generic `dyn` metric
+/// walk instead of the columnar index). Kept as the reference arm for
+/// the benchmark suite's old-path comparisons; results are identical.
+pub fn analyze_trace_exact(
+    trace: &SensorTrace,
+    fdb: &FingerprintDb,
+    hall: &OfficeHall,
+    detector: &StepDetector,
+    counting: CountingMethod,
+    n_aps: usize,
+) -> TraceAnalysis {
+    let localizer = NnLocalizer::with_metric(fdb, moloc_fingerprint::metric::Euclidean);
+    analyze_trace_with(trace, &localizer, hall, detector, counting, n_aps)
+}
+
+fn analyze_trace_with(
+    trace: &SensorTrace,
+    localizer: &NnLocalizer<'_>,
+    hall: &OfficeHall,
+    detector: &StepDetector,
+    counting: CountingMethod,
+    n_aps: usize,
+) -> TraceAnalysis {
     let nn_estimates: Vec<LocationId> = trace
         .scans
         .iter()
         .map(|scan| {
             localizer
-                .localize(&Fingerprint::new(scan[..n_aps].to_vec()))
+                .localize_slice(&scan[..n_aps])
                 .expect("scan length matches database")
         })
         .collect();
@@ -309,43 +355,63 @@ pub fn localize_wifi(world: &EvalWorld, setting: &Setting) -> Vec<Vec<PassOutcom
 
 /// Runs MoLoc over the test traces.
 ///
-/// One [`MotionKernel`](moloc_motion::kernel::MotionKernel) is built
-/// per call and shared by every per-trace tracker; traces fan out on
-/// the [`crate::parallel`] worker pool. Each trace's tracker session is
-/// independent, so the parallel result is identical to a serial run.
+/// One [`FingerprintIndex`] and one [`MotionKernel`] are built per call
+/// and shared by every per-trace engine. When callers already hold the
+/// artifacts (e.g. from a [`crate::cache::ScenarioCache`]), use
+/// [`localize_moloc_with`] and skip the builds entirely.
 pub fn localize_moloc(
     world: &EvalWorld,
     setting: &Setting,
     config: MoLocConfig,
 ) -> Vec<Vec<PassOutcome>> {
-    let detector = StepDetector::default();
+    let index = FingerprintIndex::build(&setting.fdb);
     let kernel = build_kernel(&setting.motion_db, &config);
+    localize_moloc_with(world, setting, config, &index, &kernel)
+}
+
+/// Runs MoLoc over the test traces against prebuilt serving artifacts.
+///
+/// Each trace gets its own [`BatchLocalizer`] sharing `index` and
+/// `kernel`; traces fan out on the [`crate::parallel`] worker pool.
+/// Each trace's engine session is independent, so the parallel result
+/// is identical to a serial run — and the batch engine reproduces the
+/// per-query tracker path bit-for-bit (see `tests/determinism.rs`).
+///
+/// `index` must be built from `setting.fdb` and `kernel` from
+/// `setting.motion_db` under `config`'s kernel fields.
+pub fn localize_moloc_with(
+    world: &EvalWorld,
+    setting: &Setting,
+    config: MoLocConfig,
+    index: &FingerprintIndex,
+    kernel: &MotionKernel,
+) -> Vec<Vec<PassOutcome>> {
+    let detector = StepDetector::default();
     par_run(world.corpus.test.len(), |trace_index| {
         let trace = &world.corpus.test[trace_index];
-        let analysis = analyze_trace(
+        let analysis = analyze_trace_indexed(
             trace,
             &setting.fdb,
+            index,
             &world.hall,
             &detector,
             setting.counting,
             setting.n_aps,
         );
-        let mut tracker =
-            MoLocTracker::new_with_kernel(&setting.fdb, &setting.motion_db, config, &kernel);
+        let mut engine = BatchLocalizer::new_with_index(index, kernel, config);
         trace
             .passes
             .iter()
             .zip(&trace.scans)
             .enumerate()
             .map(|(pass_index, (pass, scan))| {
-                let query = Fingerprint::new(scan[..setting.n_aps].to_vec());
                 let motion = if pass_index == 0 {
                     None
                 } else {
                     analysis.measurements[pass_index - 1]
                 };
-                let estimate = tracker
-                    .observe(&query, motion)
+                let estimate = engine
+                    .observe_slice(&scan[..setting.n_aps], motion)
                     .expect("query length matches database");
                 outcome(world, trace_index, pass_index, pass.location, estimate)
             })

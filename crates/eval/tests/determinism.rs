@@ -13,8 +13,13 @@
 //! check that equality end-to-end through the real pipeline.
 
 use moloc_core::config::MoLocConfig;
+use moloc_core::matching::build_kernel;
+use moloc_core::tracker::MoLocTracker;
 use moloc_eval::parallel::{par_run, thread_count};
-use moloc_eval::pipeline::{localize_moloc, localize_wifi, EvalWorld};
+use moloc_eval::pipeline::{
+    analyze_trace, localize_moloc, localize_wifi, EvalWorld, PassOutcome,
+};
+use moloc_sensors::steps::StepDetector;
 
 #[test]
 fn thread_count_env_contract() {
@@ -113,10 +118,7 @@ fn serial_child_process_matches_parallel_parent() {
 
 /// FNV-1a over every field of every outcome, in order — any reordering
 /// or numerical difference changes the digest.
-fn outcome_digest() -> String {
-    let world = EvalWorld::small(2013);
-    let setting = world.setting(6);
-    let outcomes = localize_moloc(&world, &setting, MoLocConfig::paper());
+fn digest(outcomes: &[Vec<PassOutcome>]) -> String {
     let mut h: u64 = 0xcbf29ce484222325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -132,6 +134,82 @@ fn outcome_digest() -> String {
         eat(&o.error_m.to_bits().to_le_bytes());
     }
     format!("{h:016x}")
+}
+
+fn outcome_digest() -> String {
+    let world = EvalWorld::small(2013);
+    let setting = world.setting(6);
+    digest(&localize_moloc(&world, &setting, MoLocConfig::paper()))
+}
+
+#[test]
+fn batch_engine_digest_matches_exact_scan_tracker() {
+    // The pipeline now runs each trace through the zero-allocation
+    // `BatchLocalizer` over the columnar `FingerprintIndex`. The
+    // reference arm below is the pre-index path: a serial, per-query
+    // `MoLocTracker` forced onto the exact `dyn Dissimilarity` scan.
+    // Identical digests prove the optimized engine is bit-identical,
+    // not merely statistically equivalent.
+    let world = EvalWorld::small(2013);
+    let setting = world.setting(6);
+    let config = MoLocConfig::paper();
+    let batch = localize_moloc(&world, &setting, config);
+
+    let detector = StepDetector::default();
+    let kernel = build_kernel(&setting.motion_db, &config);
+    let reference: Vec<Vec<PassOutcome>> = (0..world.corpus.test.len())
+        .map(|trace_index| {
+            let trace = &world.corpus.test[trace_index];
+            let analysis = analyze_trace(
+                trace,
+                &setting.fdb,
+                &world.hall,
+                &detector,
+                setting.counting,
+                setting.n_aps,
+            );
+            let mut tracker = MoLocTracker::new_with_kernel(
+                &setting.fdb,
+                &setting.motion_db,
+                config,
+                &kernel,
+            )
+            .with_exact_scan();
+            trace
+                .passes
+                .iter()
+                .zip(&trace.scans)
+                .enumerate()
+                .map(|(pass_index, (pass, scan))| {
+                    let query =
+                        moloc_fingerprint::fingerprint::Fingerprint::new(
+                            scan[..setting.n_aps].to_vec(),
+                        );
+                    let motion = if pass_index == 0 {
+                        None
+                    } else {
+                        analysis.measurements[pass_index - 1]
+                    };
+                    let estimate = tracker
+                        .observe(&query, motion)
+                        .expect("query length matches database");
+                    PassOutcome {
+                        trace_index,
+                        pass_index,
+                        truth: pass.location,
+                        estimate,
+                        error_m: world.hall.grid.distance(pass.location, estimate),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    assert_eq!(
+        digest(&batch),
+        digest(&reference),
+        "batched index path diverged from the per-query exact-scan path"
+    );
 }
 
 #[test]

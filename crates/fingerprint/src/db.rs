@@ -6,6 +6,7 @@
 
 use crate::fingerprint::Fingerprint;
 use moloc_geometry::LocationId;
+use moloc_stats::online::Welford;
 use serde::{Deserialize, Serialize};
 
 /// Error constructing a [`FingerprintDb`].
@@ -94,13 +95,20 @@ impl FingerprintDb {
     /// Builds a database by averaging per-location survey samples.
     ///
     /// `samples` yields `(location, sample fingerprints)`; each
-    /// location's stored fingerprint is the mean of its samples.
+    /// location's stored fingerprint is the mean of its samples,
+    /// accumulated per AP with the streaming [`Welford`] estimator so
+    /// no intermediate sample buffer is materialized (site surveys can
+    /// carry hundreds of samples per location).
     ///
     /// # Errors
     ///
     /// Returns [`DbError::Empty`] when `samples` is empty or any
     /// location has no samples, plus the length/duplicate errors of
     /// [`FingerprintDb::from_fingerprints`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when samples of one location differ in length.
     pub fn from_samples<I, S>(samples: I) -> Result<Self, DbError>
     where
         I: IntoIterator<Item = (LocationId, S)>,
@@ -108,8 +116,17 @@ impl FingerprintDb {
     {
         let mut entries = Vec::new();
         for (id, set) in samples {
-            let collected: Vec<Fingerprint> = set.into_iter().collect();
-            let mean = Fingerprint::mean(collected.iter()).ok_or(DbError::Empty)?;
+            let mut accumulators: Option<Vec<Welford>> = None;
+            for sample in set {
+                let accumulators = accumulators
+                    .get_or_insert_with(|| vec![Welford::new(); sample.len()]);
+                assert_eq!(sample.len(), accumulators.len(), "fingerprint lengths differ");
+                for (acc, &value) in accumulators.iter_mut().zip(sample.values()) {
+                    acc.push(value);
+                }
+            }
+            let accumulators = accumulators.ok_or(DbError::Empty)?;
+            let mean = Fingerprint::new(accumulators.iter().map(Welford::mean).collect());
             entries.push((id, mean));
         }
         Self::from_fingerprints(entries)

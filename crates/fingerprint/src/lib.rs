@@ -7,6 +7,9 @@
 //!   Euclidean metric (Eq. 1) plus Manhattan/cosine alternatives.
 //! * [`db`] — the fingerprint database mapping reference locations to
 //!   surveyed fingerprints.
+//! * [`index`] — the columnar [`index::FingerprintIndex`]: a flattened
+//!   structure-of-arrays view of the database with monomorphized metric
+//!   kernels for allocation-free squared-distance k-NN scans.
 //! * [`knn`] — k-nearest-neighbor retrieval (Eq. 3).
 //! * [`candidates`] — candidate sets with inverse-dissimilarity
 //!   probabilities (Eq. 4).
@@ -40,6 +43,7 @@ pub mod centroid;
 pub mod db;
 pub mod fingerprint;
 pub mod horus;
+pub mod index;
 pub mod knn;
 pub mod metric;
 pub mod nn_localizer;
@@ -47,4 +51,5 @@ pub mod nn_localizer;
 pub use candidates::{Candidate, CandidateSet};
 pub use db::FingerprintDb;
 pub use fingerprint::Fingerprint;
+pub use index::{FingerprintIndex, KnnScratch, MetricKernel, SquaredEuclidean};
 pub use metric::{Dissimilarity, Euclidean};

@@ -29,6 +29,44 @@ fn check_lengths(a: &Fingerprint, b: &Fingerprint) {
     );
 }
 
+/// The squared Euclidean dissimilarity `Σ (aᵢ − bᵢ)²` over raw slices.
+///
+/// This is the shared scalar kernel behind both [`Euclidean`] and the
+/// columnar index's monomorphized scan (`crate::index`): computing the
+/// sum in slice order and deferring the square root keeps the two paths
+/// bit-identical (`sqrt` is applied to the same accumulated value).
+#[inline]
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>()
+}
+
+/// The Manhattan dissimilarity `Σ |aᵢ − bᵢ|` over raw slices.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// The cosine dissimilarity `1 − cos(a, b)` over raw (negated-dBm)
+/// slices. Two zero vectors are identical → 0; a zero vector against a
+/// non-zero one is maximally dissimilar → 1.
+#[inline]
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
+    for (x, y) in a.iter().zip(b) {
+        let (x, y) = (-x, -y);
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 && nb == 0.0 {
+        return 0.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0)
+}
+
 /// Euclidean dissimilarity — the paper's Eq. 1:
 /// `φ²(F, F′) = Σ (fᵢ − f′ᵢ)²`.
 ///
@@ -48,12 +86,7 @@ pub struct Euclidean;
 impl Dissimilarity for Euclidean {
     fn dissimilarity(&self, a: &Fingerprint, b: &Fingerprint) -> f64 {
         check_lengths(a, b);
-        a.values()
-            .iter()
-            .zip(b.values())
-            .map(|(x, y)| (x - y).powi(2))
-            .sum::<f64>()
-            .sqrt()
+        euclidean_sq(a.values(), b.values()).sqrt()
     }
 
     fn name(&self) -> &'static str {
@@ -68,11 +101,7 @@ pub struct Manhattan;
 impl Dissimilarity for Manhattan {
     fn dissimilarity(&self, a: &Fingerprint, b: &Fingerprint) -> f64 {
         check_lengths(a, b);
-        a.values()
-            .iter()
-            .zip(b.values())
-            .map(|(x, y)| (x - y).abs())
-            .sum()
+        manhattan(a.values(), b.values())
     }
 
     fn name(&self) -> &'static str {
@@ -84,24 +113,15 @@ impl Dissimilarity for Manhattan {
 ///
 /// RSS values are negative dBm; the metric negates them first so that
 /// "stronger everywhere" vectors point in a consistent direction.
-/// Returns 1 for a zero vector.
+/// Two all-zero vectors are identical and score 0; a zero vector
+/// against a non-zero one scores 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Cosine;
 
 impl Dissimilarity for Cosine {
     fn dissimilarity(&self, a: &Fingerprint, b: &Fingerprint) -> f64 {
         check_lengths(a, b);
-        let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
-        for (x, y) in a.values().iter().zip(b.values()) {
-            let (x, y) = (-x, -y);
-            dot += x * y;
-            na += x * x;
-            nb += y * y;
-        }
-        if na == 0.0 || nb == 0.0 {
-            return 1.0;
-        }
-        (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0)
+        cosine(a.values(), b.values())
     }
 
     fn name(&self) -> &'static str {
@@ -164,6 +184,16 @@ mod tests {
         let a = fp(&[0.0, 0.0]);
         let b = fp(&[-40.0, -80.0]);
         assert_eq!(Cosine.dissimilarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn cosine_of_two_zero_vectors_is_zero() {
+        // Identical inputs must score zero even when both are all-zero;
+        // the old implementation returned 1.0 here, breaking the
+        // trait's identity-of-indiscernibles contract.
+        let a = fp(&[0.0, 0.0, 0.0]);
+        assert_eq!(Cosine.dissimilarity(&a, &a), 0.0);
+        assert_eq!(Cosine.dissimilarity(&a, &fp(&[0.0, 0.0, 0.0])), 0.0);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 
 use crate::db::FingerprintDb;
 use crate::fingerprint::Fingerprint;
+use crate::index::FingerprintIndex;
 use crate::knn::k_nearest;
 use crate::metric::{Dissimilarity, Euclidean};
 use moloc_geometry::LocationId;
+use std::borrow::Cow;
 
 /// Nearest-neighbor WiFi localizer (Eq. 2).
 ///
@@ -32,6 +34,11 @@ use moloc_geometry::LocationId;
 pub struct NnLocalizer<'a> {
     db: &'a FingerprintDb,
     metric: Box<dyn Dissimilarity>,
+    /// Columnar scan path for the default Euclidean metric — owned, or
+    /// borrowed from a caller who shares one index across localizers;
+    /// custom metrics fall back to the generic `k_nearest` over the
+    /// database.
+    index: Option<Cow<'a, FingerprintIndex>>,
 }
 
 /// Error from [`NnLocalizer::localize`] when the query length does not
@@ -57,19 +64,33 @@ impl std::fmt::Display for QueryLengthError {
 impl std::error::Error for QueryLengthError {}
 
 impl<'a> NnLocalizer<'a> {
-    /// Creates a localizer with the paper's Euclidean metric.
+    /// Creates a localizer with the paper's Euclidean metric, backed by
+    /// a columnar [`FingerprintIndex`] scan.
     pub fn new(db: &'a FingerprintDb) -> Self {
         Self {
             db,
             metric: Box::new(Euclidean),
+            index: Some(Cow::Owned(FingerprintIndex::build(db))),
         }
     }
 
-    /// Creates a localizer with a custom metric.
+    /// Creates a localizer over a caller-shared [`FingerprintIndex`]
+    /// (Euclidean metric), skipping the per-localizer index build.
+    /// `index` must have been built from `db`.
+    pub fn with_index(db: &'a FingerprintDb, index: &'a FingerprintIndex) -> Self {
+        Self {
+            db,
+            metric: Box::new(Euclidean),
+            index: Some(Cow::Borrowed(index)),
+        }
+    }
+
+    /// Creates a localizer with a custom metric (generic scan path).
     pub fn with_metric<M: Dissimilarity + 'static>(db: &'a FingerprintDb, metric: M) -> Self {
         Self {
             db,
             metric: Box::new(metric),
+            index: None,
         }
     }
 
@@ -80,13 +101,29 @@ impl<'a> NnLocalizer<'a> {
     /// Returns [`QueryLengthError`] when the query's AP count does not
     /// match the database.
     pub fn localize(&self, query: &Fingerprint) -> Result<LocationId, QueryLengthError> {
+        self.localize_slice(query.values())
+    }
+
+    /// [`NnLocalizer::localize`] over a raw RSS slice — lets trace
+    /// pipelines query straight from scan buffers without allocating a
+    /// [`Fingerprint`] per pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryLengthError`] when the query's AP count does not
+    /// match the database.
+    pub fn localize_slice(&self, query: &[f64]) -> Result<LocationId, QueryLengthError> {
         if query.len() != self.db.ap_count() {
             return Err(QueryLengthError {
                 expected: self.db.ap_count(),
                 found: query.len(),
             });
         }
-        Ok(k_nearest(self.db, query, 1, self.metric.as_ref())[0].location)
+        if let Some(index) = &self.index {
+            return Ok(index.nearest(query));
+        }
+        let query = Fingerprint::new(query.to_vec());
+        Ok(k_nearest(self.db, &query, 1, self.metric.as_ref())[0].location)
     }
 }
 
@@ -124,6 +161,22 @@ mod tests {
             .localize(&Fingerprint::new(vec![-55.0, -55.0]))
             .unwrap();
         assert_eq!(loc, l(2));
+    }
+
+    #[test]
+    fn shared_index_and_slice_queries_match_owned_path() {
+        let db = db();
+        let index = FingerprintIndex::build(&db);
+        let owned = NnLocalizer::new(&db);
+        let shared = NnLocalizer::with_index(&db, &index);
+        for query in [[-68.0, -43.0], [-55.0, -55.0], [-41.0, -69.0]] {
+            let fp = Fingerprint::new(query.to_vec());
+            let expected = owned.localize(&fp).unwrap();
+            assert_eq!(shared.localize(&fp).unwrap(), expected);
+            assert_eq!(shared.localize_slice(&query).unwrap(), expected);
+            assert_eq!(owned.localize_slice(&query).unwrap(), expected);
+        }
+        assert!(shared.localize_slice(&[-40.0]).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use moloc_fingerprint::candidates::CandidateSet;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
+use moloc_fingerprint::index::{FingerprintIndex, KnnScratch, SquaredEuclidean};
 use moloc_fingerprint::knn::{k_nearest, Neighbor};
 use moloc_fingerprint::metric::{Cosine, Dissimilarity, Euclidean, Manhattan};
 use moloc_geometry::LocationId;
@@ -14,6 +15,17 @@ fn rss() -> impl Strategy<Value = f64> {
 
 fn fingerprint(n: usize) -> impl Strategy<Value = Fingerprint> {
     prop::collection::vec(rss(), n).prop_map(Fingerprint::new)
+}
+
+/// RSS on a coarse discrete grid, so distinct locations frequently
+/// collide at the exact same dissimilarity and tie-breaking is
+/// exercised for real.
+fn coarse_rss() -> impl Strategy<Value = f64> {
+    (-9..=-3i32).prop_map(|v| (v * 10) as f64)
+}
+
+fn coarse_fingerprint(n: usize) -> impl Strategy<Value = Fingerprint> {
+    prop::collection::vec(coarse_rss(), n).prop_map(Fingerprint::new)
 }
 
 proptest! {
@@ -167,6 +179,62 @@ proptest! {
             prop_assert_eq!(x.0, y.0);
             prop_assert!((x.1 - y.1).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn index_knn_is_bit_identical_to_heap_path(
+        fps in prop::collection::vec(fingerprint(3), 2..25),
+        query in fingerprint(3),
+        k in 1usize..12,
+    ) {
+        // The columnar squared-distance scan must reproduce the legacy
+        // `Euclidean` heap selection exactly: same locations, same
+        // order, bitwise-equal dissimilarities.
+        let entries: Vec<(LocationId, Fingerprint)> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (LocationId::from_index(i), f.clone()))
+            .collect();
+        let db = FingerprintDb::from_fingerprints(entries).unwrap();
+        let index = FingerprintIndex::build(&db);
+        let legacy = k_nearest(&db, &query, k, &Euclidean);
+        let mut scratch = KnnScratch::with_k(k);
+        let mut fast = Vec::new();
+        index.k_nearest_into::<SquaredEuclidean>(query.values(), k, &mut scratch, &mut fast);
+        prop_assert_eq!(fast.len(), legacy.len());
+        for (a, b) in fast.iter().zip(&legacy) {
+            prop_assert_eq!(a.location, b.location);
+            prop_assert_eq!(a.dissimilarity.to_bits(), b.dissimilarity.to_bits());
+        }
+    }
+
+    #[test]
+    fn index_knn_tie_order_matches_on_coarse_grids(
+        fps in prop::collection::vec(coarse_fingerprint(2), 2..40),
+        query in coarse_fingerprint(2),
+        k in 1usize..12,
+    ) {
+        // Coarse RSS grids make exact dissimilarity ties common, so
+        // this run hammers the (rank, location-id) tie-break of the
+        // squared-distance ranking against the legacy sqrt ranking.
+        let entries: Vec<(LocationId, Fingerprint)> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (LocationId::from_index(i), f.clone()))
+            .collect();
+        let db = FingerprintDb::from_fingerprints(entries).unwrap();
+        let index = FingerprintIndex::build(&db);
+        let legacy = k_nearest(&db, &query, k, &Euclidean);
+        let mut scratch = KnnScratch::with_k(k);
+        let mut fast = Vec::new();
+        index.k_nearest_into::<SquaredEuclidean>(query.values(), k, &mut scratch, &mut fast);
+        let fast_pairs: Vec<(LocationId, u64)> =
+            fast.iter().map(|n| (n.location, n.dissimilarity.to_bits())).collect();
+        let legacy_pairs: Vec<(LocationId, u64)> =
+            legacy.iter().map(|n| (n.location, n.dissimilarity.to_bits())).collect();
+        prop_assert_eq!(fast_pairs, legacy_pairs);
+        // And the single-nearest scan agrees with k = 1.
+        prop_assert_eq!(index.nearest(query.values()), legacy[0].location);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::render::SensorTrace;
 use moloc_sensors::counting::{csc, dsc};
+use moloc_sensors::series::TimeSeries;
 use moloc_sensors::steps::StepDetector;
 use moloc_stats::circular::circular_mean_deg;
 use serde::{Deserialize, Serialize};
@@ -42,15 +43,22 @@ pub struct IntervalMeasurement {
 /// assert_eq!(measurements.len(), trace.pass_count() - 1);
 /// ```
 pub fn measure_intervals(trace: &SensorTrace, detector: &StepDetector) -> Vec<IntervalMeasurement> {
+    // One scratch set serves every interval: the slices, the smoothed
+    // signal, and the step list are rewritten in place, so the whole
+    // trace allocates four buffers instead of four per interval.
+    let mut accel = TimeSeries::default();
+    let mut compass = TimeSeries::default();
+    let mut smoothed = TimeSeries::default();
+    let mut steps = Vec::new();
     trace
         .passes
         .windows(2)
         .enumerate()
         .map(|(i, w)| {
             let (t0, t1) = (w[0].time, w[1].time);
-            let accel = trace.accel.slice_time(t0, t1);
-            let compass = trace.compass.slice_time(t0, t1);
-            let steps = detector.detect(&accel);
+            trace.accel.slice_time_into(t0, t1, &mut accel);
+            trace.compass.slice_time_into(t0, t1, &mut compass);
+            detector.detect_into(&accel, &mut smoothed, &mut steps);
             IntervalMeasurement {
                 from_index: i,
                 to_index: i + 1,

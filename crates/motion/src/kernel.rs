@@ -152,6 +152,17 @@ impl MotionKernel {
         (fast_std_normal_cdf(hi) - fast_std_normal_cdf(lo)).max(0.0)
     }
 
+    /// The stay-in-place probability `P_{i,i}(·, o)` — the `from == to`
+    /// branch of [`MotionKernel::pair_probability`]. It depends only on
+    /// the measured offset, so Eq. 7 loops can evaluate it once per
+    /// observation instead of on every diagonal hit of the `k × k`
+    /// candidate product.
+    #[inline]
+    pub fn stay_probability(&self, offset_m: f64) -> f64 {
+        let o_mass = Self::window_mass(0.0, self.stay_inv_std, offset_m, self.beta_m);
+        self.stay_direction_mass * o_mass
+    }
+
     /// The pairwise motion probability `P_{i,j}(d, o)` (Eq. 5),
     /// matching the exact computation within `1e-6` (see module docs).
     #[inline]
@@ -163,8 +174,7 @@ impl MotionKernel {
         offset_m: f64,
     ) -> f64 {
         if from == to {
-            let o_mass = Self::window_mass(0.0, self.stay_inv_std, offset_m, self.beta_m);
-            return self.stay_direction_mass * o_mass;
+            return self.stay_probability(offset_m);
         }
         let (fi, ti) = (from.index(), to.index());
         if fi >= self.location_count || ti >= self.location_count {

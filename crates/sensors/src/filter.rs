@@ -11,19 +11,31 @@ use serde::{Deserialize, Serialize};
 /// of 0 or 1 returns the input unchanged; even windows are rounded up to
 /// the next odd size so the filter stays centered.
 pub fn moving_average(series: &TimeSeries, window: usize) -> TimeSeries {
+    let mut out = TimeSeries::default();
+    moving_average_into(series, window, &mut out);
+    out
+}
+
+/// [`moving_average`] into a caller-owned series, reusing its buffer.
+/// `out`'s previous contents are discarded.
+pub fn moving_average_into(series: &TimeSeries, window: usize, out: &mut TimeSeries) {
+    let v = series.values();
     if window <= 1 || series.is_empty() {
-        return series.clone();
+        out.assign(series.t0(), series.sample_rate_hz(), v.iter().copied())
+            .expect("rate unchanged");
+        return;
     }
     let half = window / 2;
-    let v = series.values();
-    let out: Vec<f64> = (0..v.len())
-        .map(|i| {
+    out.assign(
+        series.t0(),
+        series.sample_rate_hz(),
+        (0..v.len()).map(|i| {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(v.len());
             v[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
-        })
-        .collect();
-    TimeSeries::new(series.t0(), series.sample_rate_hz(), out).expect("rate unchanged")
+        }),
+    )
+    .expect("rate unchanged");
 }
 
 /// First-order exponential smoothing: `y[i] = α·x[i] + (1−α)·y[i−1]`.

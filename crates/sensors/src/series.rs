@@ -52,6 +52,30 @@ impl TimeSeries {
         })
     }
 
+    /// Replaces the series in place — start time, rate, and values —
+    /// reusing the existing buffer. The in-place counterpart of
+    /// [`TimeSeries::new`] for scratch series in hot loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] if the rate is not finite and
+    /// positive; the series is left unchanged.
+    pub fn assign(
+        &mut self,
+        t0: f64,
+        sample_rate_hz: f64,
+        values: impl IntoIterator<Item = f64>,
+    ) -> Result<(), InvalidRateError> {
+        if !sample_rate_hz.is_finite() || sample_rate_hz <= 0.0 {
+            return Err(InvalidRateError);
+        }
+        self.t0 = t0;
+        self.sample_rate_hz = sample_rate_hz;
+        self.values.clear();
+        self.values.extend(values);
+        Ok(())
+    }
+
     /// Start time in seconds.
     pub fn t0(&self) -> f64 {
         self.t0
@@ -113,15 +137,24 @@ impl TimeSeries {
     /// series extent). The result keeps the same rate and starts at the
     /// first retained sample's timestamp.
     pub fn slice_time(&self, start: f64, end: f64) -> TimeSeries {
+        let mut out = TimeSeries::default();
+        self.slice_time_into(start, end, &mut out);
+        out
+    }
+
+    /// [`TimeSeries::slice_time`] into a caller-owned series, reusing
+    /// its buffer. `out`'s previous contents (including its rate and
+    /// start time) are discarded, so interval-slicing loops can run
+    /// allocation-free after the first pass.
+    pub fn slice_time_into(&self, start: f64, end: f64, out: &mut TimeSeries) {
         let lo = (((start - self.t0) * self.sample_rate_hz).ceil().max(0.0)) as usize;
         let hi = ((((end - self.t0) * self.sample_rate_hz).ceil()).max(0.0) as usize)
             .min(self.values.len());
         let lo = lo.min(hi);
-        TimeSeries {
-            t0: self.time_at(lo),
-            sample_rate_hz: self.sample_rate_hz,
-            values: self.values[lo..hi].to_vec(),
-        }
+        out.t0 = self.time_at(lo);
+        out.sample_rate_hz = self.sample_rate_hz;
+        out.values.clear();
+        out.values.extend_from_slice(&self.values[lo..hi]);
     }
 
     /// Appends another series sampled at the same rate; its timestamps

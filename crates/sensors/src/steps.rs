@@ -5,7 +5,7 @@
 //! classic pipeline: smooth, test for walking via signal variance, then
 //! find peaks above an adaptive threshold with a refractory period.
 
-use crate::filter::moving_average;
+use crate::filter::moving_average_into;
 use crate::series::TimeSeries;
 use serde::{Deserialize, Serialize};
 
@@ -75,16 +75,32 @@ impl StepDetector {
     /// Detects steps; returns an empty vector when the segment does not
     /// look like walking.
     pub fn detect(&self, series: &TimeSeries) -> Vec<StepEvent> {
+        let mut smoothed = TimeSeries::default();
+        let mut out = Vec::new();
+        self.detect_into(series, &mut smoothed, &mut out);
+        out
+    }
+
+    /// [`StepDetector::detect`] into caller-owned buffers: `smoothed`
+    /// holds the filtered signal and `out` the detected steps, both
+    /// cleared first. Interval loops reuse the same scratch so a whole
+    /// trace of detections allocates only on buffer growth.
+    pub fn detect_into(
+        &self,
+        series: &TimeSeries,
+        smoothed: &mut TimeSeries,
+        out: &mut Vec<StepEvent>,
+    ) {
+        out.clear();
         if !self.is_walking(series) {
-            return Vec::new();
+            return;
         }
-        let smoothed = moving_average(series, self.smooth_window);
+        moving_average_into(series, self.smooth_window, smoothed);
         let mean = smoothed.mean().expect("non-empty");
         let std = smoothed.variance().expect("non-empty").sqrt();
         let threshold = mean + self.peak_threshold_sigma * std;
 
         let v = smoothed.values();
-        let mut steps = Vec::new();
         let mut last_step_time = f64::NEG_INFINITY;
         for i in 1..v.len().saturating_sub(1) {
             let is_peak = v[i] >= v[i - 1] && v[i] > v[i + 1] && v[i] > threshold;
@@ -95,7 +111,7 @@ impl StepDetector {
             if t - last_step_time < self.min_step_interval_s {
                 // Keep the taller of two peaks inside the refractory
                 // window.
-                if let Some(last) = steps.last_mut() {
+                if let Some(last) = out.last_mut() {
                     let last: &mut StepEvent = last;
                     if v[i] > last.magnitude {
                         *last = StepEvent {
@@ -107,13 +123,12 @@ impl StepDetector {
                 }
                 continue;
             }
-            steps.push(StepEvent {
+            out.push(StepEvent {
                 time: t,
                 magnitude: v[i],
             });
             last_step_time = t;
         }
-        steps
     }
 }
 
