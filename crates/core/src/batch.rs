@@ -19,6 +19,7 @@
 //! metric (proven by the digest test in `crates/eval/tests/`).
 
 use crate::config::MoLocConfig;
+use crate::error::DegradationFlags;
 use crate::matching::build_kernel;
 use crate::tracker::{MotionMeasurement, TrackError};
 use moloc_fingerprint::db::FingerprintDb;
@@ -63,6 +64,7 @@ pub struct BatchLocalizer<'a> {
     weights: Vec<(LocationId, f64)>,
     previous: Vec<(LocationId, f64)>,
     has_previous: bool,
+    last_flags: DegradationFlags,
 }
 
 impl BatchLocalizer<'static> {
@@ -92,6 +94,7 @@ impl BatchLocalizer<'static> {
             weights: Vec::with_capacity(config.k),
             previous: Vec::with_capacity(config.k),
             has_previous: false,
+            last_flags: DegradationFlags::empty(),
         }
     }
 }
@@ -122,6 +125,7 @@ impl<'a> BatchLocalizer<'a> {
             weights: Vec::with_capacity(config.k),
             previous: Vec::with_capacity(config.k),
             has_previous: false,
+            last_flags: DegradationFlags::empty(),
         }
     }
 
@@ -145,6 +149,14 @@ impl<'a> BatchLocalizer<'a> {
     pub fn reset(&mut self) {
         self.previous.clear();
         self.has_previous = false;
+        self.last_flags = DegradationFlags::empty();
+    }
+
+    /// Which graceful fallbacks fired during the most recent
+    /// observation (empty when the estimate came from the clean
+    /// full-fusion path). See [`DegradationFlags`] for the ladder.
+    pub fn last_flags(&self) -> DegradationFlags {
+        self.last_flags
     }
 
     /// Processes one localization query; same contract as
@@ -175,6 +187,7 @@ impl<'a> BatchLocalizer<'a> {
         query: &[f64],
         motion: Option<MotionMeasurement>,
     ) -> Result<LocationId, TrackError> {
+        self.last_flags = DegradationFlags::empty();
         let index = self.index.get();
         if query.len() != index.ap_count() {
             return Err(TrackError::QueryLength {
@@ -188,12 +201,32 @@ impl<'a> BatchLocalizer<'a> {
             }
         }
 
-        index.k_nearest_into::<SquaredEuclidean>(
-            query,
-            self.config.k,
-            &mut self.scratch,
-            &mut self.neighbors,
-        );
+        // Degradation rung 0 (masked k-NN): queries with missing
+        // (non-finite) APs rank on the observed dimensions only. Clean
+        // queries keep the bit-exact monomorphized hot path — the
+        // branch condition, not the arithmetic, is the only addition.
+        if query.iter().all(|v| v.is_finite()) {
+            index.k_nearest_into::<SquaredEuclidean>(
+                query,
+                self.config.k,
+                &mut self.scratch,
+                &mut self.neighbors,
+            );
+        } else {
+            self.last_flags.insert(DegradationFlags::MASKED_QUERY);
+            let observed = index.k_nearest_masked_into(
+                query,
+                self.config.k,
+                &mut self.scratch,
+                &mut self.neighbors,
+            );
+            if observed == 0 {
+                // Every AP missing: all ranks are 0, so Eq. 4's
+                // exact-match branch below yields a uniform prior over
+                // the k lowest-id locations.
+                self.last_flags.insert(DegradationFlags::NO_OBSERVED_APS);
+            }
+        }
 
         // Eq. 4 into the reusable candidate table — the same arithmetic
         // as `CandidateSet::from_neighbors`, including the exact-match
@@ -216,9 +249,23 @@ impl<'a> BatchLocalizer<'a> {
             }
         } else {
             let total: f64 = self.neighbors.iter().map(|n| 1.0 / n.dissimilarity).sum();
-            for n in &self.neighbors {
-                self.current
-                    .push((n.location, (1.0 / n.dissimilarity) / total));
+            if total.is_finite() && total > 0.0 {
+                for n in &self.neighbors {
+                    self.current
+                        .push((n.location, (1.0 / n.dissimilarity) / total));
+                }
+            } else {
+                // Degradation rung 2 (candidate reset): the fingerprint
+                // evidence itself collapsed — reset to a uniform prior
+                // over the retrieved neighbors and drop history, which
+                // refers to a posterior that no longer means anything.
+                self.last_flags.insert(DegradationFlags::CANDIDATE_RESET);
+                let p = 1.0 / self.neighbors.len() as f64;
+                for n in &self.neighbors {
+                    self.current.push((n.location, p));
+                }
+                self.previous.clear();
+                self.has_previous = false;
             }
         }
 
@@ -247,15 +294,19 @@ impl<'a> BatchLocalizer<'a> {
                     self.weights.push((loc, p_fingerprint * p_motion));
                 }
                 let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
-                // Degenerate totals fall back to the fingerprint-only
-                // distribution, as `evaluate_candidates_kernel` does.
-                if total <= self.config.degenerate_total_floor {
-                    false
-                } else {
+                // Degradation rung 1 (fingerprint-only): degenerate or
+                // non-finite totals fall back to the fingerprint-only
+                // distribution, as `evaluate_candidates_kernel` does. A
+                // NaN total would slip past a plain `<=` floor check
+                // and normalize into a NaN posterior.
+                if total.is_finite() && total > self.config.degenerate_total_floor {
                     for entry in &mut self.weights {
                         entry.1 /= total;
                     }
                     true
+                } else {
+                    self.last_flags.insert(DegradationFlags::MOTION_FALLBACK);
+                    false
                 }
             }
             _ => false,
@@ -267,12 +318,15 @@ impl<'a> BatchLocalizer<'a> {
         };
 
         // `CandidateSet::top`: highest probability, ties to lower id.
+        // `total_cmp` orders identically to `partial_cmp` here (the
+        // guards above keep every retained probability finite and
+        // non-negative, and no path produces -0.0) without a panicking
+        // `expect` on the comparison.
         let mut best = 0usize;
         for i in 1..posterior.len() {
             let ord = posterior[i]
                 .1
-                .partial_cmp(&posterior[best].1)
-                .expect("probabilities are finite")
+                .total_cmp(&posterior[best].1)
                 .then_with(|| posterior[best].0.cmp(&posterior[i].0));
             if ord == Ordering::Greater {
                 best = i;
@@ -462,5 +516,114 @@ mod tests {
                 .unwrap_err(),
             TrackError::BadMeasurement
         );
+    }
+
+    fn assert_normalized(engine: &BatchLocalizer<'_>) {
+        let posterior = engine.posterior();
+        let total: f64 = posterior.iter().map(|(_, p)| p).sum();
+        assert!(
+            posterior.iter().all(|(_, p)| p.is_finite() && *p >= 0.0),
+            "non-finite posterior {posterior:?}"
+        );
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn nan_query_degrades_to_masked_ranking() {
+        let (fdb, mdb) = world();
+        let mut engine = BatchLocalizer::new(&fdb, &mdb, MoLocConfig::default());
+        // AP 0 missing: ranking happens on AP 1 alone, where L2's
+        // -70 dBm is the unambiguous nearest to the query's -69.
+        let estimate = engine
+            .observe_slice(&[f64::NAN, -69.0], None)
+            .expect("masked query localizes");
+        assert_eq!(estimate, l(2));
+        assert!(engine.last_flags().contains(DegradationFlags::MASKED_QUERY));
+        assert!(!engine
+            .last_flags()
+            .contains(DegradationFlags::NO_OBSERVED_APS));
+        assert_normalized(&engine);
+    }
+
+    #[test]
+    fn all_nan_query_yields_uniform_prior() {
+        let (fdb, mdb) = world();
+        let mut engine = BatchLocalizer::new(&fdb, &mdb, MoLocConfig::default());
+        let estimate = engine
+            .observe_slice(&[f64::NAN, f64::NAN], None)
+            .expect("blind query still localizes");
+        let flags = engine.last_flags();
+        assert!(flags.contains(DegradationFlags::MASKED_QUERY));
+        assert!(flags.contains(DegradationFlags::NO_OBSERVED_APS));
+        // Uniform over the k lowest-id locations; ties go to L1.
+        assert_eq!(estimate, l(1));
+        assert_normalized(&engine);
+    }
+
+    #[test]
+    fn clean_queries_report_clean_flags() {
+        let (fdb, mdb) = world();
+        let mut engine = BatchLocalizer::new(&fdb, &mdb, MoLocConfig::default());
+        for (query, motion) in queries() {
+            engine.observe(&query, motion).unwrap();
+            assert!(engine.last_flags().is_empty(), "{}", engine.last_flags());
+            assert_normalized(&engine);
+        }
+    }
+
+    #[test]
+    fn motion_fallback_flag_fires_on_empty_motion_db() {
+        let (fdb, _) = world();
+        // An empty motion database with a zero missing-pair probability
+        // collapses every Eq. 7 total to zero: the engine must fall
+        // back to the fingerprint-only prior and say so.
+        let mdb = MotionDb::new(3);
+        let mut config = MoLocConfig::default();
+        config.missing_pair_prob = 0.0;
+        let mut engine = BatchLocalizer::new(&fdb, &mdb, config);
+        engine.observe_slice(&[-40.0, -70.0], None).unwrap();
+        let estimate = engine
+            .observe_slice(
+                &[-50.0, -50.05],
+                Some(MotionMeasurement {
+                    direction_deg: 91.0,
+                    offset_m: 4.1,
+                }),
+            )
+            .unwrap();
+        assert!(engine
+            .last_flags()
+            .contains(DegradationFlags::MOTION_FALLBACK));
+        // Fingerprint-only: the nearer twin wins.
+        assert_eq!(estimate, l(1));
+        assert_normalized(&engine);
+    }
+
+    #[test]
+    fn masked_sequence_with_motion_stays_normalized() {
+        let (fdb, mdb) = world();
+        let mut engine = BatchLocalizer::new(&fdb, &mdb, MoLocConfig::default());
+        let traces: [(&[f64], Option<MotionMeasurement>); 4] = [
+            (&[-40.0, -70.0], None),
+            (
+                &[f64::NAN, -50.05],
+                Some(MotionMeasurement {
+                    direction_deg: 91.0,
+                    offset_m: 4.1,
+                }),
+            ),
+            (
+                &[f64::NAN, f64::NAN],
+                Some(MotionMeasurement {
+                    direction_deg: 270.0,
+                    offset_m: 4.0,
+                }),
+            ),
+            (&[-50.0, -50.0], None),
+        ];
+        for (query, motion) in traces {
+            engine.observe_slice(query, motion).expect("never errors");
+            assert_normalized(&engine);
+        }
     }
 }

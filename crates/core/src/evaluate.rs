@@ -41,12 +41,14 @@ pub fn evaluate_candidates(
         })
         .collect();
     let total: f64 = weights.iter().map(|(_, w)| w).sum();
-    if total <= config.degenerate_total_floor {
-        // Degenerate: motion evidence wiped out every candidate. Trust
-        // the fingerprints alone for this step.
+    if !total.is_finite() || total <= config.degenerate_total_floor {
+        // Degenerate: motion evidence wiped out (or poisoned) every
+        // candidate. Trust the fingerprints alone for this step. A NaN
+        // total would otherwise pass a plain `<=` floor check and leak
+        // into the normalized posterior.
         return current.clone();
     }
-    CandidateSet::from_weights(weights).expect("total weight checked above")
+    CandidateSet::from_weights(weights).unwrap_or_else(|_| current.clone())
 }
 
 /// Eq. 7 over a precomputed [`MotionKernel`]: same semantics as
@@ -69,10 +71,10 @@ pub fn evaluate_candidates_kernel(
         })
         .collect();
     let total: f64 = weights.iter().map(|(_, w)| w).sum();
-    if total <= config.degenerate_total_floor {
+    if !total.is_finite() || total <= config.degenerate_total_floor {
         return current.clone();
     }
-    CandidateSet::from_weights(weights).expect("total weight checked above")
+    CandidateSet::from_weights(weights).unwrap_or_else(|_| current.clone())
 }
 
 #[cfg(test)]

@@ -1,3 +1,5 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 //! MoLoc: motion-assisted indoor localization (ICDCS 2013).
 //!
 //! This crate is the paper's primary contribution — the serving-stage
@@ -6,6 +8,9 @@
 //!
 //! * [`config`] — the algorithm's knobs: candidate count `k`,
 //!   discretization windows `α`/`β`, and robustness floors.
+//! * [`error`] — the typed [`error::MolocError`] hierarchy and the
+//!   [`error::DegradationFlags`] surfaced when serving paths fall back
+//!   (masked k-NN, fingerprint-only prior, candidate reset).
 //! * [`matching`] — motion matching (Eq. 5: `P_{i,j}(d, o) =
 //!   D_{i,j}(d)·O_{i,j}(o)`) and its extension over candidate sets
 //!   (Eq. 6).
@@ -59,6 +64,7 @@
 pub mod batch;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod evaluate;
 pub mod matching;
 pub mod particle;
@@ -68,4 +74,5 @@ pub mod viterbi;
 pub use batch::BatchLocalizer;
 pub use config::MoLocConfig;
 pub use engine::MoLoc;
+pub use error::{DegradationFlags, MolocError};
 pub use tracker::{MoLocTracker, MotionMeasurement};

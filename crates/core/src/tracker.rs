@@ -8,6 +8,7 @@
 //! round (Sec. V-C).
 
 use crate::config::MoLocConfig;
+use crate::error::MolocError;
 use crate::evaluate::{evaluate_candidates, evaluate_candidates_kernel};
 use crate::matching::build_kernel;
 use moloc_fingerprint::candidates::CandidateSet;
@@ -33,31 +34,11 @@ pub struct MotionMeasurement {
 }
 
 /// Error from [`MoLocTracker::observe`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TrackError {
-    /// The query fingerprint length does not match the database.
-    QueryLength {
-        /// Expected AP count.
-        expected: usize,
-        /// Found AP count.
-        found: usize,
-    },
-    /// The motion measurement is not finite.
-    BadMeasurement,
-}
-
-impl std::fmt::Display for TrackError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TrackError::QueryLength { expected, found } => {
-                write!(f, "query has {found} APs, database expects {expected}")
-            }
-            TrackError::BadMeasurement => write!(f, "motion measurement must be finite"),
-        }
-    }
-}
-
-impl std::error::Error for TrackError {}
+///
+/// An alias of the crate-wide [`MolocError`] hierarchy — kept under its
+/// historical name so existing `TrackError::QueryLength { .. }` call
+/// sites and matches continue to compile unchanged.
+pub type TrackError = MolocError;
 
 /// How a tracker evaluates motion probabilities.
 #[derive(Debug)]
@@ -251,8 +232,8 @@ impl<'a> MoLocTracker<'a> {
                 self.neighbors = k_nearest(self.fingerprint_db, query, self.config.k, self.metric);
             }
         }
-        let fingerprint_set =
-            CandidateSet::from_neighbors(&self.neighbors).expect("k >= 1 and db non-empty");
+        let fingerprint_set = CandidateSet::from_neighbors(&self.neighbors)
+            .map_err(|_| MolocError::EmptyCandidates)?;
 
         let posterior = match (self.previous.as_ref(), motion) {
             (Some(prev), Some(m)) => match &self.backend {

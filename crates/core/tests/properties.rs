@@ -2,7 +2,7 @@
 //! invariants.
 
 use moloc_core::config::MoLocConfig;
-use moloc_core::evaluate::evaluate_candidates;
+use moloc_core::evaluate::{evaluate_candidates, evaluate_candidates_kernel};
 use moloc_core::matching::{build_kernel, pair_motion_probability, set_motion_probability};
 use moloc_fingerprint::candidates::CandidateSet;
 use moloc_geometry::LocationId;
@@ -158,6 +158,44 @@ proptest! {
             (exact - fast).abs() <= 1e-6,
             "({from}→{to}, {d}°, {o} m): exact {exact} vs kernel {fast}"
         );
+    }
+
+    #[test]
+    fn posterior_survives_random_rlm_deletions(
+        db in arbitrary_db(),
+        deletions in prop::collection::vec((0usize..N, 0usize..N), 0..20),
+        prev_ws in weights(),
+        cur_ws in weights(),
+        d in 0.0..360.0f64,
+        o in 0.0..30.0f64,
+    ) {
+        // Corrupted motion databases — arbitrary cells deleted after
+        // training — must still yield a finite, normalized posterior
+        // through both the exact and the kernel evaluation paths
+        // (untrained pairs fall back to the missing-pair probability,
+        // and a fully-degenerate total falls back to the
+        // fingerprint-only prior).
+        let config = MoLocConfig::paper();
+        let mut db = db;
+        for (a, b) in deletions {
+            db.remove(LocationId::from_index(a), LocationId::from_index(b));
+        }
+        let prev = candidate_set(&prev_ws);
+        let current = candidate_set(&cur_ws);
+        let kernel = build_kernel(&db, &config);
+        for posterior in [
+            evaluate_candidates(&db, &prev, &current, d, o, &config),
+            evaluate_candidates_kernel(&kernel, &prev, &current, d, o, &config),
+        ] {
+            prop_assert!(
+                (posterior.total_probability() - 1.0).abs() < 1e-9,
+                "total {}",
+                posterior.total_probability()
+            );
+            for (loc, p) in posterior.iter() {
+                prop_assert!(p.is_finite() && p >= 0.0, "p({loc}) = {p}");
+            }
+        }
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! Regenerates every table and figure of the MoLoc paper.
 //!
 //! ```text
-//! repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds] [--seed N] [--fast]
+//! repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness]
+//!       [--seed N] [--fast] [--robust-out FILE]
 //! ```
 //!
 //! `--fast` runs the reduced corpus (for smoke tests); the default runs
-//! the paper-scale 184-trace corpus.
+//! the paper-scale 184-trace corpus. The robustness sweep always runs
+//! on the reduced corpus (its artifact gates CI, so it must stay
+//! CI-speed and seed-stable); `--robust-out` writes its JSON artifact.
 
 use moloc_eval::cache::ScenarioCache;
-use moloc_eval::experiments::{ablations, baselines, fig4, fig6, fig7, fig8, seeds, table1};
+use moloc_eval::experiments::{
+    ablations, baselines, fig4, fig6, fig7, fig8, robustness, seeds, table1,
+};
 use moloc_eval::pipeline::EvalWorld;
 
 #[derive(Debug)]
@@ -16,6 +21,7 @@ struct Args {
     exp: String,
     seed: u64,
     fast: bool,
+    robust_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -23,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
         exp: "all".to_string(),
         seed: 2013,
         fast: false,
+        robust_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -39,9 +46,15 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = v.parse().map_err(|_| format!("invalid seed: {v}"))?;
             }
             "--fast" => args.fast = true,
+            "--robust-out" => {
+                args.robust_out = Some(
+                    iter.next()
+                        .ok_or_else(|| "--robust-out requires a value".to_string())?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds] [--seed N] [--fast]"
+                    "usage: repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness] [--seed N] [--fast] [--robust-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -76,6 +89,26 @@ fn main() {
         ]);
         println!("{}", seeds::render(&sweep));
         return;
+    }
+
+    if wants("robustness") {
+        // Always the reduced corpus: the sweep's JSON artifact is a CI
+        // regression baseline and must stay fast and seed-stable.
+        eprintln!(
+            "building reduced world for the robustness sweep (seed {})...",
+            args.seed
+        );
+        let small = EvalWorld::small(args.seed);
+        let sweep = robustness::run(&small, args.seed);
+        println!("{}", robustness::render(&sweep));
+        if let Some(path) = &args.robust_out {
+            let json = serde_json::to_string_pretty(&sweep).expect("sweep serializes");
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {path}");
+        }
     }
 
     let needs_world = ["fig6", "fig7", "fig8", "table1", "ablations", "baselines"]

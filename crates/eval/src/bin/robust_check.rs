@@ -1,0 +1,151 @@
+//! Robustness-regression gate: compares two `ROBUST_*.json` files
+//! emitted by the `repro --exp robustness` sweep and fails when any
+//! sweep point shared by both files got meaningfully worse.
+//!
+//! ```text
+//! robust_check [--old ROBUST_pr3.json] [--new FILE] [--tolerance 1.20]
+//! ```
+//!
+//! A point regresses when its median error exceeds
+//! `old * tolerance + 0.25 m` (the absolute slack keeps zero-median
+//! points gateable) or its accuracy drops by more than 5 points. Exit
+//! status: 0 clean, 1 regressed, 2 on usage or parse errors. Points
+//! present in only one file are listed but never gate.
+
+use moloc_eval::experiments::robustness::Robustness;
+
+const ACCURACY_SLACK: f64 = 0.05;
+const MEDIAN_SLACK_M: f64 = 0.25;
+
+struct Args {
+    old: String,
+    new: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        old: "ROBUST_pr3.json".to_string(),
+        new: "ROBUST_pr3.new.json".to_string(),
+        tolerance: 1.20,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--old" => args.old = value("--old")?,
+            "--new" => args.new = value("--new")?,
+            "--tolerance" => {
+                let v = value("--tolerance")?;
+                args.tolerance = v
+                    .parse()
+                    .map_err(|_| format!("invalid tolerance: {v}"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: robust_check [--old FILE] [--new FILE] [--tolerance RATIO]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if !(args.tolerance.is_finite() && args.tolerance >= 1.0) {
+        return Err(format!("tolerance must be >= 1.0, got {}", args.tolerance));
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<Robustness, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e:?}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (old, new) = match (load(&args.old), load(&args.new)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (o, n) => {
+            for e in [o.err(), n.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "comparing {} (seed {}) -> {} (seed {}), tolerance {:.2}x (+{MEDIAN_SLACK_M} m), \
+         accuracy slack {ACCURACY_SLACK:.2}",
+        args.old, old.seed, args.new, new.seed, args.tolerance,
+    );
+
+    let mut regressions = 0usize;
+    let mut shared = 0usize;
+    for np in &new.points {
+        let Some(op) = old
+            .points
+            .iter()
+            .find(|p| p.axis == np.axis && p.intensity == np.intensity)
+        else {
+            println!(
+                "  NEW       {:<16} @ {:<5} median {:.2} m, accuracy {:.0}%",
+                np.axis,
+                np.intensity,
+                np.median_error_m,
+                np.accuracy * 100.0
+            );
+            continue;
+        };
+        shared += 1;
+        if !(np.median_error_m.is_finite() && np.accuracy.is_finite() && np.passes > 0) {
+            eprintln!("error: malformed point {} @ {}", np.axis, np.intensity);
+            std::process::exit(2);
+        }
+        let median_bound = op.median_error_m * args.tolerance + MEDIAN_SLACK_M;
+        let median_bad = np.median_error_m > median_bound;
+        let accuracy_bad = np.accuracy < op.accuracy - ACCURACY_SLACK;
+        let status = if median_bad || accuracy_bad {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<9} {:<16} @ {:<5} median {:.2} -> {:.2} m (bound {:.2}), \
+             accuracy {:.0}% -> {:.0}%",
+            status,
+            np.axis,
+            np.intensity,
+            op.median_error_m,
+            np.median_error_m,
+            median_bound,
+            op.accuracy * 100.0,
+            np.accuracy * 100.0,
+        );
+    }
+    for op in &old.points {
+        if !new
+            .points
+            .iter()
+            .any(|p| p.axis == op.axis && p.intensity == op.intensity)
+        {
+            println!("  RETIRED   {:<16} @ {:<5}", op.axis, op.intensity);
+        }
+    }
+
+    if shared == 0 {
+        eprintln!("error: the two files share no sweep points");
+        std::process::exit(2);
+    }
+    if regressions > 0 {
+        eprintln!("{regressions} of {shared} shared sweep points regressed");
+        std::process::exit(1);
+    }
+    println!("all {shared} shared sweep points within tolerance");
+}

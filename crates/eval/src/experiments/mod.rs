@@ -10,6 +10,7 @@
 //! | [`ablations`] | the design-choice ablations listed in DESIGN.md |
 //! | [`baselines`] | extension: MoLoc vs Horus vs HMM vs particle filter vs WiFi NN |
 //! | [`seeds`] | extension: seed-sensitivity sweep of the headline comparison |
+//! | [`robustness`] | extension: fault-injection sweeps and the degradation ladder |
 
 pub mod ablations;
 pub mod baselines;
@@ -17,5 +18,6 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod robustness;
 pub mod seeds;
 pub mod table1;

@@ -285,16 +285,23 @@ fn analyze_trace_with(
     let measurements = intervals
         .iter()
         .map(|interval| {
-            interval.raw_direction_deg.map(|raw| {
-                let steps = match counting {
-                    CountingMethod::Continuous => interval.steps_csc,
-                    CountingMethod::Discrete => interval.steps_dsc,
-                };
-                MotionMeasurement {
-                    direction_deg: normalize_deg(raw - heading_offset_deg),
-                    offset_m: offset_m(steps, step_length),
-                }
-            })
+            interval
+                .raw_direction_deg
+                .map(|raw| {
+                    let steps = match counting {
+                        CountingMethod::Continuous => interval.steps_csc,
+                        CountingMethod::Discrete => interval.steps_dsc,
+                    };
+                    MotionMeasurement {
+                        direction_deg: normalize_deg(raw - heading_offset_deg),
+                        offset_m: offset_m(steps, step_length),
+                    }
+                })
+                // Degraded sensor input (gaps, jitter) can leak NaN
+                // through step counts; drop the measurement — the
+                // interval localizes fingerprint-only — rather than
+                // hand the engine a `BadMeasurement`.
+                .filter(|m| m.direction_deg.is_finite() && m.offset_m.is_finite())
         })
         .collect();
 
@@ -345,7 +352,7 @@ pub fn localize_wifi(world: &EvalWorld, setting: &Setting) -> Vec<Vec<PassOutcom
             .enumerate()
             .map(|(pass_index, (pass, scan))| {
                 let estimate = localizer
-                    .localize(&Fingerprint::new(scan[..setting.n_aps].to_vec()))
+                    .localize_slice(&scan[..setting.n_aps])
                     .expect("scan length matches database");
                 outcome(world, trace_index, pass_index, pass.location, estimate)
             })

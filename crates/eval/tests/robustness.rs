@@ -1,0 +1,168 @@
+//! End-to-end contracts of the fault-injection harness:
+//!
+//! * a zero-intensity plan leaves the pipeline **bit-identical** to the
+//!   uninjected run (the injectors are exact no-ops at zero),
+//! * every injector at high intensity completes without panics and with
+//!   normalized posteriors (asserted inside `localize_faulted`),
+//! * the whole sweep is reproducible from its seed.
+
+use moloc_core::config::MoLocConfig;
+use moloc_eval::experiments::robustness;
+use moloc_eval::pipeline::{localize_moloc, EvalWorld};
+use moloc_faults::plan::{FaultPlan, FaultSuite};
+use moloc_faults::{ApDropout, ApOutage, RlmCorruption, RogueAp, SensorGap, StaleDrift, TimestampJitter};
+
+fn world() -> EvalWorld {
+    EvalWorld::small(2013)
+}
+
+#[test]
+fn zero_intensity_plan_is_bit_identical_to_clean_pipeline() {
+    let world = world();
+    let setting = world.setting(6);
+    let config = MoLocConfig::paper();
+
+    let clean = localize_moloc(&world, &setting, config);
+    let zero = FaultSuite::new()
+        .with(ApDropout { rate: 0.0, seed: 7 })
+        .with(RogueAp {
+            ap: 0,
+            bias_db: 0.0,
+            burst_rate: 0.0,
+            burst_db: 0.0,
+            seed: 7,
+        })
+        .with(StaleDrift {
+            std_db: 0.0,
+            seed: 7,
+        })
+        .with(SensorGap {
+            gaps_per_trace: 0,
+            gap_s: 1.0,
+            seed: 7,
+        })
+        .with(TimestampJitter { std_s: 0.0, seed: 7 })
+        .with(RlmCorruption {
+            fraction: 0.0,
+            seed: 7,
+        });
+    let (faulted, counts) = robustness::localize_faulted(&world, &setting, config, &zero);
+
+    // PassOutcome PartialEq covers every estimate and error bit.
+    assert_eq!(clean, faulted);
+    assert_eq!(counts.masked, 0);
+    assert_eq!(counts.no_observed, 0);
+    assert_eq!(counts.candidate_reset, 0);
+}
+
+#[test]
+fn every_injector_survives_high_intensity() {
+    let world = world();
+    let setting = world.setting(6);
+    let config = MoLocConfig::paper();
+    let plans: Vec<Box<dyn FaultPlan>> = vec![
+        Box::new(ApDropout { rate: 0.9, seed: 1 }),
+        Box::new(ApOutage { ap: 0 }),
+        Box::new(RogueAp {
+            ap: 1,
+            bias_db: 15.0,
+            burst_rate: 0.3,
+            burst_db: 20.0,
+            seed: 2,
+        }),
+        Box::new(StaleDrift {
+            std_db: 8.0,
+            seed: 3,
+        }),
+        Box::new(SensorGap {
+            gaps_per_trace: 4,
+            gap_s: 5.0,
+            seed: 4,
+        }),
+        Box::new(TimestampJitter { std_s: 2.0, seed: 5 }),
+        Box::new(RlmCorruption {
+            fraction: 1.0,
+            seed: 6,
+        }),
+    ];
+    for plan in &plans {
+        // `localize_faulted` asserts a finite, normalized posterior at
+        // every step; reaching the outcome count is the no-panic proof.
+        let (outcomes, counts) =
+            robustness::localize_faulted(&world, &setting, config, plan.as_ref());
+        assert_eq!(outcomes.len(), world.corpus.test.len(), "{}", plan.name());
+        assert!(counts.passes > 0, "{}", plan.name());
+    }
+
+    // And all of them stacked at once.
+    let suite = FaultSuite::new()
+        .with(ApDropout { rate: 0.5, seed: 1 })
+        .with(RogueAp {
+            ap: 1,
+            bias_db: 10.0,
+            burst_rate: 0.2,
+            burst_db: 15.0,
+            seed: 2,
+        })
+        .with(StaleDrift {
+            std_db: 6.0,
+            seed: 3,
+        })
+        .with(SensorGap {
+            gaps_per_trace: 3,
+            gap_s: 4.0,
+            seed: 4,
+        })
+        .with(TimestampJitter { std_s: 1.0, seed: 5 })
+        .with(RlmCorruption {
+            fraction: 0.7,
+            seed: 6,
+        });
+    assert!(!suite.is_empty() && FaultSuite::new().is_empty());
+    let (outcomes, counts) =
+        robustness::localize_faulted(&world, &setting, config, &suite);
+    assert_eq!(outcomes.len(), world.corpus.test.len());
+    // Half the readings dropped: the masked rung must actually fire.
+    assert!(counts.masked > 0);
+}
+
+#[test]
+fn heavy_dropout_engages_degradation_ladder() {
+    let world = world();
+    let setting = world.setting(6);
+    let config = MoLocConfig::paper();
+    let plan = ApDropout {
+        rate: 0.95,
+        seed: 11,
+    };
+    let (_, counts) = robustness::localize_faulted(&world, &setting, config, &plan);
+    // At 95 % dropout nearly every pass is masked and fully-blind
+    // passes (uniform prior) must occur.
+    assert!(counts.masked as f64 > 0.8 * counts.passes as f64);
+    assert!(counts.no_observed > 0);
+}
+
+#[test]
+fn sweep_is_reproducible_from_its_seed() {
+    let world = world();
+    let a = robustness::run(&world, 2013);
+    let b = robustness::run(&world, 2013);
+    // Robustness derives PartialEq over every point: bit-identical.
+    assert_eq!(a, b);
+    assert_eq!(a.points.len(), 12);
+
+    // And it round-trips through its JSON artifact form.
+    let json = serde_json::to_string(&a).unwrap();
+    let back: robustness::Robustness = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, a);
+
+    // Zero-intensity points of each axis agree with each other — all
+    // three are the clean pipeline.
+    let zeros: Vec<_> = a.points.iter().filter(|p| p.intensity == 0.0).collect();
+    assert_eq!(zeros.len(), 3);
+    for p in &zeros {
+        assert_eq!(p.median_error_m, zeros[0].median_error_m, "{}", p.axis);
+        assert_eq!(p.accuracy, zeros[0].accuracy, "{}", p.axis);
+        assert_eq!(p.masked_share, 0.0);
+    }
+}

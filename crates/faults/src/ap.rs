@@ -1,0 +1,283 @@
+//! WiFi-side fault injectors: AP dropout and outage, rogue-AP bias and
+//! burst noise, stale-survey drift.
+
+use crate::plan::FaultPlan;
+use crate::rng::{hash, std_normal, unit};
+use moloc_fingerprint::db::FingerprintDb;
+
+/// Independently drops each `(trace, pass, ap)` reading with
+/// probability `rate`, writing NaN (the pipeline's "unobserved" value).
+/// Models APs intermittently missing from scans — the dominant failure
+/// in production fingerprinting deployments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApDropout {
+    /// Per-reading dropout probability in `[0, 1]`.
+    pub rate: f64,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+impl FaultPlan for ApDropout {
+    fn name(&self) -> &'static str {
+        "ap_dropout"
+    }
+
+    fn apply_scan(&self, trace: u64, pass: u64, scan: &mut [f64]) {
+        for (ap, value) in scan.iter_mut().enumerate() {
+            // rate 0.0: `u < 0.0` is false for every u — exact no-op.
+            if unit(hash(self.seed, trace, pass, ap as u64)) < self.rate {
+                *value = f64::NAN;
+            }
+        }
+    }
+}
+
+/// A hard outage of one AP: every scan loses that reading. Models a
+/// powered-off or decommissioned transmitter after the site survey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApOutage {
+    /// Index of the dead AP within the scan vector.
+    pub ap: usize,
+}
+
+impl FaultPlan for ApOutage {
+    fn name(&self) -> &'static str {
+        "ap_outage"
+    }
+
+    fn apply_scan(&self, _trace: u64, _pass: u64, scan: &mut [f64]) {
+        if let Some(value) = scan.get_mut(self.ap) {
+            *value = f64::NAN;
+        }
+    }
+}
+
+/// A rogue (or re-tuned) AP: a constant RSS bias on one AP plus
+/// occasional high-power bursts. Models interference and transmit-power
+/// reconfiguration that the survey never saw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RogueAp {
+    /// Index of the affected AP.
+    pub ap: usize,
+    /// Constant bias added to every reading, in dB.
+    pub bias_db: f64,
+    /// Per-reading probability of an additional burst.
+    pub burst_rate: f64,
+    /// Burst amplitude in dB (added on top of the bias).
+    pub burst_db: f64,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+impl FaultPlan for RogueAp {
+    fn name(&self) -> &'static str {
+        "rogue_ap"
+    }
+
+    fn apply_scan(&self, trace: u64, pass: u64, scan: &mut [f64]) {
+        // Zero intensity must be an exact no-op (`x + 0.0` can still
+        // flip a -0.0, so don't even touch the value).
+        if self.bias_db == 0.0 && (self.burst_rate == 0.0 || self.burst_db == 0.0) {
+            return;
+        }
+        if let Some(value) = scan.get_mut(self.ap) {
+            let mut delta = self.bias_db;
+            if unit(hash(self.seed, trace, pass, self.ap as u64)) < self.burst_rate {
+                delta += self.burst_db;
+            }
+            *value += delta;
+        }
+    }
+}
+
+/// Stale-survey drift: perturbs every stored fingerprint value with
+/// independent Gaussian noise of standard deviation `std_db`. Models a
+/// database surveyed long ago while the radio environment moved on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaleDrift {
+    /// Per-value drift standard deviation, in dB.
+    pub std_db: f64,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+impl FaultPlan for StaleDrift {
+    fn name(&self) -> &'static str {
+        "stale_drift"
+    }
+
+    fn apply_fingerprint_db(&self, db: FingerprintDb) -> FingerprintDb {
+        if self.std_db == 0.0 {
+            return db;
+        }
+        let entries = db
+            .iter()
+            .map(|(id, fp)| {
+                let values = fp
+                    .values()
+                    .iter()
+                    .enumerate()
+                    .map(|(ap, &v)| {
+                        v + self.std_db * std_normal(hash(self.seed, id.get() as u64, ap as u64, 0))
+                    })
+                    .collect();
+                (id, moloc_fingerprint::fingerprint::Fingerprint::new(values))
+            })
+            .collect();
+        FingerprintDb::from_fingerprints(entries)
+            .expect("drifting finite values of a valid database keeps it valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_fingerprint::fingerprint::Fingerprint;
+    use moloc_geometry::LocationId;
+
+    #[test]
+    fn dropout_rate_zero_is_a_no_op() {
+        let plan = ApDropout { rate: 0.0, seed: 1 };
+        let mut scan = vec![-40.0, -55.0, -60.0];
+        let original = scan.clone();
+        plan.apply_scan(0, 0, &mut scan);
+        assert_eq!(scan, original);
+    }
+
+    #[test]
+    fn dropout_rate_one_kills_everything() {
+        let plan = ApDropout { rate: 1.0, seed: 1 };
+        let mut scan = vec![-40.0, -55.0, -60.0];
+        plan.apply_scan(3, 5, &mut scan);
+        assert!(scan.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn dropout_is_reproducible_and_seed_sensitive() {
+        let base = vec![-40.0, -55.0, -60.0, -70.0, -45.0, -50.0];
+        let run = |seed: u64| {
+            let plan = ApDropout { rate: 0.5, seed };
+            let mut scans = Vec::new();
+            for trace in 0..4u64 {
+                for pass in 0..4u64 {
+                    let mut scan = base.clone();
+                    plan.apply_scan(trace, pass, &mut scan);
+                    scans.push(scan.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+                }
+            }
+            scans
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn dropout_hits_roughly_rate() {
+        let plan = ApDropout {
+            rate: 0.3,
+            seed: 21,
+        };
+        let mut dropped = 0usize;
+        let total = 2_000 * 6;
+        for pass in 0..2_000u64 {
+            let mut scan = vec![-50.0; 6];
+            plan.apply_scan(0, pass, &mut scan);
+            dropped += scan.iter().filter(|v| v.is_nan()).count();
+        }
+        let rate = dropped as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    fn outage_kills_exactly_one_ap() {
+        let plan = ApOutage { ap: 2 };
+        let mut scan = vec![-40.0, -55.0, -60.0, -70.0];
+        plan.apply_scan(0, 0, &mut scan);
+        assert!(scan[2].is_nan());
+        assert_eq!(&scan[..2], &[-40.0, -55.0]);
+        assert_eq!(scan[3], -70.0);
+        // Out-of-range AP index is ignored.
+        let mut short = vec![-40.0];
+        ApOutage { ap: 5 }.apply_scan(0, 0, &mut short);
+        assert_eq!(short, vec![-40.0]);
+    }
+
+    #[test]
+    fn rogue_zero_intensity_is_a_no_op() {
+        let plan = RogueAp {
+            ap: 1,
+            bias_db: 0.0,
+            burst_rate: 0.0,
+            burst_db: 0.0,
+            seed: 5,
+        };
+        let mut scan = vec![-40.0, -55.0];
+        plan.apply_scan(0, 0, &mut scan);
+        assert_eq!(scan, vec![-40.0, -55.0]);
+    }
+
+    #[test]
+    fn rogue_applies_bias_and_bursts() {
+        let plan = RogueAp {
+            ap: 0,
+            bias_db: 6.0,
+            burst_rate: 0.5,
+            burst_db: 10.0,
+            seed: 5,
+        };
+        let mut biased = 0usize;
+        let mut burst = 0usize;
+        for pass in 0..1_000u64 {
+            let mut scan = vec![-50.0, -60.0];
+            plan.apply_scan(0, pass, &mut scan);
+            assert_eq!(scan[1], -60.0);
+            if scan[0] == -44.0 {
+                biased += 1;
+            } else if scan[0] == -34.0 {
+                burst += 1;
+            } else {
+                panic!("unexpected value {}", scan[0]);
+            }
+        }
+        assert!(biased > 350 && burst > 350, "biased {biased} burst {burst}");
+    }
+
+    #[test]
+    fn stale_drift_zero_std_returns_identical_db() {
+        let db = FingerprintDb::from_fingerprints(vec![
+            (LocationId::new(1), Fingerprint::new(vec![-40.0, -70.0])),
+            (LocationId::new(2), Fingerprint::new(vec![-70.0, -40.0])),
+        ])
+        .unwrap();
+        let plan = StaleDrift {
+            std_db: 0.0,
+            seed: 3,
+        };
+        assert_eq!(plan.apply_fingerprint_db(db.clone()), db);
+    }
+
+    #[test]
+    fn stale_drift_perturbs_reproducibly() {
+        let db = FingerprintDb::from_fingerprints(vec![
+            (LocationId::new(1), Fingerprint::new(vec![-40.0, -70.0])),
+            (LocationId::new(2), Fingerprint::new(vec![-70.0, -40.0])),
+        ])
+        .unwrap();
+        let plan = StaleDrift {
+            std_db: 4.0,
+            seed: 3,
+        };
+        let a = plan.apply_fingerprint_db(db.clone());
+        let b = plan.apply_fingerprint_db(db.clone());
+        assert_eq!(a, b);
+        assert_ne!(a, db);
+        // All values finite and shifted by a few sigma at most.
+        for (id, fp) in a.iter() {
+            let original = db.fingerprint(id).unwrap();
+            for (&drifted, &clean) in fp.values().iter().zip(original.values()) {
+                assert!(drifted.is_finite());
+                assert!((drifted - clean).abs() < 6.0 * 4.0);
+            }
+        }
+    }
+}

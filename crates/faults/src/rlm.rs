@@ -1,0 +1,113 @@
+//! Motion-database fault injectors: corrupted / missing RLM cells.
+
+use crate::plan::FaultPlan;
+use crate::rng::{hash, unit};
+use moloc_motion::matrix::MotionDb;
+
+/// Deletes each trained (undirected) motion-database pair independently
+/// with probability `fraction`. Models RLM cells lost to crowdsourcing
+/// gaps or corrupted beyond sanitation: lookups of a deleted pair fall
+/// back to the kernel's untrained-pair probability, and Eq. 6/7
+/// degrades toward the fingerprint-only prior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RlmCorruption {
+    /// Per-pair deletion probability in `[0, 1]`.
+    pub fraction: f64,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+impl FaultPlan for RlmCorruption {
+    fn name(&self) -> &'static str {
+        "rlm_corruption"
+    }
+
+    fn apply_motion_db(&self, db: &mut MotionDb) {
+        // Decide on the canonical key, not iteration order, so the
+        // outcome is a pure function of (seed, pair).
+        let doomed: Vec<_> = db
+            .iter()
+            .filter(|(i, j, _)| {
+                unit(hash(self.seed, i.get() as u64, j.get() as u64, 0)) < self.fraction
+            })
+            .map(|(i, j, _)| (i, j))
+            .collect();
+        for (i, j) in doomed {
+            db.remove(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moloc_geometry::LocationId;
+    use moloc_motion::matrix::PairStats;
+    use moloc_stats::gaussian::Gaussian;
+
+    fn l(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn db(pairs: usize) -> MotionDb {
+        let mut db = MotionDb::new(pairs + 1);
+        for i in 0..pairs as u32 {
+            db.insert(
+                l(i + 1),
+                l(i + 2),
+                PairStats {
+                    direction: Gaussian::new(90.0, 5.0).unwrap(),
+                    offset: Gaussian::new(4.0, 0.5).unwrap(),
+                    sample_count: 8,
+                },
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn zero_fraction_is_a_no_op() {
+        let original = db(20);
+        let mut faulted = original.clone();
+        RlmCorruption {
+            fraction: 0.0,
+            seed: 1,
+        }
+        .apply_motion_db(&mut faulted);
+        assert_eq!(faulted, original);
+    }
+
+    #[test]
+    fn full_fraction_empties_the_database() {
+        let mut faulted = db(20);
+        RlmCorruption {
+            fraction: 1.0,
+            seed: 1,
+        }
+        .apply_motion_db(&mut faulted);
+        assert!(faulted.is_empty());
+        assert_eq!(faulted.location_count(), 21);
+    }
+
+    #[test]
+    fn corruption_is_seed_reproducible() {
+        let plan = RlmCorruption {
+            fraction: 0.5,
+            seed: 42,
+        };
+        let mut a = db(60);
+        let mut b = db(60);
+        plan.apply_motion_db(&mut a);
+        plan.apply_motion_db(&mut b);
+        assert_eq!(a, b);
+        assert!(a.pair_count() > 10 && a.pair_count() < 50);
+
+        let mut c = db(60);
+        RlmCorruption {
+            fraction: 0.5,
+            seed: 43,
+        }
+        .apply_motion_db(&mut c);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,211 @@
+//! Inertial-side fault injectors: sample gaps and timestamp jitter.
+
+use crate::plan::FaultPlan;
+use crate::rng::{hash, std_normal, unit};
+use moloc_sensors::series::TimeSeries;
+
+/// Punches NaN windows into the accelerometer and compass streams:
+/// `gaps_per_trace` gaps of `gap_s` seconds each, placed uniformly over
+/// the trace. Both streams lose the same windows (a device-level stall
+/// silences every sensor at once). Downstream, gapped intervals fail
+/// the walking test or produce no usable compass mean and degrade to
+/// fingerprint-only localization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorGap {
+    /// Number of gaps punched into each trace.
+    pub gaps_per_trace: usize,
+    /// Length of each gap in seconds.
+    pub gap_s: f64,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+impl SensorGap {
+    fn punch(&self, trace: u64, series: &mut TimeSeries) {
+        if self.gaps_per_trace == 0 || self.gap_s <= 0.0 || series.is_empty() {
+            return;
+        }
+        let rate = series.sample_rate_hz();
+        let t0 = series.t0();
+        let gap_samples = ((self.gap_s * rate).round() as usize).max(1);
+        let len = series.len();
+        let mut values: Vec<f64> = series.values().to_vec();
+        for gap in 0..self.gaps_per_trace {
+            // The start is drawn per (trace, gap) only, so accel and
+            // compass — same trace, same length — lose identical
+            // windows.
+            let span = len.saturating_sub(gap_samples).max(1);
+            let start =
+                (unit(hash(self.seed, trace, gap as u64, 0)) * span as f64) as usize;
+            let end = (start + gap_samples).min(len);
+            for value in &mut values[start.min(len)..end] {
+                *value = f64::NAN;
+            }
+        }
+        series
+            .assign(t0, rate, values)
+            .expect("rate unchanged from a valid series");
+    }
+}
+
+impl FaultPlan for SensorGap {
+    fn name(&self) -> &'static str {
+        "sensor_gap"
+    }
+
+    fn apply_accel(&self, trace: u64, accel: &mut TimeSeries) {
+        self.punch(trace, accel);
+    }
+
+    fn apply_compass(&self, trace: u64, compass: &mut TimeSeries) {
+        self.punch(trace, compass);
+    }
+}
+
+/// Shifts the timebase of both sensor streams by one Gaussian jitter
+/// per trace (standard deviation `std_s`). Models clock skew between
+/// the WiFi scan timestamps and the inertial pipeline: intervals slice
+/// the sensor streams slightly off the true pass boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimestampJitter {
+    /// Jitter standard deviation in seconds.
+    pub std_s: f64,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+impl TimestampJitter {
+    fn shift(&self, trace: u64, series: &mut TimeSeries) {
+        if self.std_s == 0.0 || series.is_empty() {
+            return;
+        }
+        // One draw per trace: both streams shift together, as a skewed
+        // device clock would move them.
+        let jitter = self.std_s * std_normal(hash(self.seed, trace, 0, 0));
+        let rate = series.sample_rate_hz();
+        let t0 = series.t0() + jitter;
+        let values: Vec<f64> = series.values().to_vec();
+        series
+            .assign(t0, rate, values)
+            .expect("rate unchanged from a valid series");
+    }
+}
+
+impl FaultPlan for TimestampJitter {
+    fn name(&self) -> &'static str {
+        "timestamp_jitter"
+    }
+
+    fn apply_accel(&self, trace: u64, accel: &mut TimeSeries) {
+        self.shift(trace, accel);
+    }
+
+    fn apply_compass(&self, trace: u64, compass: &mut TimeSeries) {
+        self.shift(trace, compass);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize) -> TimeSeries {
+        TimeSeries::new(0.0, 10.0, (0..n).map(|i| i as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn zero_gaps_or_length_is_a_no_op() {
+        let original = series(100);
+        for plan in [
+            SensorGap {
+                gaps_per_trace: 0,
+                gap_s: 2.0,
+                seed: 1,
+            },
+            SensorGap {
+                gaps_per_trace: 3,
+                gap_s: 0.0,
+                seed: 1,
+            },
+        ] {
+            let mut s = original.clone();
+            plan.apply_accel(0, &mut s);
+            assert_eq!(s, original);
+        }
+    }
+
+    #[test]
+    fn gaps_punch_expected_sample_counts() {
+        let plan = SensorGap {
+            gaps_per_trace: 2,
+            gap_s: 1.0,
+            seed: 7,
+        };
+        let mut s = series(200);
+        plan.apply_accel(4, &mut s);
+        let nan = s.values().iter().filter(|v| v.is_nan()).count();
+        // Two 10-sample gaps, possibly overlapping.
+        assert!(nan >= 10 && nan <= 20, "nan count {nan}");
+        assert_eq!(s.len(), 200);
+        assert_eq!(s.t0(), 0.0);
+    }
+
+    #[test]
+    fn accel_and_compass_lose_identical_windows() {
+        let plan = SensorGap {
+            gaps_per_trace: 2,
+            gap_s: 1.5,
+            seed: 9,
+        };
+        let mut accel = series(150);
+        let mut compass = series(150);
+        plan.apply_accel(2, &mut accel);
+        plan.apply_compass(2, &mut compass);
+        let mask = |s: &TimeSeries| {
+            s.values()
+                .iter()
+                .map(|v| v.is_nan())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mask(&accel), mask(&compass));
+        assert!(mask(&accel).iter().any(|&m| m));
+    }
+
+    #[test]
+    fn gaps_are_seed_reproducible() {
+        let plan = SensorGap {
+            gaps_per_trace: 3,
+            gap_s: 0.8,
+            seed: 11,
+        };
+        let mut a = series(300);
+        let mut b = series(300);
+        plan.apply_accel(5, &mut a);
+        plan.apply_accel(5, &mut b);
+        // Bit-level comparison: NaN != NaN under PartialEq.
+        let bits = |s: &TimeSeries| s.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        let other = SensorGap { seed: 12, ..plan };
+        let mut c = series(300);
+        other.apply_accel(5, &mut c);
+        assert_ne!(bits(&a), bits(&c));
+    }
+
+    #[test]
+    fn jitter_shifts_timebase_only() {
+        let plan = TimestampJitter { std_s: 0.5, seed: 3 };
+        let original = series(50);
+        let mut accel = original.clone();
+        let mut compass = original.clone();
+        plan.apply_accel(1, &mut accel);
+        plan.apply_compass(1, &mut compass);
+        assert_ne!(accel.t0(), 0.0);
+        assert_eq!(accel.t0(), compass.t0());
+        assert_eq!(accel.values(), original.values());
+        assert_eq!(accel.sample_rate_hz(), original.sample_rate_hz());
+
+        let mut zero = original.clone();
+        TimestampJitter { std_s: 0.0, seed: 3 }.apply_accel(1, &mut zero);
+        assert_eq!(zero, original);
+    }
+}

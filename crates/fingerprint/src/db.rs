@@ -23,6 +23,13 @@ pub enum DbError {
         /// The offending AP count.
         found: usize,
     },
+    /// A fingerprint carries a non-finite RSS value (NaN or infinity).
+    ///
+    /// [`Fingerprint::new`] rejects these at construction, but
+    /// deserialized or externally assembled fingerprints can bypass
+    /// that check — and one NaN in a stored row would poison every
+    /// k-NN ranking against it.
+    NonFinite(LocationId),
 }
 
 impl std::fmt::Display for DbError {
@@ -35,6 +42,9 @@ impl std::fmt::Display for DbError {
                     f,
                     "fingerprint length {found} does not match expected {expected}"
                 )
+            }
+            DbError::NonFinite(id) => {
+                write!(f, "fingerprint for {id} has a non-finite RSS value")
             }
         }
     }
@@ -70,8 +80,8 @@ impl FingerprintDb {
     ///
     /// # Errors
     ///
-    /// Returns a [`DbError`] for empty input, duplicate locations, or
-    /// inconsistent fingerprint lengths.
+    /// Returns a [`DbError`] for empty input, duplicate locations,
+    /// inconsistent fingerprint lengths, or non-finite RSS values.
     pub fn from_fingerprints(mut entries: Vec<(LocationId, Fingerprint)>) -> Result<Self, DbError> {
         let Some(first) = entries.first() else {
             return Err(DbError::Empty);
@@ -84,6 +94,9 @@ impl FingerprintDb {
                     expected: ap_count,
                     found: fp.len(),
                 });
+            }
+            if fp.values().iter().any(|v| !v.is_finite()) {
+                return Err(DbError::NonFinite(*id));
             }
             if i > 0 && entries[i - 1].0 == *id {
                 return Err(DbError::DuplicateLocation(*id));
@@ -126,8 +139,14 @@ impl FingerprintDb {
                 }
             }
             let accumulators = accumulators.ok_or(DbError::Empty)?;
-            let mean = Fingerprint::new(accumulators.iter().map(Welford::mean).collect());
-            entries.push((id, mean));
+            let values: Vec<f64> = accumulators.iter().map(Welford::mean).collect();
+            // Survey samples arriving through deserialization can carry
+            // NaN/inf past `Fingerprint::new`'s constructor check; a
+            // poisoned mean must surface as an error, not a panic.
+            if values.iter().any(|v| !v.is_finite()) {
+                return Err(DbError::NonFinite(id));
+            }
+            entries.push((id, Fingerprint::new(values)));
         }
         Self::from_fingerprints(entries)
     }

@@ -18,7 +18,7 @@
 use crate::db::FingerprintDb;
 use crate::fingerprint::Fingerprint;
 use crate::knn::Neighbor;
-use crate::metric::{cosine, euclidean_sq, manhattan};
+use crate::metric::{cosine, euclidean_sq, manhattan, masked_euclidean_sq};
 use moloc_geometry::LocationId;
 use std::cmp::Ordering;
 
@@ -371,6 +371,88 @@ impl FingerprintIndex {
             location: self.ids[entry.position as usize],
             dissimilarity: K::finalize(entry.rank),
         }));
+    }
+
+    /// Masked k-NN for queries with missing (non-finite) APs: a
+    /// dropped AP contributes nothing to any row's distance instead of
+    /// turning every rank into NaN (which would panic the selection
+    /// sort) or being misread as "RSS 0 dBm". Partial sums are rescaled
+    /// by `ap_count / observed` so dissimilarities stay comparable to
+    /// the full-width metric in expectation. Returns the number of
+    /// observed (finite) query dimensions; zero means nothing was
+    /// observable and every row ranked 0 — callers should treat the
+    /// resulting candidates as an uninformative uniform prior.
+    ///
+    /// This is the degradation path: clean queries must keep using
+    /// [`FingerprintIndex::k_nearest_into`], which is bit-identical to
+    /// the legacy scan and considerably faster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the query length does not match the
+    /// index's AP count.
+    pub fn k_nearest_masked_into(
+        &self,
+        query: &[f64],
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) -> usize {
+        assert!(k > 0, "k must be positive");
+        self.check_query(query);
+        let observed = query.iter().filter(|v| v.is_finite()).count();
+        let scale = if observed == 0 {
+            0.0
+        } else {
+            self.ap_count as f64 / observed as f64
+        };
+        let slots = &mut scratch.slots;
+        slots.clear();
+        slots.reserve(k.min(self.len()));
+        if self.ap_count == 0 {
+            select((0..self.len()).map(|_| 0.0), k, slots);
+        } else {
+            select(
+                self.matrix.chunks_exact(self.ap_count).map(|row| {
+                    let (sum, _) = masked_euclidean_sq(query, row);
+                    sum * scale
+                }),
+                k,
+                slots,
+            );
+        }
+        slots.sort_unstable();
+        out.clear();
+        out.extend(slots.iter().map(|entry| Neighbor {
+            location: self.ids[entry.position as usize],
+            dissimilarity: SquaredEuclidean::finalize(entry.rank),
+        }));
+        observed
+    }
+
+    /// The single nearest location under the masked metric of
+    /// [`FingerprintIndex::k_nearest_masked_into`], ties broken by
+    /// lower id. With no observable dimension every row ranks 0 and
+    /// the lowest id wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query length does not match the index's AP count.
+    pub fn nearest_masked(&self, query: &[f64]) -> LocationId {
+        self.check_query(query);
+        if self.ap_count == 0 {
+            return self.ids[0];
+        }
+        let mut best = 0usize;
+        let mut best_rank = f64::INFINITY;
+        for (position, row) in self.matrix.chunks_exact(self.ap_count).enumerate() {
+            let (rank, _) = masked_euclidean_sq(query, row);
+            if rank < best_rank {
+                best = position;
+                best_rank = rank;
+            }
+        }
+        self.ids[best]
     }
 
     /// Convenience wrapper over [`FingerprintIndex::k_nearest_into`]

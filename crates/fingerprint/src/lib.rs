@@ -1,3 +1,5 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 //! RSS fingerprinting engine for the MoLoc reproduction.
 //!
 //! This crate implements the classic fingerprinting half of MoLoc:

@@ -40,6 +40,30 @@ pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>()
 }
 
+/// The squared Euclidean dissimilarity over the *observed* dimensions
+/// only: APs where either side is non-finite (NaN marks a missing or
+/// dropped reading) are excluded from the sum instead of poisoning it.
+///
+/// Returns `(partial sum, observed dimension count)`. Callers that
+/// need comparability across queries with different missing sets scale
+/// the sum by `len / observed` (see
+/// [`crate::index::FingerprintIndex::k_nearest_masked_into`]); with no
+/// missing values the sum equals [`euclidean_sq`] except for summation
+/// order, so the clean hot path keeps its own bit-exact kernel and
+/// only branches here when a query actually contains non-finite RSS.
+#[inline]
+pub fn masked_euclidean_sq(a: &[f64], b: &[f64]) -> (f64, usize) {
+    let mut sum = 0.0;
+    let mut observed = 0usize;
+    for (x, y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() {
+            sum += (x - y).powi(2);
+            observed += 1;
+        }
+    }
+    (sum, observed)
+}
+
 /// The Manhattan dissimilarity `Σ |aᵢ − bᵢ|` over raw slices.
 #[inline]
 pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {

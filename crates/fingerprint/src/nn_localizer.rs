@@ -119,12 +119,39 @@ impl<'a> NnLocalizer<'a> {
                 found: query.len(),
             });
         }
+        // Degradation path: a query with missing (non-finite) APs is
+        // ranked on the observed dimensions only, under the masked
+        // Euclidean metric regardless of the configured one —
+        // per-metric masking is undefined, and a NaN entering the
+        // clean paths would poison the ranking (or panic
+        // `Fingerprint::new`). Clean queries never take this branch.
+        if query.iter().any(|v| !v.is_finite()) {
+            return Ok(match &self.index {
+                Some(index) => index.nearest_masked(query),
+                None => nearest_masked_scan(self.db, query),
+            });
+        }
         if let Some(index) = &self.index {
             return Ok(index.nearest(query));
         }
         let query = Fingerprint::new(query.to_vec());
         Ok(k_nearest(self.db, &query, 1, self.metric.as_ref())[0].location)
     }
+}
+
+/// Masked nearest-neighbor walk over the database (the no-index arm of
+/// the degradation path): lowest masked squared distance, ties to the
+/// lower id (iteration is in id order and the compare is strict).
+fn nearest_masked_scan(db: &FingerprintDb, query: &[f64]) -> LocationId {
+    let mut best: Option<(LocationId, f64)> = None;
+    for (id, fp) in db.iter() {
+        let (rank, _) = crate::metric::masked_euclidean_sq(query, fp.values());
+        if best.is_none_or(|(_, b)| rank < b) {
+            best = Some((id, rank));
+        }
+    }
+    best.map(|(id, _)| id)
+        .unwrap_or_else(|| LocationId::new(1))
 }
 
 #[cfg(test)]

@@ -62,7 +62,14 @@ pub fn measure_intervals(trace: &SensorTrace, detector: &StepDetector) -> Vec<In
             IntervalMeasurement {
                 from_index: i,
                 to_index: i + 1,
-                raw_direction_deg: circular_mean_deg(compass.values().iter().copied()),
+                // Non-finite compass samples (sensor gaps) are skipped;
+                // the final guard catches an all-gap interval, where the
+                // mean itself is NaN — both degrade to `None`, the same
+                // as cancelling readings.
+                raw_direction_deg: circular_mean_deg(
+                    compass.values().iter().copied().filter(|v| v.is_finite()),
+                )
+                .filter(|d| d.is_finite()),
                 steps_csc: csc(&steps, t1 - t0),
                 steps_dsc: dsc(&steps),
                 duration_s: t1 - t0,
@@ -140,6 +147,40 @@ mod tests {
                 "raw {raw} vs {truth} + {offset}"
             );
         }
+    }
+
+    #[test]
+    fn empty_sensor_streams_yield_empty_measurements() {
+        // A trace whose sensors recorded nothing (or a single sample)
+        // must still measure every interval — no steps, no direction —
+        // instead of panicking in the step detector's moment estimates.
+        let mut t = trace(5);
+        for series in [
+            TimeSeries::default(),
+            TimeSeries::new(0.0, 10.0, vec![9.8]).unwrap(),
+        ] {
+            t.accel = series.clone();
+            t.compass = series;
+            let m = measure_intervals(&t, &StepDetector::default());
+            assert_eq!(m.len(), t.passes.len() - 1);
+            for meas in &m {
+                assert_eq!(meas.steps_csc, 0.0);
+                assert_eq!(meas.steps_dsc, 0.0);
+                // A lone compass sample may still give a direction;
+                // it just must not be NaN.
+                assert!(meas.raw_direction_deg.is_none_or(|d| d.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn gapped_compass_directions_stay_finite_or_none() {
+        // NaN compass samples (sensor gaps) are masked from the
+        // circular mean; a fully-gapped interval yields `None`.
+        let mut t = trace(6);
+        t.compass = t.compass.map(|_| f64::NAN);
+        let m = measure_intervals(&t, &StepDetector::default());
+        assert!(m.iter().all(|meas| meas.raw_direction_deg.is_none()));
     }
 
     #[test]

@@ -169,6 +169,23 @@ impl MotionDb {
             .collect()
     }
 
+    /// Removes the entry for the (undirected) pair, returning the
+    /// stored canonical statistics. `None` when the pair was never
+    /// trained or `a == b`. Used by fault injection to model corrupted
+    /// or missing RLM cells; lookups of a removed pair fall back to the
+    /// kernel's untrained-pair probability.
+    pub fn remove(&mut self, a: LocationId, b: LocationId) -> Option<PairStats> {
+        if a == b {
+            return None;
+        }
+        let key = if a < b {
+            (a.get(), b.get())
+        } else {
+            (b.get(), a.get())
+        };
+        self.entries.remove(&key)
+    }
+
     /// Iterates canonical `(i, j, stats)` entries in key order.
     pub fn iter(&self) -> impl Iterator<Item = (LocationId, LocationId, &PairStats)> {
         self.entries
@@ -269,6 +286,20 @@ mod tests {
         let back = s.mirrored().mirrored();
         assert!((back.direction.mean() - s.direction.mean()).abs() < 1e-9);
         assert_eq!(back.offset, s.offset);
+    }
+
+    #[test]
+    fn remove_works_in_either_orientation() {
+        let mut db = MotionDb::new(5);
+        db.insert(l(1), l(2), stats(90.0, 2.0));
+        db.insert(l(2), l(3), stats(0.0, 2.0));
+        assert_eq!(db.remove(l(1), l(1)), None);
+        assert_eq!(db.remove(l(4), l(5)), None);
+        // Reversed orientation hits the canonical entry.
+        let removed = db.remove(l(2), l(1)).unwrap();
+        assert_eq!(removed.direction.mean(), 90.0);
+        assert_eq!(db.get(l(1), l(2)), None);
+        assert_eq!(db.pair_count(), 1);
     }
 
     #[test]

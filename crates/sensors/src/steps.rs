@@ -96,9 +96,12 @@ impl StepDetector {
             return;
         }
         moving_average_into(series, self.smooth_window, smoothed);
-        let mean = smoothed.mean().expect("non-empty");
-        let std = smoothed.variance().expect("non-empty").sqrt();
-        let threshold = mean + self.peak_threshold_sigma * std;
+        // Empty/degenerate smoothed output (a pathological gap series
+        // can shrink to nothing) yields no steps rather than a panic.
+        let (Some(mean), Some(variance)) = (smoothed.mean(), smoothed.variance()) else {
+            return;
+        };
+        let threshold = mean + self.peak_threshold_sigma * variance.sqrt();
 
         let v = smoothed.values();
         let mut last_step_time = f64::NEG_INFINITY;
@@ -181,6 +184,29 @@ mod tests {
     fn tiny_series_detects_nothing() {
         let det = StepDetector::default();
         let s = TimeSeries::new(0.0, 10.0, vec![9.8, 12.0]).unwrap();
+        assert!(!det.is_walking(&s));
+        assert!(det.detect(&s).is_empty());
+    }
+
+    #[test]
+    fn empty_and_single_sample_series_detect_nothing() {
+        let det = StepDetector::default();
+        for s in [
+            TimeSeries::default(),
+            TimeSeries::new(0.0, 10.0, vec![]).unwrap(),
+            TimeSeries::new(0.0, 10.0, vec![11.0]).unwrap(),
+        ] {
+            assert!(!det.is_walking(&s));
+            assert!(det.detect(&s).is_empty());
+        }
+    }
+
+    #[test]
+    fn all_nan_series_detects_nothing() {
+        // A fully-gapped sensor stream has NaN variance: the walking
+        // test must fail it, not poison the peak threshold.
+        let det = StepDetector::default();
+        let s = TimeSeries::new(0.0, 10.0, vec![f64::NAN; 40]).unwrap();
         assert!(!det.is_walking(&s));
         assert!(det.detect(&s).is_empty());
     }

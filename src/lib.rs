@@ -20,6 +20,7 @@
 //! | [`radio`] | `moloc-radio` | RF propagation, shadowing, RSS scans, site surveys |
 //! | [`geometry`] | `moloc-geometry` | floor plans, reference grids, walkable graphs |
 //! | [`stats`] | `moloc-stats` | Gaussians, circular statistics, ECDFs |
+//! | [`faults`] | `moloc-faults` | seeded fault injection: AP dropout, rogue APs, sensor gaps, RLM corruption |
 //! | [`eval`] | `moloc-eval` | the simulated office-hall testbed and every paper experiment |
 //!
 //! # Quickstart
@@ -69,6 +70,7 @@
 
 pub use moloc_core as core;
 pub use moloc_eval as eval;
+pub use moloc_faults as faults;
 pub use moloc_fingerprint as fingerprint;
 pub use moloc_geometry as geometry;
 pub use moloc_mobility as mobility;
@@ -81,7 +83,9 @@ pub use moloc_stats as stats;
 pub mod prelude {
     pub use moloc_core::config::MoLocConfig;
     pub use moloc_core::engine::MoLoc;
+    pub use moloc_core::error::{DegradationFlags, MolocError};
     pub use moloc_core::tracker::{MoLocTracker, MotionMeasurement};
+    pub use moloc_faults::plan::{FaultPlan, FaultSuite};
     pub use moloc_fingerprint::candidates::CandidateSet;
     pub use moloc_fingerprint::db::FingerprintDb;
     pub use moloc_fingerprint::fingerprint::Fingerprint;
