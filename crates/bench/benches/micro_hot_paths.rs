@@ -11,7 +11,9 @@
 //! setting vs a faithful reproduction of the PR 1 serving path, a
 //! cache-fed pipeline run vs one that rebuilds its artifacts, and the
 //! fig. 7 setting end to end (setting + kernel acquisition included)
-//! on the cached PR 2 pipeline vs the rebuild-everything PR 1 path. The
+//! on the cached PR 2 pipeline vs the rebuild-everything PR 1 path.
+//! PR 4 pair: the batched engine with the metrics recorder disabled vs
+//! enabled, pricing the observability layer on the hottest path. The
 //! final group target writes all measurements and the derived speedups
 //! to `BENCH_pr2.json` at the repository root (PR 1 names are kept
 //! verbatim so `bench_check` can diff the two files).
@@ -204,6 +206,22 @@ fn bench_micro(c: &mut Criterion) {
         })
     });
 
+    // The same batched engine with the metrics recorder live: the only
+    // difference is the relaxed `is_enabled()` load turning true, so
+    // counter increments, the span clock, and the Eq. 7 histogram all
+    // execute. Paired against the arm above, this prices the recorder.
+    moloc_obs::enable();
+    c.bench_function("micro/batch_localizer_full_trace_obs_enabled", |b| {
+        b.iter(|| {
+            batch
+                .localize_trace_into(black_box(&queries), &mut estimates)
+                .unwrap();
+            black_box(&estimates);
+        })
+    });
+    moloc_obs::set_enabled(false);
+    moloc_obs::reset();
+
     let trace = &world.corpus.test[0];
     c.bench_function("micro/step_detection_full_trace", |b| {
         b.iter(|| black_box(detector.detect(&trace.accel)))
@@ -390,6 +408,12 @@ fn emit_bench_json(c: &mut Criterion) {
         (
             "micro/batch_localizer_full_trace",
             "micro/moloc_tracker_full_trace",
+        ),
+        // Recorder overhead: disabled vs enabled on the same engine
+        // (a speedup near 1.0x means metrics are effectively free).
+        (
+            "micro/batch_localizer_full_trace",
+            "micro/batch_localizer_full_trace_obs_enabled",
         ),
         (
             "eval/localize_moloc_fig7_setting_parallel",

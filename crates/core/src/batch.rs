@@ -187,6 +187,7 @@ impl<'a> BatchLocalizer<'a> {
         query: &[f64],
         motion: Option<MotionMeasurement>,
     ) -> Result<LocationId, TrackError> {
+        let _span = moloc_obs::span("core.batch.observe");
         self.last_flags = DegradationFlags::empty();
         let index = self.index.get();
         if query.len() != index.ap_count() {
@@ -273,6 +274,13 @@ impl<'a> BatchLocalizer<'a> {
         // `evaluate_candidates_kernel` over the retained buffers.
         let reweighted = match motion {
             Some(m) if self.has_previous => {
+                // Eq. 7 propagation cost: the k x k transition products
+                // this step evaluates. Advisory only — recording never
+                // feeds back into the weights.
+                moloc_obs::record(
+                    "core.eq7.pair_products",
+                    (self.current.len() * self.previous.len()) as f64,
+                );
                 let kernel = self.kernel.get();
                 // The stay-in-place mass ignores the pair, so hoist it
                 // out of the k x k product (consecutive candidate sets
@@ -341,6 +349,9 @@ impl<'a> BatchLocalizer<'a> {
             std::mem::swap(&mut self.previous, &mut self.current);
         }
         self.has_previous = true;
+        if moloc_obs::is_enabled() {
+            record_rung_occupancy(self.last_flags);
+        }
         Ok(estimate)
     }
 
@@ -378,6 +389,38 @@ impl<'a> BatchLocalizer<'a> {
         let mut out = Vec::with_capacity(queries.len());
         self.localize_trace_into(queries, &mut out)?;
         Ok(out)
+    }
+}
+
+/// Counts one observation against the degradation-ladder occupancy
+/// counters (DESIGN.md §13): the total, the clean path, and one counter
+/// per rung that fired. Rungs are not exclusive — a blind query counts
+/// under both `masked_query` and `no_observed_aps`, mirroring
+/// [`DegradationFlags`] semantics.
+fn record_rung_occupancy(flags: DegradationFlags) {
+    moloc_obs::counter_add("core.degradation.observations", 1);
+    if flags.is_empty() {
+        moloc_obs::counter_add("core.degradation.clean", 1);
+        return;
+    }
+    for (flag, name) in [
+        (DegradationFlags::MASKED_QUERY, "core.degradation.masked_query"),
+        (
+            DegradationFlags::NO_OBSERVED_APS,
+            "core.degradation.no_observed_aps",
+        ),
+        (
+            DegradationFlags::MOTION_FALLBACK,
+            "core.degradation.motion_fallback",
+        ),
+        (
+            DegradationFlags::CANDIDATE_RESET,
+            "core.degradation.candidate_reset",
+        ),
+    ] {
+        if flags.contains(flag) {
+            moloc_obs::counter_add(name, 1);
+        }
     }
 }
 

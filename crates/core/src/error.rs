@@ -28,6 +28,12 @@ pub enum MolocError {
     BadMeasurement,
     /// No usable fingerprint candidates could be formed for the query.
     EmptyCandidates,
+    /// A configuration value was rejected by validation (e.g. a
+    /// non-positive sanitation threshold).
+    InvalidConfig {
+        /// The offending configuration field.
+        field: &'static str,
+    },
 }
 
 impl std::fmt::Display for MolocError {
@@ -40,11 +46,20 @@ impl std::fmt::Display for MolocError {
             MolocError::EmptyCandidates => {
                 write!(f, "no usable fingerprint candidates for the query")
             }
+            MolocError::InvalidConfig { field } => {
+                write!(f, "invalid configuration: {field}")
+            }
         }
     }
 }
 
 impl std::error::Error for MolocError {}
+
+impl From<moloc_motion::filter::SanitationError> for MolocError {
+    fn from(e: moloc_motion::filter::SanitationError) -> Self {
+        MolocError::InvalidConfig { field: e.field() }
+    }
+}
 
 /// Which graceful fallbacks fired while producing one estimate.
 ///
@@ -146,6 +161,37 @@ mod tests {
         assert!(q.to_string().contains("6"));
         assert!(MolocError::BadMeasurement.to_string().contains("finite"));
         assert!(MolocError::EmptyCandidates.to_string().contains("candidates"));
+        assert!(MolocError::InvalidConfig { field: "fine_sigma" }
+            .to_string()
+            .contains("fine_sigma"));
+    }
+
+    #[test]
+    fn sanitation_errors_convert_into_invalid_config() {
+        use moloc_motion::filter::{SanitationConfig, SanitationError};
+        let err: MolocError = SanitationError::NonPositive {
+            field: "coarse_offset_m",
+        }
+        .into();
+        assert_eq!(
+            err,
+            MolocError::InvalidConfig {
+                field: "coarse_offset_m"
+            }
+        );
+        // The round trip from a real invalid config lands on the same
+        // variant.
+        let bad = SanitationConfig {
+            min_samples: 0,
+            ..SanitationConfig::default()
+        };
+        let err: MolocError = bad.validate().unwrap_err().into();
+        assert_eq!(
+            err,
+            MolocError::InvalidConfig {
+                field: "min_samples"
+            }
+        );
     }
 
     #[test]

@@ -246,6 +246,7 @@ impl<'a> ParticleLocalizer<'a> {
         query: &Fingerprint,
         motion: Option<MotionMeasurement>,
     ) -> LocationId {
+        let _span = moloc_obs::span("core.particle.observe");
         if self.particles.is_empty() {
             self.spawn(query);
             return self.estimate();

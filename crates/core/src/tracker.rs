@@ -204,6 +204,7 @@ impl<'a> MoLocTracker<'a> {
         query: &Fingerprint,
         motion: Option<MotionMeasurement>,
     ) -> Result<LocationId, TrackError> {
+        let _span = moloc_obs::span("core.tracker.observe");
         if query.len() != self.fingerprint_db.ap_count() {
             return Err(TrackError::QueryLength {
                 expected: self.fingerprint_db.ap_count(),

@@ -146,6 +146,7 @@ impl<'a> ViterbiLocalizer<'a> {
         &self,
         queries: &[(Fingerprint, Option<MotionMeasurement>)],
     ) -> Result<Vec<LocationId>, ViterbiError> {
+        let _span = moloc_obs::span("core.viterbi.localize_trace");
         if queries.is_empty() {
             return Err(ViterbiError::EmptyTrace);
         }
@@ -194,11 +195,14 @@ impl<'a> ViterbiLocalizer<'a> {
             backpointers.push(back);
         }
 
-        // Backtrack from the best terminal state.
+        // Backtrack from the best terminal state. `total_cmp` keeps the
+        // selection total even if a pathological query drove a score to
+        // NaN — the decode then degrades to an arbitrary-but-
+        // deterministic path instead of panicking mid-trace.
         let mut idx = delta
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite log probs"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty state space")
             .0;
         let mut path = vec![states[idx]];
@@ -326,6 +330,30 @@ mod tests {
             .localize_trace(&queries)
             .unwrap();
         assert_eq!(indexed, exact);
+    }
+
+    #[test]
+    fn nan_queries_and_motion_do_not_panic() {
+        // Corrupted motion components (NaN direction/offset from a
+        // buggy sensor stream) must decode to *some* path, never panic
+        // the backtrack. (NaN RSS can't reach here: `Fingerprint::new`
+        // rejects non-finite values at construction.)
+        let (fdb, mdb) = world();
+        let v = ViterbiLocalizer::new(&fdb, &mdb, MoLocConfig::paper());
+        let path = v
+            .localize_trace(&[
+                (fp(&[-50.0, -50.0]), None),
+                (
+                    fp(&[-50.0, -50.0]),
+                    Some(MotionMeasurement {
+                        direction_deg: f64::NAN,
+                        offset_m: f64::NAN,
+                    }),
+                ),
+                (fp(&[-40.0, -70.0]), east()),
+            ])
+            .unwrap();
+        assert_eq!(path.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Metrics-artifact gate: validates a snapshot written by
+//! `repro --metrics FILE` against the canonical taxonomy in
+//! [`moloc_eval::observe`].
+//!
+//! ```text
+//! metrics_check FILE
+//! ```
+//!
+//! Checks that the document carries the `moloc.metrics.v1` schema tag,
+//! that every preregistered counter/gauge/histogram name is present
+//! with the right value shape, and that each histogram is internally
+//! consistent (bucket counts sum to the total, bucket bounds strictly
+//! ascending, min ≤ max whenever anything was recorded). Exit status:
+//! 0 clean, 1 invalid artifact, 2 on usage or parse errors.
+
+use moloc_eval::observe;
+use serde::Value;
+
+/// Looks up `name` in an object `Value`.
+fn get<'v>(value: &'v Value, name: &str) -> Option<&'v Value> {
+    match value {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+fn as_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn check_histogram(name: &str, hist: &Value, problems: &mut Vec<String>) {
+    let (Some(count), Some(sum), Some(min), Some(max)) = (
+        get(hist, "count").and_then(as_u64),
+        get(hist, "sum").and_then(as_f64),
+        get(hist, "min").and_then(as_f64),
+        get(hist, "max").and_then(as_f64),
+    ) else {
+        problems.push(format!("{name}: missing or mistyped summary fields"));
+        return;
+    };
+    let Some(Value::Array(buckets)) = get(hist, "buckets") else {
+        problems.push(format!("{name}: missing bucket array"));
+        return;
+    };
+    // Zero-count buckets are elided, so an untouched histogram has an
+    // empty list; the sum check below still forces buckets to account
+    // for every recorded sample.
+    let mut bucket_total = 0u64;
+    let mut last_le = f64::NEG_INFINITY;
+    for bucket in buckets {
+        let (Some(le), Some(n)) = (
+            get(bucket, "le").and_then(as_f64),
+            get(bucket, "count").and_then(as_u64),
+        ) else {
+            problems.push(format!("{name}: malformed bucket"));
+            return;
+        };
+        if le <= last_le {
+            problems.push(format!(
+                "{name}: bucket bounds not strictly ascending ({last_le} then {le})"
+            ));
+            return;
+        }
+        last_le = le;
+        bucket_total += n;
+    }
+    if bucket_total != count {
+        problems.push(format!(
+            "{name}: bucket counts sum to {bucket_total}, total is {count}"
+        ));
+    }
+    if count > 0 {
+        if !(min.is_finite() && max.is_finite() && min <= max) {
+            problems.push(format!("{name}: inconsistent extrema min {min} max {max}"));
+        }
+        if !sum.is_finite() {
+            problems.push(format!("{name}: non-finite sum {sum}"));
+        }
+    }
+}
+
+fn check(doc: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    match get(doc, "schema") {
+        Some(Value::Str(s)) if s == "moloc.metrics.v1" => {}
+        other => problems.push(format!("unexpected schema tag: {other:?}")),
+    }
+    let Some(counters) = get(doc, "counters") else {
+        problems.push("missing counters section".to_string());
+        return problems;
+    };
+    let Some(gauges) = get(doc, "gauges") else {
+        problems.push("missing gauges section".to_string());
+        return problems;
+    };
+    let Some(histograms) = get(doc, "histograms") else {
+        problems.push("missing histograms section".to_string());
+        return problems;
+    };
+    for name in observe::COUNTERS {
+        match get(counters, name) {
+            Some(v) if as_u64(v).is_some() => {}
+            Some(_) => problems.push(format!("counter {name} is not an unsigned integer")),
+            None => problems.push(format!("missing counter: {name}")),
+        }
+    }
+    for name in observe::GAUGES {
+        match get(gauges, name) {
+            Some(v) if as_u64(v).is_some() => {}
+            Some(_) => problems.push(format!("gauge {name} is not an unsigned integer")),
+            None => problems.push(format!("missing gauge: {name}")),
+        }
+    }
+    for name in observe::HISTOGRAMS {
+        match get(histograms, name) {
+            Some(hist) => check_histogram(name, hist, &mut problems),
+            None => problems.push(format!("missing histogram: {name}")),
+        }
+    }
+    problems
+}
+
+fn section_len(doc: &Value, name: &str) -> usize {
+    match get(doc, name) {
+        Some(Value::Object(fields)) => fields.len(),
+        _ => 0,
+    }
+}
+
+fn main() {
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: metrics_check FILE");
+        std::process::exit(0);
+    }
+    if paths.len() != 1 {
+        eprintln!("error: expected exactly one snapshot file argument");
+        std::process::exit(2);
+    }
+    let path = paths.remove(0);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let doc: Value = match serde_json::from_str(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: parse {path}: {e:?}");
+            std::process::exit(2);
+        }
+    };
+
+    let problems = check(&doc);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("invalid: {p}");
+        }
+        eprintln!("{} problem(s) in {path}", problems.len());
+        std::process::exit(1);
+    }
+    println!(
+        "{path}: schema moloc.metrics.v1, {} counters, {} gauges, {} histograms — ok",
+        section_len(&doc, "counters"),
+        section_len(&doc, "gauges"),
+        section_len(&doc, "histograms"),
+    );
+}

@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness]
-//!       [--seed N] [--fast] [--robust-out FILE]
+//!       [--seed N] [--fast] [--robust-out FILE] [--metrics FILE]
 //! ```
 //!
 //! `--fast` runs the reduced corpus (for smoke tests); the default runs
 //! the paper-scale 184-trace corpus. The robustness sweep always runs
 //! on the reduced corpus (its artifact gates CI, so it must stay
 //! CI-speed and seed-stable); `--robust-out` writes its JSON artifact.
+//! `--metrics` enables the `moloc-obs` recorder for the run and writes
+//! the resulting [`MetricsSnapshot`] JSON (schema `moloc.metrics.v1`)
+//! to FILE; without it the recorder stays disabled and the run is
+//! bit-identical to builds without instrumentation.
+//!
+//! [`MetricsSnapshot`]: moloc_obs::MetricsSnapshot
 
 use moloc_eval::cache::ScenarioCache;
 use moloc_eval::experiments::{
@@ -22,6 +28,7 @@ struct Args {
     seed: u64,
     fast: bool,
     robust_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 2013,
         fast: false,
         robust_out: None,
+        metrics_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -52,9 +60,15 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--robust-out requires a value".to_string())?,
                 );
             }
+            "--metrics" => {
+                args.metrics_out = Some(
+                    iter.next()
+                        .ok_or_else(|| "--metrics requires a value".to_string())?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness] [--seed N] [--fast] [--robust-out FILE]"
+                    "usage: repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness] [--seed N] [--fast] [--robust-out FILE] [--metrics FILE]"
                 );
                 std::process::exit(0);
             }
@@ -73,6 +87,27 @@ fn main() {
         }
     };
 
+    if args.metrics_out.is_some() {
+        // Declare the full taxonomy first so every canonical name shows
+        // up in the artifact (zeroed if the chosen experiment never
+        // touches it), then turn the recorder on for the whole run.
+        moloc_eval::observe::preregister();
+        moloc_obs::enable();
+    }
+
+    run(&args);
+
+    if let Some(path) = &args.metrics_out {
+        let json = moloc_obs::snapshot().to_json();
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+}
+
+fn run(args: &Args) {
     let wants = |name: &str| args.exp == "all" || args.exp == name;
 
     if wants("fig4") {

@@ -134,6 +134,7 @@ impl<'w> ScenarioCache<'w> {
     ) -> Arc<SettingArtifacts> {
         let key = SettingKey::new(n_aps, sanitation, counting);
         let slot = self.slot(&self.settings, key);
+        count_access("eval.cache.setting", slot.get().is_some());
         slot.get_or_init(|| {
             self.setting_builds.fetch_add(1, Ordering::Relaxed);
             let setting = self.world.setting_with(n_aps, sanitation, counting);
@@ -165,6 +166,7 @@ impl<'w> ScenarioCache<'w> {
     ) -> Arc<MotionKernel> {
         let setting_key = SettingKey::new(n_aps, sanitation, counting);
         let slot = self.slot(&self.kernels, (setting_key, kernel_key(config)));
+        count_access("eval.cache.kernel", slot.get().is_some());
         slot.get_or_init(|| {
             let artifacts = self.artifacts_with(n_aps, sanitation, counting);
             self.kernel_builds.fetch_add(1, Ordering::Relaxed);
@@ -197,6 +199,25 @@ impl<'w> ScenarioCache<'w> {
             .or_default()
             .clone()
     }
+}
+
+/// Records one cache access as a hit (the slot was already initialized)
+/// or a miss, under `<layer>_hits` / `<layer>_misses`. Under concurrent
+/// first access several callers may each record a miss while only one
+/// builds; the counters are advisory load indicators — the
+/// authoritative build totals are [`ScenarioCache::setting_builds`] and
+/// [`ScenarioCache::kernel_builds`].
+fn count_access(layer: &'static str, hit: bool) {
+    if !moloc_obs::is_enabled() {
+        return;
+    }
+    let name = match (layer, hit) {
+        ("eval.cache.setting", true) => "eval.cache.setting_hits",
+        ("eval.cache.setting", false) => "eval.cache.setting_misses",
+        ("eval.cache.kernel", true) => "eval.cache.kernel_hits",
+        _ => "eval.cache.kernel_misses",
+    };
+    moloc_obs::counter_add(name, 1);
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@
 //!   statistics (Table I).
 //! * [`experiments`] — one module per paper artifact: Fig. 4, Fig. 6,
 //!   Fig. 7, Fig. 8, Table I, plus the ablations listed in DESIGN.md.
+//! * [`observe`] — the canonical metric taxonomy emitted through
+//!   `moloc-obs` (`repro --metrics FILE` writes the snapshot).
 //! * [`parallel`] — the scoped-thread worker pool the pipeline and the
 //!   experiments fan out on (`MOLOC_THREADS` controls the width;
 //!   results are order-preserving, so output is byte-identical to a
@@ -33,6 +35,7 @@ pub mod cache;
 pub mod convergence;
 pub mod experiments;
 pub mod metrics;
+pub mod observe;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;

@@ -20,32 +20,54 @@
 //! # Thread count
 //!
 //! [`thread_count`] honors the `MOLOC_THREADS` environment variable
-//! (any value ≥ 1; `1` forces serial execution in the calling thread)
-//! and falls back to [`std::thread::available_parallelism`].
+//! (any value ≥ 1; `1` forces serial execution in the calling thread),
+//! clamped to [`MAX_OVERSUBSCRIPTION`]× the available parallelism, and
+//! falls back to [`std::thread::available_parallelism`].
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+/// Upper bound on requested threads, as a multiple of the machine's
+/// available parallelism. Mild oversubscription can help when traces
+/// have very uneven cost, but an unbounded `MOLOC_THREADS` (a stray
+/// `MOLOC_THREADS=1000000`) would try to spawn that many OS threads
+/// and abort the process on stack exhaustion long before doing work.
+pub const MAX_OVERSUBSCRIPTION: usize = 4;
+
 /// Number of worker threads the evaluation pool uses.
 ///
 /// Resolution order:
 /// 1. `MOLOC_THREADS` environment variable, if it parses to an integer
-///    ≥ 1 (invalid values are ignored, not fatal);
+///    ≥ 1 (invalid values are ignored, not fatal), clamped to
+///    [`MAX_OVERSUBSCRIPTION`]× the available parallelism;
 /// 2. [`std::thread::available_parallelism`];
 /// 3. 1 (serial) if the platform cannot report parallelism.
+///
+/// The resolved count is published as the `eval.parallel.threads`
+/// gauge when metrics collection is enabled.
 pub fn thread_count() -> usize {
-    if let Ok(raw) = std::env::var("MOLOC_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    thread::available_parallelism()
+    let available = thread::available_parallelism()
         .map(NonZeroUsize::get)
-        .unwrap_or(1)
+        .unwrap_or(1);
+    let resolved = resolve_thread_count(
+        std::env::var("MOLOC_THREADS").ok().as_deref(),
+        available,
+    );
+    moloc_obs::gauge_set("eval.parallel.threads", resolved as u64);
+    resolved
+}
+
+/// The pure resolution rule behind [`thread_count`]: `raw` is the
+/// `MOLOC_THREADS` value (if set), `available` the machine parallelism.
+fn resolve_thread_count(raw: Option<&str>, available: usize) -> usize {
+    let available = available.max(1);
+    let ceiling = available.saturating_mul(MAX_OVERSUBSCRIPTION);
+    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(ceiling),
+        _ => available,
+    }
 }
 
 /// Applies `f` to `0..n` on the worker pool and returns the results in
@@ -87,6 +109,10 @@ where
                     }
                     local.push((i, f(i)));
                 }
+                // Per-worker load balance: how many items this worker
+                // pulled before the queue drained. Purely advisory —
+                // results are merged by index regardless.
+                moloc_obs::record("eval.parallel.items_per_worker", local.len() as f64);
                 collected
                     .lock()
                     .expect("a worker panicked while holding the results lock")
@@ -160,5 +186,34 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn resolve_honors_sane_env_values() {
+        assert_eq!(resolve_thread_count(Some("1"), 8), 1);
+        assert_eq!(resolve_thread_count(Some(" 6 "), 8), 6);
+        assert_eq!(resolve_thread_count(Some("32"), 8), 32);
+    }
+
+    #[test]
+    fn resolve_clamps_absurd_requests() {
+        // MOLOC_THREADS=1000000 used to be taken literally and spawn a
+        // million scoped threads; now it caps at 4x the parallelism.
+        assert_eq!(resolve_thread_count(Some("1000000"), 8), 32);
+        assert_eq!(
+            resolve_thread_count(Some(&usize::MAX.to_string()), 2),
+            8
+        );
+    }
+
+    #[test]
+    fn resolve_falls_back_on_invalid_or_missing_input() {
+        assert_eq!(resolve_thread_count(None, 8), 8);
+        assert_eq!(resolve_thread_count(Some("zero"), 8), 8);
+        assert_eq!(resolve_thread_count(Some("0"), 8), 8);
+        assert_eq!(resolve_thread_count(Some(""), 8), 8);
+        // A platform that cannot report parallelism still yields 1.
+        assert_eq!(resolve_thread_count(None, 0), 1);
+        assert_eq!(resolve_thread_count(Some("3"), 0), 3);
     }
 }

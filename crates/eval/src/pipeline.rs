@@ -98,6 +98,7 @@ impl EvalWorld {
         sanitation: SanitationConfig,
         counting: CountingMethod,
     ) -> Setting {
+        let _span = moloc_obs::span("eval.pipeline.build_setting");
         assert!(
             n_aps >= 1 && n_aps <= self.survey.ap_count(),
             "invalid AP count {n_aps}"
@@ -137,7 +138,8 @@ impl EvalWorld {
                 })
                 .collect()
         });
-        let mut builder = MotionDbBuilder::new(self.hall.map.clone(), sanitation);
+        let mut builder = MotionDbBuilder::new(self.hall.map.clone(), sanitation)
+            .expect("experiment sanitation configs are valid");
         for rlm in per_trace_rlms.into_iter().flatten() {
             builder.observe(rlm);
         }
@@ -244,6 +246,7 @@ fn analyze_trace_with(
     counting: CountingMethod,
     n_aps: usize,
 ) -> TraceAnalysis {
+    let _span = moloc_obs::span("eval.pipeline.analyze_trace");
     let nn_estimates: Vec<LocationId> = trace
         .scans
         .iter()
@@ -344,6 +347,7 @@ impl PassOutcome {
 pub fn localize_wifi(world: &EvalWorld, setting: &Setting) -> Vec<Vec<PassOutcome>> {
     let localizer = NnLocalizer::new(&setting.fdb);
     par_run(world.corpus.test.len(), |trace_index| {
+        let _span = moloc_obs::span("eval.pipeline.wifi_trace");
         let trace = &world.corpus.test[trace_index];
         trace
             .passes
@@ -395,6 +399,7 @@ pub fn localize_moloc_with(
 ) -> Vec<Vec<PassOutcome>> {
     let detector = StepDetector::default();
     par_run(world.corpus.test.len(), |trace_index| {
+        let _span = moloc_obs::span("eval.pipeline.moloc_trace");
         let trace = &world.corpus.test[trace_index];
         let analysis = analyze_trace_indexed(
             trace,

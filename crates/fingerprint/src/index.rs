@@ -348,6 +348,10 @@ impl FingerprintIndex {
     ) {
         assert!(k > 0, "k must be positive");
         self.check_query(query);
+        if moloc_obs::is_enabled() {
+            moloc_obs::counter_add("fingerprint.knn.queries", 1);
+            moloc_obs::counter_add("fingerprint.knn.candidates_scanned", self.len() as u64);
+        }
         let slots = &mut scratch.slots;
         slots.clear();
         slots.reserve(k.min(self.len()));
@@ -400,6 +404,10 @@ impl FingerprintIndex {
     ) -> usize {
         assert!(k > 0, "k must be positive");
         self.check_query(query);
+        if moloc_obs::is_enabled() {
+            moloc_obs::counter_add("fingerprint.knn.masked_queries", 1);
+            moloc_obs::counter_add("fingerprint.knn.candidates_scanned", self.len() as u64);
+        }
         let observed = query.iter().filter(|v| v.is_finite()).count();
         let scale = if observed == 0 {
             0.0

@@ -6,7 +6,7 @@
 //! map-based filter on ingestion, and at [`MotionDbBuilder::build`] time
 //! applies the fine Gaussian filter and fits the per-pair statistics.
 
-use crate::filter::SanitationConfig;
+use crate::filter::{SanitationConfig, SanitationError};
 use crate::matrix::{MotionDb, PairStats};
 use crate::rlm::Rlm;
 use moloc_geometry::shortest_path::all_pairs;
@@ -89,7 +89,7 @@ pub struct BuildReport {
 /// let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(8.0, 5.0)).unwrap());
 /// let graph = WalkGraph::from_grid(&grid, &plan);
 /// let map = MapReference::new(&grid, &graph);
-/// let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper());
+/// let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper())?;
 /// for _ in 0..5 {
 ///     builder.observe(Rlm::new(LocationId::new(1), LocationId::new(2), 91.0, 2.05).unwrap());
 /// }
@@ -110,18 +110,22 @@ pub struct MotionDbBuilder {
 impl MotionDbBuilder {
     /// Creates a builder.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid (see
-    /// [`SanitationConfig::validate`]).
-    pub fn new(map: MapReference, config: SanitationConfig) -> Self {
-        config.validate();
-        Self {
+    /// Returns [`SanitationError`] when the configuration fails
+    /// [`SanitationConfig::validate`] — an invalid threshold is a
+    /// caller-input problem, reported as a value rather than a panic.
+    pub fn new(
+        map: MapReference,
+        config: SanitationConfig,
+    ) -> Result<Self, SanitationError> {
+        config.validate()?;
+        Ok(Self {
             map,
             config,
             pending: BTreeMap::new(),
             report: BuildReport::default(),
-        }
+        })
     }
 
     /// The map reference used for coarse filtering.
@@ -266,7 +270,7 @@ mod tests {
 
     #[test]
     fn clean_measurements_build_a_pair() {
-        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
         for k in 0..6 {
             assert!(b.observe(rlm(1, 2, 88.0 + k as f64, 2.0 + 0.02 * k as f64)));
         }
@@ -281,7 +285,7 @@ mod tests {
 
     #[test]
     fn coarse_filter_drops_wild_directions_and_offsets() {
-        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
         // 1→2 map direction is 90°; 150° is 60° off → rejected.
         assert!(!b.observe(rlm(1, 2, 150.0, 2.0)));
         // Offset 6 m differs from map 2 m by 4 m > 3 m → rejected.
@@ -291,7 +295,7 @@ mod tests {
 
     #[test]
     fn coarse_filter_can_be_disabled() {
-        let mut b = MotionDbBuilder::new(map(), SanitationConfig::disabled());
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::disabled()).unwrap();
         assert!(b.observe(rlm(1, 2, 150.0, 6.0)));
     }
 
@@ -299,7 +303,7 @@ mod tests {
     fn fine_filter_removes_2_sigma_outliers() {
         let mut cfg = SanitationConfig::paper();
         cfg.coarse_enabled = false; // isolate the fine filter
-        let mut b = MotionDbBuilder::new(map(), cfg);
+        let mut b = MotionDbBuilder::new(map(), cfg).unwrap();
         // Cluster at 90° / 2 m with one wild outlier.
         for _ in 0..10 {
             b.observe(rlm(1, 2, 90.0, 2.0));
@@ -317,7 +321,7 @@ mod tests {
 
     #[test]
     fn reversed_observations_train_the_same_pair() {
-        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
         for _ in 0..3 {
             b.observe(rlm(1, 2, 90.0, 2.0)); // east
             b.observe(rlm(2, 1, 270.0, 2.0)); // back west
@@ -329,7 +333,7 @@ mod tests {
 
     #[test]
     fn underpopulated_pairs_are_dropped() {
-        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
         b.observe(rlm(1, 2, 90.0, 2.0));
         b.observe(rlm(1, 2, 90.0, 2.0)); // only 2 < min_samples = 3
         let (db, report) = b.build();
@@ -340,7 +344,7 @@ mod tests {
 
     #[test]
     fn std_floors_apply() {
-        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
         for _ in 0..5 {
             b.observe(rlm(1, 2, 90.0, 2.0)); // identical → zero variance
         }
@@ -352,7 +356,7 @@ mod tests {
 
     #[test]
     fn report_counts_are_consistent() {
-        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper());
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
         for _ in 0..5 {
             b.observe(rlm(1, 2, 90.0, 2.0));
         }

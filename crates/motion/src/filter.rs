@@ -12,6 +12,48 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A rejected [`SanitationConfig`].
+///
+/// Configuration errors are caller input, not internal invariants, so
+/// validation reports them as values instead of panicking — serving
+/// code converts them into the crate-wide error hierarchy (`MolocError`
+/// in `moloc-core`) at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SanitationError {
+    /// The named threshold or floor must be positive and finite.
+    NonPositive {
+        /// Which field was rejected.
+        field: &'static str,
+    },
+    /// `min_samples` must be at least 1.
+    ZeroMinSamples,
+}
+
+impl SanitationError {
+    /// The offending configuration field.
+    pub fn field(&self) -> &'static str {
+        match self {
+            SanitationError::NonPositive { field } => field,
+            SanitationError::ZeroMinSamples => "min_samples",
+        }
+    }
+}
+
+impl std::fmt::Display for SanitationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SanitationError::NonPositive { field } => {
+                write!(f, "sanitation config: {field} must be positive and finite")
+            }
+            SanitationError::ZeroMinSamples => {
+                write!(f, "sanitation config: min_samples must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SanitationError {}
+
 /// Thresholds for the two-level sanitation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SanitationConfig {
@@ -69,27 +111,29 @@ impl SanitationConfig {
 
     /// Validates the thresholds.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any threshold is non-positive or non-finite.
-    pub fn validate(&self) {
-        assert!(
-            self.coarse_direction_deg > 0.0 && self.coarse_direction_deg.is_finite(),
-            "coarse direction threshold must be positive"
-        );
-        assert!(
-            self.coarse_offset_m > 0.0 && self.coarse_offset_m.is_finite(),
-            "coarse offset threshold must be positive"
-        );
-        assert!(
-            self.fine_sigma > 0.0 && self.fine_sigma.is_finite(),
-            "fine sigma must be positive"
-        );
-        assert!(self.min_samples >= 1, "min samples must be at least 1");
-        assert!(
-            self.min_direction_std_deg > 0.0 && self.min_offset_std_m > 0.0,
-            "std floors must be positive"
-        );
+    /// Returns [`SanitationError`] naming the first field that is
+    /// non-positive, non-finite, or (for `min_samples`) zero. A NaN
+    /// threshold fails every `> 0.0` comparison, so it is rejected like
+    /// any other non-positive value rather than slipping through.
+    pub fn validate(&self) -> Result<(), SanitationError> {
+        let positive = |value: f64, field: &'static str| {
+            if value > 0.0 && value.is_finite() {
+                Ok(())
+            } else {
+                Err(SanitationError::NonPositive { field })
+            }
+        };
+        positive(self.coarse_direction_deg, "coarse_direction_deg")?;
+        positive(self.coarse_offset_m, "coarse_offset_m")?;
+        positive(self.fine_sigma, "fine_sigma")?;
+        if self.min_samples < 1 {
+            return Err(SanitationError::ZeroMinSamples);
+        }
+        positive(self.min_direction_std_deg, "min_direction_std_deg")?;
+        positive(self.min_offset_std_m, "min_offset_std_m")?;
+        Ok(())
     }
 }
 
@@ -104,33 +148,52 @@ mod tests {
         assert_eq!(c.coarse_offset_m, 3.0);
         assert_eq!(c.fine_sigma, 2.0);
         assert!(c.coarse_enabled && c.fine_enabled);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
     fn disabled_keeps_thresholds_but_turns_off_filters() {
         let c = SanitationConfig::disabled();
         assert!(!c.coarse_enabled && !c.fine_enabled);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
     fn validate_rejects_zero_threshold() {
         let c = SanitationConfig {
             coarse_direction_deg: 0.0,
             ..SanitationConfig::default()
         };
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(
+            err,
+            SanitationError::NonPositive {
+                field: "coarse_direction_deg"
+            }
+        );
+        assert_eq!(err.field(), "coarse_direction_deg");
+        assert!(err.to_string().contains("coarse_direction_deg"));
     }
 
     #[test]
-    #[should_panic(expected = "min samples")]
+    fn validate_rejects_nan_threshold() {
+        let c = SanitationConfig {
+            fine_sigma: f64::NAN,
+            ..SanitationConfig::default()
+        };
+        assert_eq!(
+            c.validate().unwrap_err(),
+            SanitationError::NonPositive { field: "fine_sigma" }
+        );
+    }
+
+    #[test]
     fn validate_rejects_zero_min_samples() {
         let c = SanitationConfig {
             min_samples: 0,
             ..SanitationConfig::default()
         };
-        c.validate();
+        assert_eq!(c.validate().unwrap_err(), SanitationError::ZeroMinSamples);
+        assert_eq!(c.validate().unwrap_err().field(), "min_samples");
     }
 }

@@ -81,7 +81,7 @@ proptest! {
         let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(8.0, 5.0)).unwrap());
         let graph = WalkGraph::from_grid(&grid, &plan);
         let map = MapReference::new(&grid, &graph);
-        let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper());
+        let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper()).unwrap();
         for (dd, d_off) in &noise {
             let rlm = Rlm::new(
                 LocationId::new(1),
@@ -104,7 +104,7 @@ proptest! {
         let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(8.0, 5.0)).unwrap());
         let graph = WalkGraph::from_grid(&grid, &plan);
         let map = MapReference::new(&grid, &graph);
-        let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper());
+        let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper()).unwrap();
         // Map offset for 1 → 2 is 2 m; anything more than 3 m away is
         // coarse-rejected.
         let rlm = Rlm::new(LocationId::new(1), LocationId::new(2), 90.0, 5.0 + extra).unwrap();

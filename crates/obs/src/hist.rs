@@ -1,0 +1,234 @@
+//! Fixed-bucket atomic histograms.
+//!
+//! Every histogram in the stack shares one bucket layout: 40
+//! power-of-two buckets with upper bounds `2^(i − 20)` for
+//! `i ∈ 0..40` — covering ~0.95 µs to ~524 288 (seconds for latency
+//! spans, plain counts for size distributions) — plus one overflow
+//! bucket. A shared fixed layout keeps recording branch-free (no
+//! per-histogram bound tables), makes snapshots trivially mergeable,
+//! and bounds the memory of any histogram at 41 atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of bounded buckets (the 41st bucket is the +∞ overflow).
+pub const BUCKETS: usize = 40;
+
+/// Exponent offset: bucket `i` has upper bound `2^(i - OFFSET)`.
+const OFFSET: i32 = 20;
+
+/// The upper bound of bounded bucket `i` (`i < BUCKETS`).
+pub fn bucket_bound(i: usize) -> f64 {
+    exp2_f64(i as i32 - OFFSET)
+}
+
+fn exp2_f64(e: i32) -> f64 {
+    f64::powi(2.0, e)
+}
+
+/// The bucket index for `value`: the smallest bucket whose upper bound
+/// is ≥ `value`, or [`BUCKETS`] (overflow) when none is.
+pub fn bucket_index(value: f64) -> usize {
+    if value <= exp2_f64(-OFFSET) {
+        return 0;
+    }
+    if value > exp2_f64(BUCKETS as i32 - 1 - OFFSET) {
+        return BUCKETS;
+    }
+    // ceil(log2(value)) + OFFSET, computed on the exact exponent grid.
+    let mut i = (value.log2().ceil() as i32 + OFFSET).clamp(0, BUCKETS as i32 - 1) as usize;
+    // Float log2 can land one bucket low on exact powers of two; nudge.
+    while bucket_bound(i) < value {
+        i += 1;
+    }
+    i
+}
+
+/// A lock-free fixed-bucket histogram with total count, sum, min, max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS + 1],
+    count: AtomicU64,
+    /// Bit patterns of f64 accumulators, updated by CAS loops.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one sample. Non-finite samples are dropped — a NaN
+    /// latency is an instrumentation bug, not a signal worth poisoning
+    /// the distribution with.
+    pub fn record(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + value).to_bits())
+            });
+        let _ = self
+            .min_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (value < f64::from_bits(bits)).then(|| value.to_bits())
+            });
+        let _ = self
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (value > f64::from_bits(bits)).then(|| value.to_bits())
+            });
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        let v = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        v.is_finite().then_some(v)
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        let v = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        v.is_finite().then_some(v)
+    }
+
+    /// The per-bucket counts: [`BUCKETS`] bounded buckets then the
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Zeroes every accumulator.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotone_powers_of_two() {
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_bound(i), 2.0 * bucket_bound(i - 1));
+        }
+        assert_eq!(bucket_bound(OFFSET as usize), 1.0);
+    }
+
+    #[test]
+    fn bucket_index_respects_bounds() {
+        // Every value lands in the smallest bucket whose bound holds it.
+        for (value, expected) in [
+            (0.0, 0),
+            (1e-9, 0),
+            (bucket_bound(0), 0),
+            (bucket_bound(0) * 1.01, 1),
+            (0.75, OFFSET as usize),
+            (1.0, OFFSET as usize),
+            (1.5, OFFSET as usize + 1),
+            (bucket_bound(BUCKETS - 1), BUCKETS - 1),
+            (bucket_bound(BUCKETS - 1) * 2.0, BUCKETS),
+            (f64::MAX, BUCKETS),
+        ] {
+            assert_eq!(bucket_index(value), expected, "value {value}");
+        }
+        // Exact powers of two sit at their own bound, never one above.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_bound(i)), i, "bound {i}");
+        }
+    }
+
+    #[test]
+    fn record_accumulates_stats() {
+        let h = Histogram::new();
+        for v in [0.5, 2.0, 2.0, 64.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 68.5).abs() < 1e-12);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(64.0));
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.iter().sum::<u64>(), 4);
+        assert_eq!(buckets[bucket_index(2.0)], 2);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn reset_restores_the_empty_state() {
+        let h = Histogram::new();
+        h.record(3.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.min(), None);
+        assert!(h.bucket_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as f64 / 100.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,66 @@
+//! The recording interface.
+//!
+//! Instrumented code talks to a [`Recorder`]; the trait's default
+//! methods do nothing, so [`NoopRecorder`] is a zero-cost sink and the
+//! real [`crate::registry::MetricsRegistry`] only overrides what it
+//! implements. Keeping the interface this narrow — three methods, all
+//! `&self`, all infallible — is what lets hot paths carry
+//! instrumentation unconditionally.
+
+/// A sink for counters, gauges, and histogram samples.
+///
+/// Names are `&'static str` by design: every metric name in the stack
+/// is a compile-time literal from the taxonomy in DESIGN.md §13, which
+/// keeps recording allocation-free and makes the full name set
+/// auditable with grep.
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to the named monotone counter.
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Overwrites the named gauge with `value`.
+    fn gauge_set(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Records one `value` into the named histogram. Non-finite values
+    /// are dropped by implementations rather than poisoning buckets.
+    fn record(&self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+}
+
+/// The do-nothing recorder: every method keeps the trait's empty
+/// default body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let r = NoopRecorder;
+        r.counter_add("a", 1);
+        r.gauge_set("b", 2);
+        r.record("c", 3.0);
+    }
+
+    #[test]
+    fn defaults_make_custom_sinks_trivial() {
+        struct CountOnly(std::sync::atomic::AtomicU64);
+        impl Recorder for CountOnly {
+            fn counter_add(&self, _name: &'static str, delta: u64) {
+                self.0.fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let sink = CountOnly(std::sync::atomic::AtomicU64::new(0));
+        sink.counter_add("x", 4);
+        sink.record("ignored", 1.0); // default no-op
+        assert_eq!(sink.0.load(std::sync::atomic::Ordering::Relaxed), 4);
+    }
+}

@@ -69,7 +69,11 @@ pub fn median(series: &TimeSeries, window: usize) -> TimeSeries {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(v.len());
             let mut w: Vec<f64> = v[lo..hi].to_vec();
-            w.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            // `total_cmp` keeps the sort well-defined when a sensor gap
+            // leaks NaN into the window (NaN sorts above +∞, so finite
+            // neighbors still win the middle slot when they outnumber
+            // the corrupted samples).
+            w.sort_by(f64::total_cmp);
             w[w.len() / 2]
         })
         .collect();
@@ -187,6 +191,17 @@ mod tests {
     fn median_removes_impulse() {
         let out = median(&s(vec![1.0, 1.0, 99.0, 1.0, 1.0]), 3);
         assert_eq!(out.values()[2], 1.0);
+    }
+
+    #[test]
+    fn median_tolerates_nan_samples() {
+        // A dropped sensor sample rendered as NaN must not panic the
+        // sort; windows where finite samples hold the majority still
+        // produce a finite median.
+        let out = median(&s(vec![1.0, f64::NAN, 2.0, 2.0, 3.0]), 3);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.values()[2], 2.0);
+        assert_eq!(out.values()[3], 2.0);
     }
 
     #[test]

@@ -25,18 +25,13 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds an ECDF, sorting the samples. Non-finite samples are
-    /// rejected.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any sample is NaN or infinite.
+    /// Builds an ECDF, sorting the samples. Non-finite samples (NaN,
+    /// ±∞) carry no distributional information and are dropped, so a
+    /// single corrupted error value degrades one sample instead of
+    /// panicking an entire experiment run.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        assert!(
-            samples.iter().all(|x| x.is_finite()),
-            "ECDF samples must be finite"
-        );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(f64::total_cmp);
         Self { sorted: samples }
     }
 
@@ -175,9 +170,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "finite")]
-    fn rejects_nan() {
-        let _ = Ecdf::from_samples(vec![1.0, f64::NAN]);
+    fn drops_non_finite_samples_instead_of_panicking() {
+        let e = Ecdf::from_samples(vec![
+            3.0,
+            f64::NAN,
+            1.0,
+            f64::INFINITY,
+            2.0,
+            f64::NEG_INFINITY,
+        ]);
+        assert_eq!(e.samples(), &[1.0, 2.0, 3.0]);
+        assert_eq!(e.median(), Some(2.0));
+    }
+
+    #[test]
+    fn all_nan_input_yields_an_empty_ecdf() {
+        let e = Ecdf::from_samples(vec![f64::NAN, f64::NAN]);
+        assert!(e.is_empty());
+        assert_eq!(e.median(), None);
     }
 
     #[test]

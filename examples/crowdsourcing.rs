@@ -112,7 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Feed the RLMs through the sanitizing builder, plus some corrupted
     // ones a buggy client might upload.
-    let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper());
+    let mut builder = MotionDbBuilder::new(map, SanitationConfig::paper())?;
     for m in &intervals {
         let (from, to) = (estimates[m.from_index], estimates[m.to_index]);
         if from == to {

@@ -21,6 +21,7 @@
 //! | [`geometry`] | `moloc-geometry` | floor plans, reference grids, walkable graphs |
 //! | [`stats`] | `moloc-stats` | Gaussians, circular statistics, ECDFs |
 //! | [`faults`] | `moloc-faults` | seeded fault injection: AP dropout, rogue APs, sensor gaps, RLM corruption |
+//! | [`obs`] | `moloc-obs` | zero-dependency metrics: counters, histograms, timing spans, snapshots |
 //! | [`eval`] | `moloc-eval` | the simulated office-hall testbed and every paper experiment |
 //!
 //! # Quickstart
@@ -75,6 +76,7 @@ pub use moloc_fingerprint as fingerprint;
 pub use moloc_geometry as geometry;
 pub use moloc_mobility as mobility;
 pub use moloc_motion as motion;
+pub use moloc_obs as obs;
 pub use moloc_radio as radio;
 pub use moloc_sensors as sensors;
 pub use moloc_stats as stats;

@@ -24,7 +24,8 @@ fn outlier_polluted_crowdsourcing_is_sanitized() {
     let clean = world.setting(6);
 
     // Re-run construction but pollute the stream with garbage uploads.
-    let mut builder = MotionDbBuilder::new(world.hall.map.clone(), SanitationConfig::paper());
+    let mut builder = MotionDbBuilder::new(world.hall.map.clone(), SanitationConfig::paper())
+        .expect("paper sanitation config is valid");
     let detector = StepDetector::default();
     let mut rng = StdRng::seed_from_u64(99);
     for trace in &world.corpus.train {

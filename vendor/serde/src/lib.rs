@@ -152,6 +152,20 @@ impl<'de> Deserializer<'de> for ValueDeserializer {
     }
 }
 
+// Identity impls: a `Value` serializes to and deserializes from itself,
+// so callers can parse arbitrary JSON into the tree and walk it.
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}
+
 /// Serializes any value into a [`Value`] tree.
 pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
     value.serialize(ValueSerializer)
