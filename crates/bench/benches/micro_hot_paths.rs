@@ -240,10 +240,11 @@ fn bench_micro(c: &mut Criterion) {
     });
 
     // One full fig. 7 setting end-to-end, serial vs the ambient worker
-    // pool. The bench binary is single-threaded between benchmarks (the
-    // pool's scoped workers are joined before `par_run` returns), so
-    // toggling the env var here is race-free.
-    std::env::set_var("MOLOC_THREADS", "1");
+    // pool. `MOLOC_THREADS` is parsed once per process now, so the
+    // serial arm pins the width through the bench-only worker override
+    // instead of mutating the environment (which would race the pool's
+    // persistent workers and be ignored after first use anyway).
+    moloc_eval::parallel::set_worker_override(Some(1));
     c.bench_function("eval/localize_moloc_fig7_setting_serial", |b| {
         b.iter(|| {
             black_box(moloc_eval::pipeline::localize_moloc(
@@ -251,7 +252,7 @@ fn bench_micro(c: &mut Criterion) {
             ))
         })
     });
-    std::env::remove_var("MOLOC_THREADS");
+    moloc_eval::parallel::set_worker_override(None);
     c.bench_function("eval/localize_moloc_fig7_setting_parallel", |b| {
         b.iter(|| {
             black_box(moloc_eval::pipeline::localize_moloc(

@@ -4,12 +4,22 @@
 //!
 //! ```text
 //! bench_check [--old BENCH_pr1.json] [--new BENCH_pr2.json] [--tolerance 1.25]
+//!             [--min-speedup NAME:X]... [--max-speedup NAME:X]...
 //! ```
 //!
+//! `--min-speedup`/`--max-speedup` gate the *new* file's recorded
+//! comparison entries by name: `--min-speedup eval/foo:1.5` fails when
+//! the comparison named `eval/foo` reports a speedup below 1.5x, and
+//! `--max-speedup micro/bar:1.2` fails when it reports one above 1.2x
+//! (the overhead form — the obs pair records enabled/disabled time as
+//! its "speedup"). Both flags repeat; a named comparison that is
+//! missing from the file is an error, not a pass.
+//!
 //! Exit status: 0 when every shared benchmark's `new/old` mean-time
-//! ratio is at or under the tolerance, 1 otherwise, 2 on usage or
-//! parse errors. Benchmarks present in only one file are listed but
-//! never gate (new optimizations add arms; old ones may be retired).
+//! ratio is at or under the tolerance and every speedup gate holds,
+//! 1 otherwise, 2 on usage or parse errors. Benchmarks present in only
+//! one file are listed but never gate (new optimizations add arms; old
+//! ones may be retired).
 
 use serde::Deserialize;
 
@@ -38,10 +48,38 @@ struct Comparison {
     speedup: f64,
 }
 
+/// One `--min-speedup`/`--max-speedup` gate over a named comparison in
+/// the new file.
+struct SpeedupGate {
+    name: String,
+    bound: f64,
+    /// `true`: the comparison's speedup must be >= `bound`;
+    /// `false`: it must be <= `bound`.
+    is_min: bool,
+}
+
 struct Args {
     old: String,
     new: String,
     tolerance: f64,
+    gates: Vec<SpeedupGate>,
+}
+
+fn parse_gate(flag: &str, spec: &str, is_min: bool) -> Result<SpeedupGate, String> {
+    let (name, bound) = spec
+        .rsplit_once(':')
+        .ok_or_else(|| format!("{flag} expects NAME:RATIO, got {spec}"))?;
+    let bound: f64 = bound
+        .parse()
+        .map_err(|_| format!("{flag}: invalid ratio in {spec}"))?;
+    if !(bound.is_finite() && bound > 0.0) || name.is_empty() {
+        return Err(format!("{flag}: malformed gate {spec}"));
+    }
+    Ok(SpeedupGate {
+        name: name.to_string(),
+        bound,
+        is_min,
+    })
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         old: "BENCH_pr1.json".to_string(),
         new: "BENCH_pr2.json".to_string(),
         tolerance: 1.25,
+        gates: Vec::new(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -65,9 +104,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("invalid tolerance: {v}"))?;
             }
+            "--min-speedup" => {
+                let v = value("--min-speedup")?;
+                args.gates.push(parse_gate("--min-speedup", &v, true)?);
+            }
+            "--max-speedup" => {
+                let v = value("--max-speedup")?;
+                args.gates.push(parse_gate("--max-speedup", &v, false)?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: bench_check [--old FILE] [--new FILE] [--tolerance RATIO]"
+                    "usage: bench_check [--old FILE] [--new FILE] [--tolerance RATIO] \
+                     [--min-speedup NAME:X]... [--max-speedup NAME:X]..."
                 );
                 std::process::exit(0);
             }
@@ -149,9 +197,39 @@ fn main() {
         );
     }
 
+    let mut gate_failures = 0usize;
+    for gate in &args.gates {
+        let Some(cmp) = new.comparisons.iter().find(|c| c.name == gate.name) else {
+            eprintln!(
+                "error: gated comparison {} not found in {}",
+                gate.name, args.new
+            );
+            std::process::exit(2);
+        };
+        let (op, holds) = if gate.is_min {
+            (">=", cmp.speedup >= gate.bound)
+        } else {
+            ("<=", cmp.speedup <= gate.bound)
+        };
+        let status = if holds {
+            "gate ok"
+        } else {
+            gate_failures += 1;
+            "GATE FAIL"
+        };
+        println!(
+            "  {:<9} {:<48} {:.3}x (required {op} {:.3}x)",
+            status, gate.name, cmp.speedup, gate.bound
+        );
+    }
+
     if shared == 0 {
         eprintln!("error: the two files share no benchmark names");
         std::process::exit(2);
+    }
+    if gate_failures > 0 {
+        eprintln!("{gate_failures} speedup gate(s) failed");
+        std::process::exit(1);
     }
     if regressions > 0 {
         eprintln!(

@@ -51,6 +51,67 @@ impl<T> Resource<'_, T> {
     }
 }
 
+/// The complete working set of a [`BatchLocalizer`]: k-NN heap slots,
+/// the neighbor list, and the Eq. 4/Eq. 7 candidate tables.
+///
+/// Detached from the engine so worker arenas can recycle one warmed
+/// scratch across many short-lived engines (one per trace): check the
+/// scratch out of an arena, build an engine with
+/// [`BatchLocalizer::with_scratch`], run the trace, and reclaim the
+/// buffers with [`BatchLocalizer::into_scratch`]. After the first trace
+/// warms the buffers, every later engine built over them performs zero
+/// hot-path allocation.
+#[derive(Debug)]
+pub struct BatchScratch {
+    scratch: KnnScratch,
+    neighbors: Vec<Neighbor>,
+    current: Vec<(LocationId, f64)>,
+    weights: Vec<(LocationId, f64)>,
+    previous: Vec<(LocationId, f64)>,
+}
+
+impl BatchScratch {
+    /// A fresh working set sized for `k` neighbors.
+    pub fn for_k(k: usize) -> Self {
+        BatchScratch {
+            scratch: KnnScratch::with_k(k),
+            neighbors: Vec::with_capacity(k),
+            current: Vec::with_capacity(k),
+            weights: Vec::with_capacity(k),
+            previous: Vec::with_capacity(k),
+        }
+    }
+
+    /// Clears every buffer's contents, keeping capacity. Engines call
+    /// this on checkout so recycled scratch can never leak one trace's
+    /// posterior into the next.
+    fn clear(&mut self) {
+        self.neighbors.clear();
+        self.current.clear();
+        self.weights.clear();
+        self.previous.clear();
+    }
+}
+
+/// Locally accumulated histogram batches for the engine's two hot
+/// metrics: Eq. 7 pair products and per-observation latency. Plain
+/// fields — no atomics, no thread-local — published once per trace
+/// (or per call on the single-shot path) via `moloc_obs::record_fold`.
+#[derive(Debug, Default)]
+struct ObsFolds {
+    eq7_pair_products: moloc_obs::Fold,
+    observe_seconds: moloc_obs::Fold,
+}
+
+impl ObsFolds {
+    fn publish(&mut self) {
+        moloc_obs::record_fold("core.eq7.pair_products", &self.eq7_pair_products);
+        self.eq7_pair_products.clear();
+        moloc_obs::record_fold("core.batch.observe", &self.observe_seconds);
+        self.observe_seconds.clear();
+    }
+}
+
 /// The reusable-buffer localization engine (Euclidean metric, motion
 /// kernel — the production configuration).
 #[derive(Debug)]
@@ -58,13 +119,10 @@ pub struct BatchLocalizer<'a> {
     index: Resource<'a, FingerprintIndex>,
     kernel: Resource<'a, MotionKernel>,
     config: MoLocConfig,
-    scratch: KnnScratch,
-    neighbors: Vec<Neighbor>,
-    current: Vec<(LocationId, f64)>,
-    weights: Vec<(LocationId, f64)>,
-    previous: Vec<(LocationId, f64)>,
+    buf: BatchScratch,
     has_previous: bool,
     last_flags: DegradationFlags,
+    folds: ObsFolds,
 }
 
 impl BatchLocalizer<'static> {
@@ -88,13 +146,10 @@ impl BatchLocalizer<'static> {
             index: Resource::Owned(Box::new(index)),
             kernel: Resource::Owned(Box::new(kernel)),
             config,
-            scratch: KnnScratch::with_k(config.k),
-            neighbors: Vec::with_capacity(config.k),
-            current: Vec::with_capacity(config.k),
-            weights: Vec::with_capacity(config.k),
-            previous: Vec::with_capacity(config.k),
+            buf: BatchScratch::for_k(config.k),
             has_previous: false,
             last_flags: DegradationFlags::empty(),
+            folds: ObsFolds::default(),
         }
     }
 }
@@ -114,19 +169,40 @@ impl<'a> BatchLocalizer<'a> {
         kernel: &'a MotionKernel,
         config: MoLocConfig,
     ) -> BatchLocalizer<'a> {
+        Self::with_scratch(index, kernel, config, BatchScratch::for_k(config.k))
+    }
+
+    /// [`BatchLocalizer::new_with_index`] over a recycled working set —
+    /// the arena path. The scratch is cleared on entry (capacity kept),
+    /// so a recycled checkout behaves exactly like a fresh one, and an
+    /// already-warm scratch makes engine construction allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_scratch(
+        index: &'a FingerprintIndex,
+        kernel: &'a MotionKernel,
+        config: MoLocConfig,
+        mut buf: BatchScratch,
+    ) -> BatchLocalizer<'a> {
         config.validate();
+        buf.clear();
         BatchLocalizer {
             index: Resource::Shared(index),
             kernel: Resource::Shared(kernel),
             config,
-            scratch: KnnScratch::with_k(config.k),
-            neighbors: Vec::with_capacity(config.k),
-            current: Vec::with_capacity(config.k),
-            weights: Vec::with_capacity(config.k),
-            previous: Vec::with_capacity(config.k),
+            buf,
             has_previous: false,
             last_flags: DegradationFlags::empty(),
+            folds: ObsFolds::default(),
         }
+    }
+
+    /// Dismantles the engine, handing its warmed working set back for
+    /// recycling (the counterpart of [`BatchLocalizer::with_scratch`]).
+    pub fn into_scratch(self) -> BatchScratch {
+        self.buf
     }
 
     /// The engine's fingerprint index.
@@ -139,7 +215,7 @@ impl<'a> BatchLocalizer<'a> {
     /// first observation.
     pub fn posterior(&self) -> &[(LocationId, f64)] {
         if self.has_previous {
-            &self.previous
+            &self.buf.previous
         } else {
             &[]
         }
@@ -147,7 +223,7 @@ impl<'a> BatchLocalizer<'a> {
 
     /// Forgets all history, keeping the warmed buffers.
     pub fn reset(&mut self) {
-        self.previous.clear();
+        self.buf.previous.clear();
         self.has_previous = false;
         self.last_flags = DegradationFlags::empty();
     }
@@ -188,6 +264,25 @@ impl<'a> BatchLocalizer<'a> {
         motion: Option<MotionMeasurement>,
     ) -> Result<LocationId, TrackError> {
         let _span = moloc_obs::span("core.batch.observe");
+        let estimate = self.observe_slice_uncounted(query, motion)?;
+        if moloc_obs::is_enabled() {
+            record_rung_occupancy(self.last_flags);
+            self.folds.publish();
+        }
+        Ok(estimate)
+    }
+
+    /// [`BatchLocalizer::observe_slice`] minus the metric emission: no
+    /// timing span, rung occupancy left in `last_flags`, and the Eq. 7
+    /// sample parked in `folds`. The trace loop accumulates all three
+    /// locally and publishes per-trace batches instead of
+    /// per-observation recorder calls (same totals, same
+    /// distributions, a fraction of the recorder traffic).
+    fn observe_slice_uncounted(
+        &mut self,
+        query: &[f64],
+        motion: Option<MotionMeasurement>,
+    ) -> Result<LocationId, TrackError> {
         self.last_flags = DegradationFlags::empty();
         let index = self.index.get();
         if query.len() != index.ap_count() {
@@ -210,16 +305,16 @@ impl<'a> BatchLocalizer<'a> {
             index.k_nearest_into::<SquaredEuclidean>(
                 query,
                 self.config.k,
-                &mut self.scratch,
-                &mut self.neighbors,
+                &mut self.buf.scratch,
+                &mut self.buf.neighbors,
             );
         } else {
             self.last_flags.insert(DegradationFlags::MASKED_QUERY);
             let observed = index.k_nearest_masked_into(
                 query,
                 self.config.k,
-                &mut self.scratch,
-                &mut self.neighbors,
+                &mut self.buf.scratch,
+                &mut self.buf.neighbors,
             );
             if observed == 0 {
                 // Every AP missing: all ranks are 0, so Eq. 4's
@@ -232,27 +327,28 @@ impl<'a> BatchLocalizer<'a> {
         // Eq. 4 into the reusable candidate table — the same arithmetic
         // as `CandidateSet::from_neighbors`, including the exact-match
         // branch and the iterator summation order.
-        self.current.clear();
+        self.buf.current.clear();
         let exact = self
+            .buf
             .neighbors
             .iter()
             .filter(|n| n.dissimilarity <= f64::EPSILON)
             .count();
         if exact > 0 {
             let p = 1.0 / exact as f64;
-            for n in &self.neighbors {
+            for n in &self.buf.neighbors {
                 let probability = if n.dissimilarity <= f64::EPSILON {
                     p
                 } else {
                     0.0
                 };
-                self.current.push((n.location, probability));
+                self.buf.current.push((n.location, probability));
             }
         } else {
-            let total: f64 = self.neighbors.iter().map(|n| 1.0 / n.dissimilarity).sum();
+            let total: f64 = self.buf.neighbors.iter().map(|n| 1.0 / n.dissimilarity).sum();
             if total.is_finite() && total > 0.0 {
-                for n in &self.neighbors {
-                    self.current
+                for n in &self.buf.neighbors {
+                    self.buf.current
                         .push((n.location, (1.0 / n.dissimilarity) / total));
                 }
             } else {
@@ -261,11 +357,11 @@ impl<'a> BatchLocalizer<'a> {
                 // over the retrieved neighbors and drop history, which
                 // refers to a posterior that no longer means anything.
                 self.last_flags.insert(DegradationFlags::CANDIDATE_RESET);
-                let p = 1.0 / self.neighbors.len() as f64;
-                for n in &self.neighbors {
-                    self.current.push((n.location, p));
+                let p = 1.0 / self.buf.neighbors.len() as f64;
+                for n in &self.buf.neighbors {
+                    self.buf.current.push((n.location, p));
                 }
-                self.previous.clear();
+                self.buf.previous.clear();
                 self.has_previous = false;
             }
         }
@@ -276,19 +372,22 @@ impl<'a> BatchLocalizer<'a> {
             Some(m) if self.has_previous => {
                 // Eq. 7 propagation cost: the k x k transition products
                 // this step evaluates. Advisory only — recording never
-                // feeds back into the weights.
-                moloc_obs::record(
-                    "core.eq7.pair_products",
-                    (self.current.len() * self.previous.len()) as f64,
-                );
+                // feeds back into the weights. Folded locally; the
+                // caller publishes the batch.
+                if moloc_obs::is_enabled() {
+                    self.folds
+                        .eq7_pair_products
+                        .record((self.buf.current.len() * self.buf.previous.len()) as f64);
+                }
                 let kernel = self.kernel.get();
                 // The stay-in-place mass ignores the pair, so hoist it
                 // out of the k x k product (consecutive candidate sets
                 // overlap heavily, hitting the diagonal up to k times).
                 let stay = kernel.stay_probability(m.offset_m);
-                self.weights.clear();
-                for &(loc, p_fingerprint) in &self.current {
+                self.buf.weights.clear();
+                for &(loc, p_fingerprint) in &self.buf.current {
                     let p_motion: f64 = self
+                        .buf
                         .previous
                         .iter()
                         .map(|&(from, p)| {
@@ -299,16 +398,16 @@ impl<'a> BatchLocalizer<'a> {
                             }
                         })
                         .sum();
-                    self.weights.push((loc, p_fingerprint * p_motion));
+                    self.buf.weights.push((loc, p_fingerprint * p_motion));
                 }
-                let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+                let total: f64 = self.buf.weights.iter().map(|(_, w)| w).sum();
                 // Degradation rung 1 (fingerprint-only): degenerate or
                 // non-finite totals fall back to the fingerprint-only
                 // distribution, as `evaluate_candidates_kernel` does. A
                 // NaN total would slip past a plain `<=` floor check
                 // and normalize into a NaN posterior.
                 if total.is_finite() && total > self.config.degenerate_total_floor {
-                    for entry in &mut self.weights {
+                    for entry in &mut self.buf.weights {
                         entry.1 /= total;
                     }
                     true
@@ -320,9 +419,9 @@ impl<'a> BatchLocalizer<'a> {
             _ => false,
         };
         let posterior: &[(LocationId, f64)] = if reweighted {
-            &self.weights
+            &self.buf.weights
         } else {
-            &self.current
+            &self.buf.current
         };
 
         // `CandidateSet::top`: highest probability, ties to lower id.
@@ -344,14 +443,11 @@ impl<'a> BatchLocalizer<'a> {
 
         // Retain the posterior by swapping buffers (no copy, no alloc).
         if reweighted {
-            std::mem::swap(&mut self.previous, &mut self.weights);
+            std::mem::swap(&mut self.buf.previous, &mut self.buf.weights);
         } else {
-            std::mem::swap(&mut self.previous, &mut self.current);
+            std::mem::swap(&mut self.buf.previous, &mut self.buf.current);
         }
         self.has_previous = true;
-        if moloc_obs::is_enabled() {
-            record_rung_occupancy(self.last_flags);
-        }
         Ok(estimate)
     }
 
@@ -368,12 +464,47 @@ impl<'a> BatchLocalizer<'a> {
         queries: &[(Fingerprint, Option<MotionMeasurement>)],
         out: &mut Vec<LocationId>,
     ) -> Result<(), TrackError> {
+        // Trace-level span: besides timing the whole trace, it pins the
+        // thread-local obs buffer open across every observation, so the
+        // few remaining per-trace recorder calls merge locally and hit
+        // the registry once when it closes.
+        let _span = moloc_obs::span("core.batch.localize_trace");
         self.reset();
         out.clear();
+        // All per-observation metrics accumulate in plain locals across
+        // the trace and publish once at the end — identical totals and
+        // distributions to per-observation emission, without recorder
+        // round trips on the hottest loop in the workspace. Timing uses
+        // chained timestamps: the end of one observation starts the
+        // next, one clock read per pass where a span would pay two.
+        let mut occupancy = RungOccupancy::default();
+        let counting = moloc_obs::is_enabled();
+        let mut prev = counting.then(std::time::Instant::now);
+        let mut result = Ok(());
         for (query, motion) in queries {
-            out.push(self.observe(query, *motion)?);
+            match self.observe_slice_uncounted(query.values(), *motion) {
+                Ok(estimate) => {
+                    out.push(estimate);
+                    if let Some(p) = prev {
+                        let now = std::time::Instant::now();
+                        self.folds
+                            .observe_seconds
+                            .record(now.duration_since(p).as_secs_f64());
+                        prev = Some(now);
+                    }
+                    if counting {
+                        occupancy.add(self.last_flags);
+                    }
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
         }
-        Ok(())
+        occupancy.emit();
+        self.folds.publish();
+        result
     }
 
     /// Convenience wrapper over
@@ -389,6 +520,49 @@ impl<'a> BatchLocalizer<'a> {
         let mut out = Vec::with_capacity(queries.len());
         self.localize_trace_into(queries, &mut out)?;
         Ok(out)
+    }
+}
+
+/// Locally summed degradation-ladder occupancy for one trace: the same
+/// taxonomy [`record_rung_occupancy`] emits per observation, folded
+/// into plain integers and published as one `counter_add` per touched
+/// name when the trace ends.
+#[derive(Debug, Default)]
+struct RungOccupancy {
+    observations: u64,
+    clean: u64,
+    masked_query: u64,
+    no_observed_aps: u64,
+    motion_fallback: u64,
+    candidate_reset: u64,
+}
+
+impl RungOccupancy {
+    fn add(&mut self, flags: DegradationFlags) {
+        self.observations += 1;
+        if flags.is_empty() {
+            self.clean += 1;
+            return;
+        }
+        self.masked_query += u64::from(flags.contains(DegradationFlags::MASKED_QUERY));
+        self.no_observed_aps += u64::from(flags.contains(DegradationFlags::NO_OBSERVED_APS));
+        self.motion_fallback += u64::from(flags.contains(DegradationFlags::MOTION_FALLBACK));
+        self.candidate_reset += u64::from(flags.contains(DegradationFlags::CANDIDATE_RESET));
+    }
+
+    fn emit(&self) {
+        for (name, count) in [
+            ("core.degradation.observations", self.observations),
+            ("core.degradation.clean", self.clean),
+            ("core.degradation.masked_query", self.masked_query),
+            ("core.degradation.no_observed_aps", self.no_observed_aps),
+            ("core.degradation.motion_fallback", self.motion_fallback),
+            ("core.degradation.candidate_reset", self.candidate_reset),
+        ] {
+            if count > 0 {
+                moloc_obs::counter_add(name, count);
+            }
+        }
     }
 }
 

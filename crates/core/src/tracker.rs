@@ -15,7 +15,7 @@ use moloc_fingerprint::candidates::CandidateSet;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
 use moloc_fingerprint::index::{FingerprintIndex, KnnScratch, SquaredEuclidean};
-use moloc_fingerprint::knn::{k_nearest, Neighbor};
+use moloc_fingerprint::knn::{k_nearest_into_buf, Neighbor};
 use moloc_fingerprint::metric::{Dissimilarity, Euclidean};
 use moloc_geometry::LocationId;
 use moloc_motion::kernel::MotionKernel;
@@ -230,7 +230,15 @@ impl<'a> MoLocTracker<'a> {
                 &mut self.neighbors,
             ),
             FingerprintBackend::ExactScan => {
-                self.neighbors = k_nearest(self.fingerprint_db, query, self.config.k, self.metric);
+                // Into the retained buffer — the generic scan used to
+                // allocate a fresh Vec (and heap) per observation.
+                k_nearest_into_buf(
+                    self.fingerprint_db,
+                    query,
+                    self.config.k,
+                    self.metric,
+                    &mut self.neighbors,
+                );
             }
         }
         let fingerprint_set = CandidateSet::from_neighbors(&self.neighbors)

@@ -175,6 +175,18 @@ impl<'w> ScenarioCache<'w> {
         .clone()
     }
 
+    /// Builds the paper-default artifacts for every AP count in `n_aps`
+    /// concurrently on the worker pool (each build itself fans its
+    /// trace analysis out, and nested jobs run inline, so prewarming
+    /// composes with the runtime instead of deadlocking it). Experiment
+    /// drivers call this once up front so their per-AP-count loops run
+    /// entirely against warm artifacts.
+    pub fn prewarm(&self, n_aps: &[usize]) {
+        crate::parallel::par_map(n_aps, |&n| {
+            self.artifacts(n);
+        });
+    }
+
     /// How many settings have been built (not served from cache).
     pub fn setting_builds(&self) -> usize {
         self.setting_builds.load(Ordering::Relaxed)

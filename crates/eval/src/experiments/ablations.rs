@@ -180,7 +180,9 @@ pub fn k_sweep(cache: &ScenarioCache<'_>, n_aps: usize, ks: &[usize]) -> Vec<(us
     let world = cache.world();
     let artifacts = cache.artifacts(n_aps);
     let kernel = cache.kernel(n_aps, &MoLocConfig::paper());
-    par_map(ks, |&k| {
+    // One k per shard: each arm localizes the full test corpus, so the
+    // finest granularity load-balances best.
+    crate::parallel::par_map_chunked(ks, 1, |&k| {
         let config = MoLocConfig {
             k,
             ..MoLocConfig::paper()

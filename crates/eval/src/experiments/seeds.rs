@@ -62,7 +62,9 @@ impl SeedSweep {
 /// a pure function of its seed, so the sweep is order-preserving and
 /// deterministic.
 pub fn run(seeds: &[u64]) -> SeedSweep {
-    let outcomes = crate::parallel::par_map(seeds, |&seed| {
+    // One seed per shard: each item builds and evaluates an entire
+    // world, so the finest granularity load-balances best.
+    let outcomes = crate::parallel::par_map_chunked(seeds, 1, |&seed| {
         let world = EvalWorld::small(seed);
         let setting = world.setting(6);
         let wifi = summarize(&flatten(&localize_wifi(&world, &setting)));

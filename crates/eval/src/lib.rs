@@ -18,10 +18,14 @@
 //!   Fig. 7, Fig. 8, Table I, plus the ablations listed in DESIGN.md.
 //! * [`observe`] — the canonical metric taxonomy emitted through
 //!   `moloc-obs` (`repro --metrics FILE` writes the snapshot).
-//! * [`parallel`] — the scoped-thread worker pool the pipeline and the
-//!   experiments fan out on (`MOLOC_THREADS` controls the width;
-//!   results are order-preserving, so output is byte-identical to a
-//!   serial run).
+//! * [`parallel`] — order-preserving parallel maps over the persistent
+//!   work-stealing [`runtime`] (`MOLOC_THREADS` controls the width;
+//!   results are byte-identical to a serial run at every width and
+//!   chunk size).
+//! * [`runtime`] — the process-wide work-stealing worker pool:
+//!   per-worker deques, chunked shards, lock-free slot collection.
+//! * [`arena`] — per-worker pools of reusable localization scratch so
+//!   steady-state evaluation does zero hot-path allocation.
 //! * [`report`] — plain-text rendering of tables and CDF series in the
 //!   shape the paper reports them.
 //!
@@ -31,6 +35,7 @@
 //! cargo run -p moloc-eval --bin repro --release -- --exp all
 //! ```
 
+pub mod arena;
 pub mod cache;
 pub mod convergence;
 pub mod experiments;
@@ -39,6 +44,7 @@ pub mod observe;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
+pub mod runtime;
 pub mod scenario;
 
 pub use cache::{ScenarioCache, SettingArtifacts};

@@ -33,6 +33,12 @@ pub const COUNTERS: &[&str] = &[
     "eval.cache.setting_misses",
     "eval.cache.kernel_hits",
     "eval.cache.kernel_misses",
+    // Work-stealing runtime: jobs dispatched to the pool and shards
+    // executed by a worker other than their dealt owner.
+    "eval.runtime.jobs",
+    "eval.runtime.steals",
+    // Intra-query sharded k-NN dispatches (large synthetic surveys).
+    "eval.knn.sharded_queries",
 ];
 
 /// Last-write-wins instantaneous values.
@@ -44,6 +50,7 @@ pub const GAUGES: &[&str] = &[
 /// Value distributions (timing spans record seconds).
 pub const HISTOGRAMS: &[&str] = &[
     // Timing spans, per stage.
+    "core.batch.localize_trace",
     "core.batch.observe",
     "core.tracker.observe",
     "core.particle.observe",

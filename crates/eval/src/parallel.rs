@@ -1,33 +1,55 @@
-//! A scoped-thread worker pool for the evaluation fan-outs.
+//! The parallel fan-out primitives of the evaluation crate, backed by
+//! the persistent work-stealing [`crate::runtime`].
 //!
 //! Every experiment in this crate is embarrassingly parallel at some
 //! granularity — per test trace, per seed, per parameter setting — and
 //! every unit of work is a pure function of shared read-only state
 //! (the [`crate::pipeline::EvalWorld`], databases, kernels). This
-//! module provides the one primitive they all share: [`par_map`], an
-//! order-preserving parallel map built on [`std::thread::scope`], with
-//! no external dependencies.
+//! module provides the primitives they all share: [`par_run`] /
+//! [`par_map`], order-preserving parallel maps, plus the chunked and
+//! raw-shard variants the pipeline's arena plumbing builds on — all
+//! with no external dependencies.
 //!
 //! # Determinism
 //!
-//! Workers pull indices from an atomic counter, so *which* thread runs
-//! a given item is scheduling-dependent — but results are collected by
-//! index and returned in input order, and each work item derives its
-//! randomness (if any) from its own index/seed, never from a shared
-//! RNG. The output of a parallel run is therefore byte-identical to
-//! the serial run; `determinism.rs` in the test suite locks this in.
+//! Work is distributed as chunked shards over per-worker deques and may
+//! be stolen by any worker — but results are collected into pre-sized
+//! disjoint slots keyed by input index and read back in input order,
+//! and each work item derives its randomness (if any) from its own
+//! index/seed, never from a shared RNG. The output of a parallel run is
+//! therefore byte-identical to the serial run at every worker count and
+//! chunk size; `determinism.rs` in the test suite locks this in.
 //!
 //! # Thread count
 //!
 //! [`thread_count`] honors the `MOLOC_THREADS` environment variable
 //! (any value ≥ 1; `1` forces serial execution in the calling thread),
 //! clamped to [`MAX_OVERSUBSCRIPTION`]× the available parallelism, and
-//! falls back to [`std::thread::available_parallelism`].
+//! falls back to [`std::thread::available_parallelism`]. The variable
+//! is parsed **once per process**, at first use — the resolved width is
+//! cached, so per-call scheduling never touches the environment. Bench
+//! harnesses that need to vary the width inside one process use
+//! [`set_worker_override`] instead of mutating the environment.
+//!
+//! # Chunking
+//!
+//! Items are batched into contiguous shards before hitting the deques;
+//! the default shard size targets four shards per worker (good load
+//! balance for uneven traces without per-item scheduling cost) and can
+//! be pinned process-wide with the `MOLOC_CHUNK` environment variable
+//! (parsed once, like `MOLOC_THREADS`) or per call via
+//! [`par_run_chunked`].
 
+use crate::runtime::{shard_ranges, Runtime, SlotVec};
+use moloc_fingerprint::index::{FingerprintIndex, KnnScratch, MetricKernel, ShardCandidate};
+use moloc_fingerprint::knn::Neighbor;
 use std::num::NonZeroUsize;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 use std::thread;
+
+pub use crate::runtime::{SlotWriter, MAX_POOL_WORKERS};
 
 /// Upper bound on requested threads, as a multiple of the machine's
 /// available parallelism. Mild oversubscription can help when traces
@@ -36,27 +58,46 @@ use std::thread;
 /// and abort the process on stack exhaustion long before doing work.
 pub const MAX_OVERSUBSCRIPTION: usize = 4;
 
+/// Index count below which a sharded/parallel k-NN scan cannot pay for
+/// its scheduling: smaller indexes always use the serial scan. The
+/// threshold matches the "large synthetic survey" regime (the paper's
+/// 28-location hall never shards).
+pub const SHARDED_KNN_MIN_LOCATIONS: usize = 512;
+
 /// Number of worker threads the evaluation pool uses.
 ///
 /// Resolution order:
-/// 1. `MOLOC_THREADS` environment variable, if it parses to an integer
+/// 1. [`set_worker_override`], when armed (bench harnesses only);
+/// 2. `MOLOC_THREADS` environment variable, if it parses to an integer
 ///    ≥ 1 (invalid values are ignored, not fatal), clamped to
 ///    [`MAX_OVERSUBSCRIPTION`]× the available parallelism;
-/// 2. [`std::thread::available_parallelism`];
-/// 3. 1 (serial) if the platform cannot report parallelism.
+/// 3. [`std::thread::available_parallelism`];
+/// 4. 1 (serial) if the platform cannot report parallelism.
 ///
-/// The resolved count is published as the `eval.parallel.threads`
-/// gauge when metrics collection is enabled.
+/// Steps 2–4 run **once per process**; later calls return the cached
+/// width. The resolved count is published as the
+/// `eval.parallel.threads` gauge while metrics collection is enabled
+/// (the gauge write is skipped entirely while the recorder is off).
 pub fn thread_count() -> usize {
-    let available = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    let resolved = resolve_thread_count(
-        std::env::var("MOLOC_THREADS").ok().as_deref(),
-        available,
-    );
-    moloc_obs::gauge_set("eval.parallel.threads", resolved as u64);
+    let resolved = match worker_override() {
+        Some(n) => n,
+        None => cached_thread_count(),
+    };
+    if moloc_obs::is_enabled() {
+        moloc_obs::gauge_set("eval.parallel.threads", resolved as u64);
+    }
     resolved
+}
+
+/// The `MOLOC_THREADS` resolution, performed once and cached.
+fn cached_thread_count() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        let available = thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        resolve_thread_count(std::env::var("MOLOC_THREADS").ok().as_deref(), available)
+    })
 }
 
 /// The pure resolution rule behind [`thread_count`]: `raw` is the
@@ -70,61 +111,181 @@ fn resolve_thread_count(raw: Option<&str>, available: usize) -> usize {
     }
 }
 
-/// Applies `f` to `0..n` on the worker pool and returns the results in
-/// index order.
+/// The process-wide shard-size pin from `MOLOC_CHUNK`, parsed once.
+/// `None` (unset or invalid) lets each call compute its own default.
+fn chunk_override() -> Option<usize> {
+    static CACHED: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        resolve_chunk(std::env::var("MOLOC_CHUNK").ok().as_deref())
+    })
+}
+
+/// The pure resolution rule behind the `MOLOC_CHUNK` pin.
+fn resolve_chunk(raw: Option<&str>) -> Option<usize> {
+    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// Bench-harness worker-count override: `0` means "not armed".
 ///
-/// `f` runs concurrently on up to [`thread_count`] threads (capped at
-/// `n`); with one thread — or `n <= 1` — it runs inline in the caller
-/// with no thread spawned at all. Results are identical to
+/// The scaling benchmarks measure the same workload at 1/2/4/8 workers
+/// inside one process, where mutating `MOLOC_THREADS` would be both
+/// unsafe (env mutation under live threads) and ineffective (the
+/// variable is parsed once). The override is process-global and
+/// **advisory**: outputs are worker-count invariant by design, so a
+/// concurrent reader at worst runs with the other's width.
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Arms (`Some(n)`) or disarms (`None`) the process-global worker-count
+/// override consulted by [`thread_count`]. Intended for bench harnesses
+/// and determinism tests; production code sizes the pool from
+/// `MOLOC_THREADS` once.
+pub fn set_worker_override(workers: Option<usize>) {
+    WORKER_OVERRIDE.store(workers.unwrap_or(0).min(MAX_POOL_WORKERS), Ordering::Relaxed);
+}
+
+/// The armed override, if any.
+fn worker_override() -> Option<usize> {
+    match WORKER_OVERRIDE.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// The default shard size for `n` items on `workers` workers: four
+/// shards per worker, so natural cost imbalance (trace lengths vary)
+/// load-balances through stealing without per-item scheduling.
+pub fn default_chunk(n: usize, workers: usize) -> usize {
+    if let Some(pinned) = chunk_override() {
+        return pinned;
+    }
+    n.div_ceil(workers.max(1) * 4).max(1)
+}
+
+/// Applies `f` to `0..n` on the persistent worker pool and returns the
+/// results in index order.
+///
+/// `f` runs concurrently on up to [`thread_count`] workers (capped at
+/// the shard count); with one worker — or `n <= 1` — it runs inline in
+/// the caller with no synchronization at all. Results are identical to
 /// `(0..n).map(f).collect()` whenever `f` is a pure function of its
-/// index.
+/// index, at every worker count and chunk size.
 ///
 /// # Panics
 ///
-/// Propagates the first panic raised by `f` (remaining work is
-/// abandoned, as with any panicking iterator).
+/// Propagates the first panic raised by `f` after the job drains
+/// (remaining shards are abandoned; already-computed results are
+/// leaked, not dropped).
 pub fn par_run<U, F>(n: usize, f: F) -> Vec<U>
 where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
     let workers = thread_count().min(n);
-    if workers <= 1 {
+    par_run_chunked(n, default_chunk(n, workers), f)
+}
+
+/// [`par_run`] with an explicit shard size (`chunk` items per shard).
+/// The chunk size affects scheduling only, never results.
+pub fn par_run_chunked<U, F>(n: usize, chunk: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = thread_count().min(n);
+    if workers <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
-
-    // Workers pull the next index from a shared counter (cheap dynamic
-    // load balancing — trace lengths vary), buffer results locally, and
-    // merge under the mutex once at the end.
-    let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local: Vec<(usize, U)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.push((i, f(i)));
-                }
-                // Per-worker load balance: how many items this worker
-                // pulled before the queue drained. Purely advisory —
-                // results are merged by index regardless.
-                moloc_obs::record("eval.parallel.items_per_worker", local.len() as f64);
-                collected
-                    .lock()
-                    .expect("a worker panicked while holding the results lock")
-                    .extend(local);
-            });
+    let mut slots = SlotVec::new(n);
+    let writer = slots.writer();
+    par_shards(n, chunk, |range| {
+        for i in range {
+            writer.write(i, f(i));
         }
     });
+    // SAFETY: `par_shards` partitions 0..n into disjoint shards and
+    // returns only after every shard ran, so every slot is written
+    // exactly once.
+    unsafe { slots.into_vec() }
+}
 
-    let mut pairs = collected.into_inner().expect("workers joined");
-    debug_assert_eq!(pairs.len(), n);
-    pairs.sort_unstable_by_key(|&(i, _)| i);
-    pairs.into_iter().map(|(_, v)| v).collect()
+/// Raw shard fan-out: runs `shard_fn` over a chunked partition of
+/// `0..n` on the pool. This is the arena-friendly primitive — a caller
+/// checks per-worker scratch out of an [`crate::arena::ArenaPool`] once
+/// per *shard* and writes results through a [`SlotWriter`] — and the
+/// building block of [`par_run_chunked`].
+///
+/// Every index in `0..n` is covered by exactly one `shard_fn`
+/// invocation. With one worker (or when nested inside another job) the
+/// shards run inline in input order.
+pub fn par_shards<F>(n: usize, chunk: usize, shard_fn: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let workers = thread_count().min(n);
+    Runtime::global().run_shards(workers, shard_ranges(n, chunk), &shard_fn);
+}
+
+/// [`par_shards`] with an explicit worker count, ignoring
+/// [`thread_count`]. The scaling benchmarks use this to sweep widths;
+/// results are width-invariant.
+pub fn par_shards_with_workers<F>(workers: usize, n: usize, chunk: usize, shard_fn: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    Runtime::global().run_shards(workers.min(n), shard_ranges(n, chunk), &shard_fn);
+}
+
+/// Intra-query parallel k-NN: shards the index rows across the worker
+/// pool, scans each shard independently, and merges the per-shard
+/// survivors — output identical to the serial
+/// [`FingerprintIndex::k_nearest_into`] scan, tie order included, for
+/// every worker count (locked in by the fingerprint crate's property
+/// tests over `k_nearest_sharded`, the serial form of this driver).
+///
+/// Sharding only pays off when a single scan is long enough to amortize
+/// a pool dispatch: indexes smaller than [`SHARDED_KNN_MIN_LOCATIONS`]
+/// — including the paper's 28-location hall — and single-worker
+/// configurations take the serial path unconditionally. The large
+/// synthetic surveys of the scaling benchmarks are the intended
+/// workload.
+pub fn par_k_nearest<K: MetricKernel>(
+    index: &FingerprintIndex,
+    query: &[f64],
+    k: usize,
+) -> Vec<Neighbor> {
+    let n = index.len();
+    let workers = thread_count();
+    let mut out = Vec::with_capacity(k);
+    if n < SHARDED_KNN_MIN_LOCATIONS || workers <= 1 {
+        let mut scratch = KnnScratch::with_k(k);
+        index.k_nearest_into::<K>(query, k, &mut scratch, &mut out);
+        return out;
+    }
+    if moloc_obs::is_enabled() {
+        moloc_obs::counter_add("eval.knn.sharded_queries", 1);
+    }
+    let rows_per_shard = n.div_ceil(workers);
+    let n_shards = n.div_ceil(rows_per_shard);
+    // One shard per pool slot: each scans its own row range.
+    let per_shard: Vec<Vec<ShardCandidate>> = par_run_chunked(n_shards, 1, |s| {
+        let rows = s * rows_per_shard..((s + 1) * rows_per_shard).min(n);
+        let mut scratch = KnnScratch::with_k(k);
+        let mut survivors = Vec::with_capacity(k);
+        index.shard_candidates::<K>(query, k, rows, &mut scratch, &mut survivors);
+        survivors
+    });
+    let mut merged: Vec<ShardCandidate> = per_shard.into_iter().flatten().collect();
+    index.merge_shard_candidates::<K>(k, &mut merged, &mut out);
+    out
 }
 
 /// Order-preserving parallel map over a slice: `par_map(items, f)` is
@@ -138,9 +299,23 @@ where
     par_run(items.len(), |i| f(&items[i]))
 }
 
+/// [`par_map`] with an explicit shard size.
+pub fn par_map_chunked<T, U, F>(items: &[T], chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_run_chunked(items.len(), chunk, |i| f(&items[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that arm the process-global worker override.
+    static OVERRIDE_GATE: Mutex<()> = Mutex::new(());
 
     #[test]
     fn par_run_preserves_index_order() {
@@ -167,6 +342,29 @@ mod tests {
     }
 
     #[test]
+    fn chunk_size_never_changes_results() {
+        let reference: Vec<u64> = (0..199u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        for chunk in [1usize, 2, 3, 7, 50, 199, 1000] {
+            let chunked = par_run_chunked(199, chunk, |i| {
+                (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
+            });
+            assert_eq!(chunked, reference, "chunk {chunk} diverged");
+        }
+    }
+
+    #[test]
+    fn worker_override_never_changes_results() {
+        let _gate = OVERRIDE_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let reference: Vec<u64> = (0..173u64).map(|i| i.wrapping_mul(0x2545F491)).collect();
+        for workers in [1usize, 2, 3, 8] {
+            set_worker_override(Some(workers));
+            let out = par_run(173, |i| (i as u64).wrapping_mul(0x2545F491));
+            assert_eq!(out, reference, "override {workers} diverged");
+        }
+        set_worker_override(None);
+    }
+
+    #[test]
     fn uneven_work_is_still_ordered() {
         // Simulate varying item cost: heavier work for low indices so
         // late items finish first on other threads.
@@ -184,8 +382,63 @@ mod tests {
     }
 
     #[test]
+    fn par_shards_with_workers_covers_everything_at_any_width() {
+        use std::sync::atomic::AtomicU64;
+        for workers in [1usize, 2, 5, 8] {
+            let flags: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+            par_shards_with_workers(workers, 97, 4, |range| {
+                for i in range {
+                    flags[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                flags.iter().all(|f| f.load(Ordering::Relaxed) == 1),
+                "width {workers} missed or repeated an item"
+            );
+        }
+    }
+
+    #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn par_k_nearest_matches_serial_scan_above_and_below_threshold() {
+        use moloc_fingerprint::db::FingerprintDb;
+        use moloc_fingerprint::fingerprint::Fingerprint;
+        use moloc_fingerprint::index::SquaredEuclidean;
+        use moloc_geometry::LocationId;
+
+        let _gate = OVERRIDE_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        // Deterministic synthetic survey with deliberate rank ties
+        // (values quantized to a small alphabet).
+        let build = |locations: u32| {
+            let fps = (0..locations)
+                .map(|i| {
+                    let v = (0..6)
+                        .map(|a| -40.0 - f64::from((i * 7 + a * 13) % 23))
+                        .collect::<Vec<f64>>();
+                    (LocationId::new(i + 1), Fingerprint::new(v))
+                })
+                .collect::<Vec<_>>();
+            moloc_fingerprint::index::FingerprintIndex::build(
+                &FingerprintDb::from_fingerprints(fps).expect("valid db"),
+            )
+        };
+        let query = [-45.0, -52.0, -47.0, -60.0, -44.0, -58.0];
+        for locations in [64u32, 1024] {
+            let index = build(locations);
+            let mut scratch = KnnScratch::with_k(8);
+            let mut serial = Vec::new();
+            index.k_nearest_into::<SquaredEuclidean>(&query, 8, &mut scratch, &mut serial);
+            for workers in [1usize, 2, 4, 8] {
+                set_worker_override(Some(workers));
+                let sharded = par_k_nearest::<SquaredEuclidean>(&index, &query, 8);
+                assert_eq!(sharded, serial, "{locations} locations, {workers} workers");
+            }
+            set_worker_override(None);
+        }
     }
 
     #[test]
@@ -200,10 +453,7 @@ mod tests {
         // MOLOC_THREADS=1000000 used to be taken literally and spawn a
         // million scoped threads; now it caps at 4x the parallelism.
         assert_eq!(resolve_thread_count(Some("1000000"), 8), 32);
-        assert_eq!(
-            resolve_thread_count(Some(&usize::MAX.to_string()), 2),
-            8
-        );
+        assert_eq!(resolve_thread_count(Some(&usize::MAX.to_string()), 2), 8);
     }
 
     #[test]
@@ -215,5 +465,31 @@ mod tests {
         // A platform that cannot report parallelism still yields 1.
         assert_eq!(resolve_thread_count(None, 0), 1);
         assert_eq!(resolve_thread_count(Some("3"), 0), 3);
+    }
+
+    #[test]
+    fn resolve_chunk_accepts_positive_integers_only() {
+        assert_eq!(resolve_chunk(Some("4")), Some(4));
+        assert_eq!(resolve_chunk(Some(" 12 ")), Some(12));
+        assert_eq!(resolve_chunk(Some("0")), None);
+        assert_eq!(resolve_chunk(Some("nope")), None);
+        assert_eq!(resolve_chunk(None), None);
+    }
+
+    #[test]
+    fn default_chunk_targets_four_shards_per_worker() {
+        // With MOLOC_CHUNK unset the rule is pure arithmetic; when the
+        // ambient process pins it, this test exercises the pin instead.
+        match chunk_override() {
+            None => {
+                assert_eq!(default_chunk(32, 4), 2);
+                assert_eq!(default_chunk(3, 4), 1);
+                assert_eq!(default_chunk(1000, 1), 250);
+                assert_eq!(default_chunk(0, 8), 1);
+            }
+            Some(pinned) => {
+                assert_eq!(default_chunk(32, 4), pinned);
+            }
+        }
     }
 }

@@ -17,9 +17,11 @@
 //! *estimated* locations of the interval), so localization errors leak
 //! into the calibration exactly as they would in the real system.
 
-use crate::parallel::par_run;
+use crate::arena::{give_back, ArenaPool};
+use crate::parallel::{default_chunk, par_run, par_shards, thread_count};
+use crate::runtime::SlotVec;
 use crate::scenario::{HallConfig, OfficeHall};
-use moloc_core::batch::BatchLocalizer;
+use moloc_core::batch::{BatchLocalizer, BatchScratch};
 use moloc_core::config::MoLocConfig;
 use moloc_core::matching::build_kernel;
 use moloc_core::tracker::MotionMeasurement;
@@ -118,11 +120,14 @@ impl EvalWorld {
 
         // Trace analysis fans out on the worker pool; the extracted
         // RLMs feed the builder in trace order, so the built database
-        // is identical to a serial run.
+        // is identical to a serial run. One index serves every trace
+        // (`analyze_trace` would flatten the database per trace).
         let detector = StepDetector::default();
+        let index = FingerprintIndex::build(&fdb);
         let per_trace_rlms: Vec<Vec<Rlm>> = par_run(self.corpus.train.len(), |i| {
             let trace = &self.corpus.train[i];
-            let analysis = analyze_trace(trace, &fdb, &self.hall, &detector, counting, n_aps);
+            let analysis =
+                analyze_trace_indexed(trace, &fdb, &index, &self.hall, &detector, counting, n_aps);
             analysis
                 .intervals
                 .iter()
@@ -382,11 +387,15 @@ pub fn localize_moloc(
 
 /// Runs MoLoc over the test traces against prebuilt serving artifacts.
 ///
-/// Each trace gets its own [`BatchLocalizer`] sharing `index` and
-/// `kernel`; traces fan out on the [`crate::parallel`] worker pool.
-/// Each trace's engine session is independent, so the parallel result
-/// is identical to a serial run — and the batch engine reproduces the
-/// per-query tracker path bit-for-bit (see `tests/determinism.rs`).
+/// Traces fan out in shards on the persistent worker pool. Each shard
+/// checks one [`BatchScratch`] working set out of a shared arena and
+/// threads it through every trace's [`BatchLocalizer`] in the shard, so
+/// steady-state evaluation builds no per-trace buffers; per-trace
+/// results land in disjoint pre-sized slots. Each trace's engine
+/// session is independent and the scratch is cleared at every engine
+/// handoff, so the result is identical to a serial run at every worker
+/// count and chunk size — and the batch engine reproduces the per-query
+/// tracker path bit-for-bit (see `tests/determinism.rs`).
 ///
 /// `index` must be built from `setting.fdb` and `kernel` from
 /// `setting.motion_db` under `config`'s kernel fields.
@@ -398,37 +407,52 @@ pub fn localize_moloc_with(
     kernel: &MotionKernel,
 ) -> Vec<Vec<PassOutcome>> {
     let detector = StepDetector::default();
-    par_run(world.corpus.test.len(), |trace_index| {
-        let _span = moloc_obs::span("eval.pipeline.moloc_trace");
-        let trace = &world.corpus.test[trace_index];
-        let analysis = analyze_trace_indexed(
-            trace,
-            &setting.fdb,
-            index,
-            &world.hall,
-            &detector,
-            setting.counting,
-            setting.n_aps,
-        );
-        let mut engine = BatchLocalizer::new_with_index(index, kernel, config);
-        trace
-            .passes
-            .iter()
-            .zip(&trace.scans)
-            .enumerate()
-            .map(|(pass_index, (pass, scan))| {
-                let motion = if pass_index == 0 {
-                    None
-                } else {
-                    analysis.measurements[pass_index - 1]
-                };
-                let estimate = engine
-                    .observe_slice(&scan[..setting.n_aps], motion)
-                    .expect("query length matches database");
-                outcome(world, trace_index, pass_index, pass.location, estimate)
-            })
-            .collect()
-    })
+    let n = world.corpus.test.len();
+    let factory = || BatchScratch::for_k(config.k);
+    let scratch_pool: ArenaPool<'_, BatchScratch> = ArenaPool::new(&factory);
+    let mut slots = SlotVec::new(n);
+    let writer = slots.writer();
+    let workers = thread_count().min(n.max(1));
+    par_shards(n, default_chunk(n, workers), |range| {
+        let mut scratch = scratch_pool.checkout().take();
+        for trace_index in range {
+            let _span = moloc_obs::span("eval.pipeline.moloc_trace");
+            let trace = &world.corpus.test[trace_index];
+            let analysis = analyze_trace_indexed(
+                trace,
+                &setting.fdb,
+                index,
+                &world.hall,
+                &detector,
+                setting.counting,
+                setting.n_aps,
+            );
+            let mut engine = BatchLocalizer::with_scratch(index, kernel, config, scratch);
+            let outcomes: Vec<PassOutcome> = trace
+                .passes
+                .iter()
+                .zip(&trace.scans)
+                .enumerate()
+                .map(|(pass_index, (pass, scan))| {
+                    let motion = if pass_index == 0 {
+                        None
+                    } else {
+                        analysis.measurements[pass_index - 1]
+                    };
+                    let estimate = engine
+                        .observe_slice(&scan[..setting.n_aps], motion)
+                        .expect("query length matches database");
+                    outcome(world, trace_index, pass_index, pass.location, estimate)
+                })
+                .collect();
+            scratch = engine.into_scratch();
+            writer.write(trace_index, outcomes);
+        }
+        give_back(&scratch_pool, scratch);
+    });
+    // SAFETY: `par_shards` partitions `0..n` into disjoint shards and
+    // every iteration above writes exactly its own `trace_index` slot.
+    unsafe { slots.into_vec() }
 }
 
 fn outcome(

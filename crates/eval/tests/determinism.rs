@@ -15,7 +15,7 @@
 use moloc_core::config::MoLocConfig;
 use moloc_core::matching::build_kernel;
 use moloc_core::tracker::MoLocTracker;
-use moloc_eval::parallel::{par_run, thread_count};
+use moloc_eval::parallel::{par_run, set_worker_override, thread_count};
 use moloc_eval::pipeline::{
     analyze_trace, localize_moloc, localize_wifi, EvalWorld, PassOutcome,
 };
@@ -114,6 +114,69 @@ fn serial_child_process_matches_parallel_parent() {
         digest,
         "serial (MOLOC_THREADS=1) and parallel outcomes diverged"
     );
+}
+
+#[test]
+fn outcome_digest_is_invariant_across_worker_counts() {
+    // The persistent pool's contract: worker count is a throughput
+    // knob, never an output knob. Force the pool through 1, 2, 3, and
+    // 8 workers in-process (the override reshapes shard deques and
+    // steal patterns without touching the environment) and require the
+    // full-pipeline digest to be byte-identical every time.
+    let baseline = outcome_digest();
+    for workers in [1usize, 2, 3, 8] {
+        set_worker_override(Some(workers));
+        let digest = outcome_digest();
+        set_worker_override(None);
+        assert_eq!(
+            digest, baseline,
+            "digest diverged at {workers} forced workers"
+        );
+    }
+}
+
+#[test]
+fn serial_child_digest_survives_thread_and_chunk_settings() {
+    // Environment-level matrix: MOLOC_THREADS and MOLOC_CHUNK are
+    // parsed once per process, so each cell runs as a clean child.
+    // Chunk size shifts shard boundaries (including chunk=1, maximal
+    // stealing, and a chunk larger than the trace count, one shard);
+    // neither it nor the worker count may leak into outcomes.
+    let digest = outcome_digest();
+    let exe = std::env::current_exe().expect("test binary path");
+    for (threads, chunk) in [
+        ("2", None),
+        ("3", None),
+        ("8", None),
+        ("2", Some("1")),
+        ("3", Some("7")),
+        ("2", Some("1024")),
+    ] {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(["helper_print_outcome_digest", "--exact", "--nocapture"])
+            .env("MOLOC_THREADS", threads)
+            .env("MOLOC_DIGEST_MODE", "1");
+        match chunk {
+            Some(c) => cmd.env("MOLOC_CHUNK", c),
+            None => cmd.env_remove("MOLOC_CHUNK"),
+        };
+        let out = cmd.output().expect("spawn digest child");
+        assert!(out.status.success(), "child {threads}/{chunk:?} failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let child_digest = stdout
+            .split("DIGEST=")
+            .nth(1)
+            .map(|rest| {
+                rest.chars()
+                    .take_while(char::is_ascii_hexdigit)
+                    .collect::<String>()
+            })
+            .expect("child printed a digest");
+        assert_eq!(
+            child_digest, digest,
+            "MOLOC_THREADS={threads} MOLOC_CHUNK={chunk:?} diverged from the parent"
+        );
+    }
 }
 
 /// FNV-1a over every field of every outcome, in order — any reordering

@@ -21,6 +21,7 @@ use crate::knn::Neighbor;
 use crate::metric::{cosine, euclidean_sq, manhattan, masked_euclidean_sq};
 use moloc_geometry::LocationId;
 use std::cmp::Ordering;
+use std::ops::Range;
 
 /// A monomorphized ranking metric for index scans.
 ///
@@ -133,6 +134,20 @@ impl Ord for RankEntry {
             .expect("ranks are finite")
             .then_with(|| self.position.cmp(&other.position))
     }
+}
+
+/// One survivor of a per-shard top-k scan: the pre-`finalize` rank and
+/// the **global** row position. Kept in rank space (not finalized
+/// dissimilarity) so the cross-shard merge orders by exactly the key
+/// the serial scan selects by — `finalize` can collapse distinct ranks
+/// onto one float, which would let a merge on dissimilarities break
+/// ties differently than the serial scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardCandidate {
+    /// The candidate's `K::rank` value (finite).
+    pub rank: f64,
+    /// Row position in the full index (location-id order).
+    pub position: u32,
 }
 
 /// Reusable k-NN selection state: a bounded candidate table whose
@@ -348,10 +363,10 @@ impl FingerprintIndex {
     ) {
         assert!(k > 0, "k must be positive");
         self.check_query(query);
-        if moloc_obs::is_enabled() {
-            moloc_obs::counter_add("fingerprint.knn.queries", 1);
-            moloc_obs::counter_add("fingerprint.knn.candidates_scanned", self.len() as u64);
-        }
+        moloc_obs::counter_add_batch(&[
+            ("fingerprint.knn.queries", 1),
+            ("fingerprint.knn.candidates_scanned", self.len() as u64),
+        ]);
         let slots = &mut scratch.slots;
         slots.clear();
         slots.reserve(k.min(self.len()));
@@ -404,10 +419,10 @@ impl FingerprintIndex {
     ) -> usize {
         assert!(k > 0, "k must be positive");
         self.check_query(query);
-        if moloc_obs::is_enabled() {
-            moloc_obs::counter_add("fingerprint.knn.masked_queries", 1);
-            moloc_obs::counter_add("fingerprint.knn.candidates_scanned", self.len() as u64);
-        }
+        moloc_obs::counter_add_batch(&[
+            ("fingerprint.knn.masked_queries", 1),
+            ("fingerprint.knn.candidates_scanned", self.len() as u64),
+        ]);
         let observed = query.iter().filter(|v| v.is_finite()).count();
         let scale = if observed == 0 {
             0.0
@@ -461,6 +476,138 @@ impl FingerprintIndex {
             }
         }
         self.ids[best]
+    }
+
+    /// Per-shard top-`k` for the parallel scan path: ranks only the
+    /// rows in `rows` and writes up to `k` survivors into `out`
+    /// (cleared first), each carrying its **global** row position,
+    /// sorted by (rank ascending, position ascending).
+    ///
+    /// Workers run this over disjoint row ranges concurrently; the
+    /// caller combines their outputs with
+    /// [`FingerprintIndex::merge_shard_candidates`]. Because the total
+    /// order is on pre-`finalize` ranks and global positions — exactly
+    /// the order the serial [`FingerprintIndex::k_nearest_into`] scan
+    /// selects by — the merged result is identical to the serial scan,
+    /// ties included, for any sharding of the rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero, the query length does not match the
+    /// index's AP count, `rows` is out of bounds, or a NaN rank lands
+    /// among the retained `k`.
+    pub fn shard_candidates<K: MetricKernel>(
+        &self,
+        query: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<ShardCandidate>,
+    ) {
+        assert!(k > 0, "k must be positive");
+        self.check_query(query);
+        assert!(
+            rows.start <= rows.end && rows.end <= self.len(),
+            "shard rows out of bounds"
+        );
+        let slots = &mut scratch.slots;
+        slots.clear();
+        slots.reserve(k.min(rows.len()));
+        match self.ap_count {
+            4 => self.shard_select::<K, 4>(query, k, rows.clone(), slots),
+            5 => self.shard_select::<K, 5>(query, k, rows.clone(), slots),
+            6 => self.shard_select::<K, 6>(query, k, rows.clone(), slots),
+            7 => self.shard_select::<K, 7>(query, k, rows.clone(), slots),
+            8 => self.shard_select::<K, 8>(query, k, rows.clone(), slots),
+            _ => self.shard_select_dyn::<K>(query, k, rows.clone(), slots),
+        }
+        slots.sort_unstable();
+        out.clear();
+        out.extend(slots.iter().map(|entry| ShardCandidate {
+            rank: entry.rank,
+            position: entry.position + rows.start as u32,
+        }));
+    }
+
+    /// Combines per-shard candidate lists into the final top-`k`
+    /// neighbor list, bit-identical (order, ties, and finalized
+    /// dissimilarities) to a serial
+    /// [`FingerprintIndex::k_nearest_into`] over the whole index —
+    /// provided the shards partition the rows and each list came from
+    /// [`FingerprintIndex::shard_candidates`] with the same query, `k`,
+    /// and kernel.
+    ///
+    /// `candidates` is consumed as a scratch buffer (sorted in place);
+    /// `out` receives the merged neighbors, cleared first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or any candidate rank is NaN.
+    pub fn merge_shard_candidates<K: MetricKernel>(
+        &self,
+        k: usize,
+        candidates: &mut Vec<ShardCandidate>,
+        out: &mut Vec<Neighbor>,
+    ) {
+        assert!(k > 0, "k must be positive");
+        // The global top-k under (rank, position) is contained in the
+        // union of per-shard top-k's under the same order, so sorting
+        // the union and truncating reproduces the serial selection.
+        candidates.sort_unstable_by(|a, b| {
+            a.rank
+                .partial_cmp(&b.rank)
+                .expect("ranks are finite")
+                .then_with(|| a.position.cmp(&b.position))
+        });
+        candidates.truncate(k);
+        out.clear();
+        out.extend(candidates.iter().map(|c| Neighbor {
+            location: self.ids[c.position as usize],
+            dissimilarity: K::finalize(c.rank),
+        }));
+    }
+
+    /// [`FingerprintIndex::k_select`] over a row range, positions
+    /// relative to `rows.start` (rebased by the caller).
+    fn shard_select<K: MetricKernel, const N: usize>(
+        &self,
+        query: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        slots: &mut Vec<RankEntry>,
+    ) {
+        let query: &[f64; N] = query.try_into().expect("query length checked");
+        let sub = &self.matrix[rows.start * N..rows.end * N];
+        select(
+            sub.chunks_exact(N).map(|row| {
+                let row: &[f64; N] = row.try_into().expect("chunks are N wide");
+                K::rank(query, row)
+            }),
+            k,
+            slots,
+        );
+    }
+
+    /// [`FingerprintIndex::shard_select`] for uncommon row widths (and
+    /// the zero-AP degenerate index).
+    fn shard_select_dyn<K: MetricKernel>(
+        &self,
+        query: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        slots: &mut Vec<RankEntry>,
+    ) {
+        if self.ap_count == 0 {
+            select(rows.map(|_| K::rank(query, &[])), k, slots);
+        } else {
+            let sub = &self.matrix[rows.start * self.ap_count..rows.end * self.ap_count];
+            select(
+                sub.chunks_exact(self.ap_count)
+                    .map(|row| K::rank(query, row)),
+                k,
+                slots,
+            );
+        }
     }
 
     /// Convenience wrapper over [`FingerprintIndex::k_nearest_into`]

@@ -6,10 +6,10 @@
 
 use crate::db::FingerprintDb;
 use crate::fingerprint::Fingerprint;
+use crate::index::{FingerprintIndex, KnnScratch, MetricKernel, ShardCandidate};
 use crate::metric::Dissimilarity;
 use moloc_geometry::LocationId;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// One k-NN match: a location and its dissimilarity `mᵢ = φ(F, Fᵢ)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,8 +21,8 @@ pub struct Neighbor {
 }
 
 /// [`Neighbor`] with the total order `k_nearest` selects by:
-/// dissimilarity ascending, ties broken by lower location id. Wrapped
-/// so a max-[`BinaryHeap`] keeps the *worst* retained neighbor on top.
+/// dissimilarity ascending, ties broken by lower location id — strict,
+/// since location ids are unique within a database.
 struct HeapEntry(Neighbor);
 
 impl PartialEq for HeapEntry {
@@ -55,10 +55,8 @@ impl Ord for HeapEntry {
 /// Returns fewer than `k` entries when the database is smaller than
 /// `k`.
 ///
-/// Selection keeps a bounded max-heap of the best `k` seen so far —
-/// `O(n log k)` instead of sorting all `n` locations; for the paper's
-/// `k = 8` over hundreds of locations, most candidates are rejected by
-/// a single comparison against the heap top.
+/// Allocates the result; stateful callers on a hot path should keep a
+/// buffer and use [`k_nearest_into_buf`] instead.
 ///
 /// # Panics
 ///
@@ -70,26 +68,94 @@ pub fn k_nearest(
     k: usize,
     metric: &dyn Dissimilarity,
 ) -> Vec<Neighbor> {
+    let mut out = Vec::with_capacity(k);
+    k_nearest_into_buf(db, query, k, metric, &mut out);
+    out
+}
+
+/// [`k_nearest`] into a caller-owned buffer (cleared first): with a
+/// warmed `out` the scan performs zero heap allocations, so per-query
+/// callers like the tracker's exact-scan backend stop paying one
+/// `Vec` (and, previously, one `BinaryHeap`) per observation.
+///
+/// Selection keeps `out` as a bounded sorted buffer of the best `k`
+/// seen so far — most candidates are rejected by a single comparison
+/// against the current worst, and an accepted one costs a binary
+/// search plus an `O(k)` shift (for the paper's `k = 8` that beats the
+/// heap it replaced, and the result order is identical: the
+/// (dissimilarity, location-id) total order is strict, so there is
+/// exactly one sorted arrangement).
+///
+/// # Panics
+///
+/// Panics if `k` is zero or the query length does not match the
+/// database's AP count.
+pub fn k_nearest_into_buf(
+    db: &FingerprintDb,
+    query: &Fingerprint,
+    k: usize,
+    metric: &dyn Dissimilarity,
+    out: &mut Vec<Neighbor>,
+) {
     assert!(k > 0, "k must be positive");
     assert_eq!(
         query.len(),
         db.ap_count(),
         "query fingerprint length must match database"
     );
-    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k);
+    out.clear();
     for (location, fp) in db.iter() {
-        let entry = HeapEntry(Neighbor {
+        let neighbor = Neighbor {
             location,
             dissimilarity: metric.dissimilarity(query, fp),
-        });
-        if heap.len() < k {
-            heap.push(entry);
-        } else if entry < *heap.peek().expect("heap is at capacity k > 0") {
-            heap.pop();
-            heap.push(entry);
+        };
+        if out.len() == k {
+            let worst = *out.last().expect("k > 0, buffer is full");
+            if HeapEntry(neighbor) >= HeapEntry(worst) {
+                continue;
+            }
+            out.pop();
         }
+        let pos = out.partition_point(|&kept| HeapEntry(kept) < HeapEntry(neighbor));
+        out.insert(pos, neighbor);
     }
-    heap.into_sorted_vec().into_iter().map(|e| e.0).collect()
+}
+
+/// Reference sharded k-NN: splits the index rows into shards of
+/// `shard_rows`, scans each shard independently via
+/// [`FingerprintIndex::shard_candidates`], and merges the per-shard
+/// survivors with [`FingerprintIndex::merge_shard_candidates`].
+///
+/// This is the *serial* form of the scan parallel drivers shard across
+/// workers — the property tests compare it (at many shard sizes)
+/// against the full serial scan, locking in that shard boundaries can
+/// never change the result. Parallel drivers reuse the same two
+/// index methods, running shards concurrently.
+///
+/// # Panics
+///
+/// Panics if `k` or `shard_rows` is zero, or the query length does not
+/// match the index's AP count.
+pub fn k_nearest_sharded<K: MetricKernel>(
+    index: &FingerprintIndex,
+    query: &[f64],
+    k: usize,
+    shard_rows: usize,
+) -> Vec<Neighbor> {
+    assert!(shard_rows > 0, "shard_rows must be positive");
+    let mut scratch = KnnScratch::with_k(k);
+    let mut shard_out: Vec<ShardCandidate> = Vec::with_capacity(k);
+    let mut merged: Vec<ShardCandidate> = Vec::new();
+    let mut start = 0usize;
+    while start < index.len() {
+        let end = (start + shard_rows).min(index.len());
+        index.shard_candidates::<K>(query, k, start..end, &mut scratch, &mut shard_out);
+        merged.extend_from_slice(&shard_out);
+        start = end;
+    }
+    let mut out = Vec::with_capacity(k);
+    index.merge_shard_candidates::<K>(k, &mut merged, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -146,6 +212,22 @@ mod tests {
         let nn = k_nearest(&tied, &q, 2, &Euclidean);
         assert_eq!(nn[0].location, l(2));
         assert_eq!(nn[1].location, l(5));
+    }
+
+    #[test]
+    fn into_buf_clears_and_matches_allocating_path() {
+        let db = db();
+        let q1 = Fingerprint::new(vec![-41.0, -69.0]);
+        let q2 = Fingerprint::new(vec![-69.0, -41.0]);
+        let mut buf = Vec::new();
+        k_nearest_into_buf(&db, &q1, 2, &Euclidean, &mut buf);
+        assert_eq!(buf, k_nearest(&db, &q1, 2, &Euclidean));
+        // A reused (dirty, differently-sized) buffer gives the same
+        // answer as a fresh one.
+        k_nearest_into_buf(&db, &q2, 3, &Euclidean, &mut buf);
+        assert_eq!(buf, k_nearest(&db, &q2, 3, &Euclidean));
+        k_nearest_into_buf(&db, &q1, 1, &Euclidean, &mut buf);
+        assert_eq!(buf, k_nearest(&db, &q1, 1, &Euclidean));
     }
 
     #[test]

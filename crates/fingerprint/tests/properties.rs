@@ -238,6 +238,39 @@ proptest! {
     }
 
     #[test]
+    fn sharded_knn_matches_serial_scan_at_any_shard_size(
+        fps in prop::collection::vec(coarse_fingerprint(2), 2..48),
+        query in coarse_fingerprint(2),
+        k in 1usize..12,
+        shard_rows in 1usize..20,
+    ) {
+        // The per-shard top-k + merge path must reproduce the serial
+        // scan exactly — locations, order, bitwise dissimilarities —
+        // for every shard size, including shards smaller than k and a
+        // final partial shard. Coarse RSS grids make cross-shard rank
+        // ties common, so the (rank, global position) merge order is
+        // exercised for real.
+        let entries: Vec<(LocationId, Fingerprint)> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (LocationId::from_index(i), f.clone()))
+            .collect();
+        let db = FingerprintDb::from_fingerprints(entries).unwrap();
+        let index = FingerprintIndex::build(&db);
+        let mut scratch = KnnScratch::with_k(k);
+        let mut serial = Vec::new();
+        index.k_nearest_into::<SquaredEuclidean>(query.values(), k, &mut scratch, &mut serial);
+        let sharded = moloc_fingerprint::knn::k_nearest_sharded::<SquaredEuclidean>(
+            &index, query.values(), k, shard_rows,
+        );
+        prop_assert_eq!(sharded.len(), serial.len());
+        for (a, b) in sharded.iter().zip(&serial) {
+            prop_assert_eq!(a.location, b.location);
+            prop_assert_eq!(a.dissimilarity.to_bits(), b.dissimilarity.to_bits());
+        }
+    }
+
+    #[test]
     fn db_ap_subsets_preserve_locations(
         fps in prop::collection::vec(fingerprint(4), 2..10),
         n in 1usize..4,

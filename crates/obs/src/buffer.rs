@@ -1,0 +1,326 @@
+//! Thread-local buffering of metric deltas inside open spans.
+//!
+//! Every enabled recording call used to pay a registry round-trip —
+//! a `RwLock` read, a `HashMap` lookup, and an `Arc` clone — per
+//! counter increment and histogram sample. On the batch-localizer hot
+//! path that is several round-trips *per observation*, which is where
+//! the obs-enabled overhead of `batch_localizer_full_trace` came from.
+//!
+//! This module keeps a per-thread delta buffer instead. While at least
+//! one armed [`crate::Span`] is open on the current thread, counter
+//! increments merge into a small vector (one entry per distinct name)
+//! and histogram samples append to another; when the outermost span
+//! closes, the whole buffer flushes to the global registry — one
+//! `counter_add` per distinct counter and one table lookup per distinct
+//! histogram name, instead of one per call. Outside any span, calls
+//! fall through to the registry directly, so snapshot visibility is
+//! unchanged for unspanned code.
+//!
+//! The buffer never reorders or drops data relative to the un-buffered
+//! path — counters are commutative sums and histogram bucket updates
+//! are order-independent — it only defers registry publication until
+//! the enclosing span ends. Snapshots taken *while a span is open on
+//! another thread* may miss that span's in-flight deltas, exactly as
+//! they could already miss increments the OS had not scheduled yet.
+//!
+//! If the thread-local slot is unavailable (thread teardown), all
+//! entry points degrade gracefully: buffering reports "not buffered"
+//! and the caller records directly.
+
+use crate::hist::{Fold, Histogram};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    static BUFFER: RefCell<LocalBuffer> = const { RefCell::new(LocalBuffer::new()) };
+}
+
+/// The per-thread delta store. `depth` counts open armed spans; the
+/// vectors hold deltas accumulated since the last flush and keep their
+/// capacity across flushes, so steady-state buffering allocates
+/// nothing. Registry handles are memoized across flushes — the hot
+/// path records the same few names every trace — and invalidated by
+/// the registry's reset generation, since `reset` orphans the atomics
+/// behind cached `Arc`s.
+struct LocalBuffer {
+    depth: usize,
+    counters: Vec<(&'static str, u64)>,
+    samples: Vec<(&'static str, f64)>,
+    generation: u64,
+    counter_handles: Vec<(&'static str, Arc<AtomicU64>)>,
+    hist_handles: Vec<(&'static str, Arc<Histogram>)>,
+    fold: Fold,
+}
+
+impl LocalBuffer {
+    const fn new() -> Self {
+        Self {
+            depth: 0,
+            counters: Vec::new(),
+            samples: Vec::new(),
+            generation: 0,
+            counter_handles: Vec::new(),
+            hist_handles: Vec::new(),
+            fold: Fold::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.counters.is_empty() && self.samples.is_empty() {
+            return;
+        }
+        let registry = crate::global();
+        let generation = registry.generation();
+        if generation != self.generation {
+            self.counter_handles.clear();
+            self.hist_handles.clear();
+            self.generation = generation;
+        }
+        for (name, delta) in self.counters.drain(..) {
+            let slot = match self.counter_handles.iter().position(|(n, _)| *n == name) {
+                Some(i) => i,
+                None => {
+                    self.counter_handles
+                        .push((name, registry.counter_handle(name)));
+                    self.counter_handles.len() - 1
+                }
+            };
+            self.counter_handles[slot].1.fetch_add(delta, Ordering::Relaxed);
+        }
+        // Samples publish folded: all of one name's samples collapse
+        // locally, then hit the histogram as a single batch — a few
+        // atomic RMWs per distinct name per flush instead of five per
+        // sample. Sample streams hold a handful of distinct names, so
+        // the quadratic-in-names grouping pass is cheaper than any map.
+        while let Some(&(name, _)) = self.samples.first() {
+            self.fold.clear();
+            let mut kept = 0;
+            for read in 0..self.samples.len() {
+                let (n, v) = self.samples[read];
+                if n == name {
+                    self.fold.record(v);
+                } else {
+                    self.samples[kept] = (n, v);
+                    kept += 1;
+                }
+            }
+            self.samples.truncate(kept);
+            let slot = match self.hist_handles.iter().position(|(n, _)| *n == name) {
+                Some(i) => i,
+                None => {
+                    self.hist_handles
+                        .push((name, registry.histogram_handle(name)));
+                    self.hist_handles.len() - 1
+                }
+            };
+            self.hist_handles[slot].1.record_fold(&self.fold);
+        }
+    }
+}
+
+/// Notes that an armed span opened on this thread.
+pub(crate) fn enter_span() {
+    let _ = BUFFER.try_with(|b| b.borrow_mut().depth += 1);
+}
+
+/// Records an armed span's duration and closes it in one thread-local
+/// round trip; flushes the buffer when it was the outermost span.
+/// Returns `false` when the slot is unavailable and the caller must
+/// record the duration directly.
+pub(crate) fn close_span(name: &'static str, elapsed: f64) -> bool {
+    BUFFER
+        .try_with(|b| {
+            let mut b = b.borrow_mut();
+            b.samples.push((name, elapsed));
+            b.depth = b.depth.saturating_sub(1);
+            if b.depth == 0 {
+                b.flush();
+            }
+        })
+        .is_ok()
+}
+
+/// Buffers a counter increment if a span is open on this thread.
+/// Returns `false` when the caller must record directly.
+pub(crate) fn counter_add(name: &'static str, delta: u64) -> bool {
+    BUFFER
+        .try_with(|b| {
+            let mut b = b.borrow_mut();
+            if b.depth == 0 {
+                return false;
+            }
+            if let Some(entry) = b.counters.iter_mut().find(|(n, _)| *n == name) {
+                entry.1 += delta;
+            } else {
+                b.counters.push((name, delta));
+            }
+            true
+        })
+        .unwrap_or(false)
+}
+
+/// Buffers a batch of counter increments in one thread-local round
+/// trip if a span is open on this thread. Returns `false` when the
+/// caller must record directly.
+pub(crate) fn counter_add_batch(entries: &[(&'static str, u64)]) -> bool {
+    BUFFER
+        .try_with(|b| {
+            let mut b = b.borrow_mut();
+            if b.depth == 0 {
+                return false;
+            }
+            for &(name, delta) in entries {
+                if let Some(entry) = b.counters.iter_mut().find(|(n, _)| *n == name) {
+                    entry.1 += delta;
+                } else {
+                    b.counters.push((name, delta));
+                }
+            }
+            true
+        })
+        .unwrap_or(false)
+}
+
+/// Buffers a histogram sample if a span is open on this thread.
+/// Returns `false` when the caller must record directly.
+pub(crate) fn record(name: &'static str, value: f64) -> bool {
+    BUFFER
+        .try_with(|b| {
+            let mut b = b.borrow_mut();
+            if b.depth == 0 {
+                return false;
+            }
+            b.samples.push((name, value));
+            true
+        })
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    fn scoped<F: FnOnce()>(f: F) {
+        let _guard = crate::TEST_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        crate::reset();
+        crate::set_enabled(false);
+        f();
+        crate::set_enabled(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn deltas_buffer_inside_a_span_and_flush_on_close() {
+        scoped(|| {
+            crate::enable();
+            {
+                let _span = crate::span("buf.outer");
+                crate::counter_add("buf.counter", 2);
+                crate::counter_add("buf.counter", 3);
+                crate::record("buf.hist", 1.5);
+                // Still buffered: nothing has reached the registry yet.
+                let snap = crate::snapshot();
+                assert!(snap.counter("buf.counter").is_none());
+                assert!(snap.histogram("buf.hist").is_none());
+            }
+            let snap = crate::snapshot();
+            assert_eq!(snap.counter("buf.counter"), Some(5));
+            assert_eq!(snap.histogram("buf.hist").map(|h| h.count), Some(1));
+            assert_eq!(snap.histogram("buf.outer").map(|h| h.count), Some(1));
+        });
+    }
+
+    #[test]
+    fn nested_spans_flush_only_at_the_outermost_close() {
+        scoped(|| {
+            crate::enable();
+            {
+                let _outer = crate::span("buf.nest.outer");
+                {
+                    let _inner = crate::span("buf.nest.inner");
+                    crate::counter_add("buf.nest.counter", 1);
+                }
+                // Inner closed but the outer span still pins the
+                // buffer: the inner span's own duration and the counter
+                // both wait for the outermost close.
+                let snap = crate::snapshot();
+                assert!(snap.counter("buf.nest.counter").is_none());
+                assert!(snap.histogram("buf.nest.inner").is_none());
+                crate::counter_add("buf.nest.counter", 4);
+            }
+            let snap = crate::snapshot();
+            assert_eq!(snap.counter("buf.nest.counter"), Some(5));
+            assert_eq!(snap.histogram("buf.nest.inner").map(|h| h.count), Some(1));
+            assert_eq!(snap.histogram("buf.nest.outer").map(|h| h.count), Some(1));
+        });
+    }
+
+    #[test]
+    fn unspanned_calls_record_directly() {
+        scoped(|| {
+            crate::enable();
+            crate::counter_add("buf.direct", 7);
+            crate::record("buf.direct.hist", 0.5);
+            let snap = crate::snapshot();
+            assert_eq!(snap.counter("buf.direct"), Some(7));
+            assert_eq!(snap.histogram("buf.direct.hist").map(|h| h.count), Some(1));
+        });
+    }
+
+    #[test]
+    fn flush_merges_repeated_histogram_names() {
+        scoped(|| {
+            crate::enable();
+            {
+                let _span = crate::span("buf.merge.outer");
+                for i in 0..10 {
+                    crate::record("buf.merge.a", i as f64 + 1.0);
+                    crate::record("buf.merge.b", 2.0);
+                }
+            }
+            let snap = crate::snapshot();
+            assert_eq!(snap.histogram("buf.merge.a").map(|h| h.count), Some(10));
+            assert_eq!(snap.histogram("buf.merge.b").map(|h| h.count), Some(10));
+            assert_eq!(snap.histogram("buf.merge.b").map(|h| h.sum), Some(20.0));
+        });
+    }
+
+    #[test]
+    fn cached_handles_invalidate_across_reset() {
+        scoped(|| {
+            crate::enable();
+            {
+                let _span = crate::span("buf.gen.outer");
+                crate::counter_add("buf.gen.counter", 1);
+                crate::record("buf.gen.hist", 1.0);
+            }
+            assert_eq!(crate::snapshot().counter("buf.gen.counter"), Some(1));
+            // reset orphans the atomics behind any cached handles; the
+            // next flush must re-resolve or these deltas vanish.
+            crate::reset();
+            crate::enable();
+            {
+                let _span = crate::span("buf.gen.outer");
+                crate::counter_add("buf.gen.counter", 5);
+                crate::record("buf.gen.hist", 2.0);
+            }
+            let snap = crate::snapshot();
+            assert_eq!(snap.counter("buf.gen.counter"), Some(5));
+            assert_eq!(snap.histogram("buf.gen.hist").map(|h| h.count), Some(1));
+            assert_eq!(snap.histogram("buf.gen.hist").map(|h| h.sum), Some(2.0));
+        });
+    }
+
+    #[test]
+    fn disarmed_spans_do_not_pin_the_buffer() {
+        scoped(|| {
+            // Span created while disabled: no depth change, so a later
+            // enabled counter records directly.
+            let span = crate::span("buf.disarmed");
+            crate::enable();
+            crate::counter_add("buf.disarmed.counter", 1);
+            assert_eq!(crate::snapshot().counter("buf.disarmed.counter"), Some(1));
+            drop(span);
+            assert!(crate::snapshot().histogram("buf.disarmed").is_none());
+        });
+    }
+}

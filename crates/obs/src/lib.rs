@@ -41,12 +41,14 @@
 //! serializes to JSON with a hand-rolled writer — so every crate on the
 //! localization path can depend on it without widening the build.
 
+mod buffer;
 pub mod hist;
 pub mod recorder;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
 
+pub use hist::Fold;
 pub use recorder::{NoopRecorder, Recorder};
 pub use registry::MetricsRegistry;
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
@@ -106,9 +108,14 @@ pub fn recorder() -> &'static dyn Recorder {
 }
 
 /// Adds `delta` to the named counter (no-op while disabled).
+///
+/// Inside an open [`Span`] on the current thread the increment is
+/// buffered thread-locally and merged into the registry when the
+/// outermost span closes (see [`buffer`](self)); outside any span it
+/// lands in the registry immediately.
 #[inline]
 pub fn counter_add(name: &'static str, delta: u64) {
-    if is_enabled() {
+    if is_enabled() && !buffer::counter_add(name, delta) {
         global().counter_add(name, delta);
     }
 }
@@ -122,10 +129,38 @@ pub fn gauge_set(name: &'static str, value: u64) {
 }
 
 /// Records `value` into the named histogram (no-op while disabled).
+///
+/// Buffered like [`counter_add`] while a span is open on this thread.
 #[inline]
 pub fn record(name: &'static str, value: f64) {
-    if is_enabled() {
+    if is_enabled() && !buffer::record(name, value) {
         global().record(name, value);
+    }
+}
+
+/// Adds every `(name, delta)` pair in one call — a single enabled check
+/// and (inside a span) a single thread-local round trip, where separate
+/// [`counter_add`] calls would pay one each. For hot paths that always
+/// emit the same few counters together.
+#[inline]
+pub fn counter_add_batch(entries: &[(&'static str, u64)]) {
+    if is_enabled() && !buffer::counter_add_batch(entries) {
+        let registry = global();
+        for &(name, delta) in entries {
+            registry.counter_add(name, delta);
+        }
+    }
+}
+
+/// Publishes a locally accumulated [`Fold`] into the named histogram
+/// (no-op while disabled or when the fold is empty). The cheapest way
+/// for a hot loop to feed a histogram: accumulate into a plain local
+/// `Fold` (no atomics, no thread-local) and publish once per batch.
+/// Publication is direct — it does not defer to an open span's buffer.
+#[inline]
+pub fn record_fold(name: &'static str, fold: &Fold) {
+    if is_enabled() && !fold.is_empty() {
+        global().histogram_handle(name).record_fold(fold);
     }
 }
 

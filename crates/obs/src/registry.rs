@@ -22,6 +22,11 @@ pub struct MetricsRegistry {
     counters: Table<AtomicU64>,
     gauges: Table<AtomicU64>,
     histograms: Table<Histogram>,
+    /// Bumped on [`reset`](Self::reset) so cached metric handles (the
+    /// thread-local flush memoizes `Arc`s) can detect that their atomics
+    /// were orphaned and re-resolve instead of silently writing into
+    /// dropped storage.
+    generation: AtomicU64,
 }
 
 fn entry<T: Default>(table: &Table<T>, name: &'static str) -> Arc<T> {
@@ -84,6 +89,24 @@ impl MetricsRegistry {
         )
     }
 
+    /// The live handle of the named histogram (registering it if new).
+    /// Lets the thread-local flush batch samples with one table lookup
+    /// per distinct name instead of one per sample.
+    pub(crate) fn histogram_handle(&self, name: &'static str) -> Arc<Histogram> {
+        entry(&self.histograms, name)
+    }
+
+    /// The live handle of the named counter (registering it if new).
+    pub(crate) fn counter_handle(&self, name: &'static str) -> Arc<AtomicU64> {
+        entry(&self.counters, name)
+    }
+
+    /// The current reset generation; handles cached under an older
+    /// generation are stale.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
     /// Drops every metric (names included).
     pub fn reset(&self) {
         self.counters
@@ -98,6 +121,9 @@ impl MetricsRegistry {
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .clear();
+        // Bumped after the maps clear: a handle re-resolved under the
+        // new generation is guaranteed to live in the post-reset tables.
+        self.generation.fetch_add(1, Ordering::Release);
     }
 }
 

@@ -28,7 +28,15 @@ impl Span {
     /// Starts a span; `armed` is the enabled flag sampled at creation,
     /// so a span started while enabled still records if recording is
     /// toggled off mid-flight (the reverse never reads the clock).
+    ///
+    /// An armed span also opens the thread-local delta buffer: counter
+    /// increments and histogram samples recorded while it (or any
+    /// nested armed span) is alive are merged locally and flushed to
+    /// the registry when the outermost armed span drops.
     pub(crate) fn start(name: &'static str, armed: bool) -> Self {
+        if armed {
+            crate::buffer::enter_span();
+        }
         Self {
             name,
             start: armed.then(Instant::now),
@@ -50,7 +58,13 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            crate::global().record(self.name, start.elapsed().as_secs_f64());
+            // The span's own duration buffers too, and the same
+            // thread-local round trip closes the span — flushing
+            // everything if this was the outermost armed span.
+            let elapsed = start.elapsed().as_secs_f64();
+            if !crate::buffer::close_span(self.name, elapsed) {
+                crate::global().record(self.name, elapsed);
+            }
         }
     }
 }
