@@ -369,11 +369,9 @@ fn localize_moloc_pr1_path(
 /// `BENCH_pr2.json` at the repository root.
 fn emit_bench_json(c: &mut Criterion) {
     // The parallel arm's speedup is bounded by the worker count, so
-    // record it alongside the measurements (a 1-CPU host reports ~1x).
-    let mut out = format!(
-        "{{\n  \"pr\": 2,\n  \"parallel_threads\": {},\n  \"benchmarks\": [\n",
-        moloc_eval::parallel::thread_count(),
-    );
+    // record it alongside the measurements (a 1-CPU host reports ~1x),
+    // plus the runner shape the file was generated on.
+    let mut out = moloc_bench::bench_header(2);
     let measurements = c.measurements();
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(

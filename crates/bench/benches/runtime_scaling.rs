@@ -57,13 +57,21 @@ fn item_work(i: usize) -> u64 {
 }
 
 /// A deterministic synthetic survey large enough to clear
-/// `SHARDED_KNN_MIN_LOCATIONS`, with quantized values so rank ties
-/// cross shard boundaries.
+/// `SHARDED_KNN_MIN_LOCATIONS`: RSSI means on a dBm lattice plus a
+/// sub-dBm per-cell offset, with every 32nd location cloning the row
+/// 17 back — planted fingerprint twins whose rank ties cross shard
+/// boundaries. The same generator as the `query_block` bench, so the
+/// shared `knn/*` arm names measure the same workload.
 fn synthetic_index(locations: u32) -> FingerprintIndex {
     let fps = (0..locations)
         .map(|i| {
+            let j = if i >= 17 && i % 32 == 0 { i - 17 } else { i };
             let values = (0..6)
-                .map(|a| -40.0 - f64::from((i * 7 + a * 13) % 23))
+                .map(|a| {
+                    -40.0
+                        - f64::from((j * 7 + a * 13) % 23)
+                        - f64::from((j * 31 + a * 11) % 97) / 128.0
+                })
                 .collect::<Vec<f64>>();
             (LocationId::new(i + 1), Fingerprint::new(values))
         })
@@ -81,13 +89,16 @@ fn bench_scaling(c: &mut Criterion) {
     // --- Thread scaling on the fig. 7 localization ---------------
     for workers in WIDTHS {
         set_worker_override(Some(workers));
-        c.bench_function(&format!("scaling/localize_moloc_fig7_setting_w{workers}"), |b| {
-            b.iter(|| {
-                black_box(moloc_eval::pipeline::localize_moloc_with(
-                    &world, &setting, config, &index, &kernel,
-                ))
-            })
-        });
+        c.bench_function(
+            &format!("scaling/localize_moloc_fig7_setting_w{workers}"),
+            |b| {
+                b.iter(|| {
+                    black_box(moloc_eval::pipeline::localize_moloc_with(
+                        &world, &setting, config, &index, &kernel,
+                    ))
+                })
+            },
+        );
     }
     // The PR 1/PR 2 pair names, so `bench_check` diffs straight across
     // the BENCH files: serial pinned to one worker, parallel on the
@@ -122,8 +133,7 @@ fn bench_scaling(c: &mut Criterion) {
             let results: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::with_capacity(ITEMS));
             let workers = thread_count().min(ITEMS);
             par_shards_with_workers(workers, ITEMS, default_chunk(ITEMS, workers), |range| {
-                let mut local: Vec<(usize, u64)> =
-                    range.map(|i| (i, item_work(i))).collect();
+                let mut local: Vec<(usize, u64)> = range.map(|i| (i, item_work(i))).collect();
                 results
                     .lock()
                     .expect("no panics in item_work")
@@ -239,7 +249,13 @@ fn bench_scaling(c: &mut Criterion) {
     });
     set_worker_override(Some(4));
     c.bench_function("knn/sharded_scan_2048_w4", |b| {
-        b.iter(|| black_box(par_k_nearest::<SquaredEuclidean>(&big, black_box(&query[..]), 8)))
+        b.iter(|| {
+            black_box(par_k_nearest::<SquaredEuclidean>(
+                &big,
+                black_box(&query[..]),
+                8,
+            ))
+        })
     });
     set_worker_override(None);
 }
@@ -248,10 +264,7 @@ fn bench_scaling(c: &mut Criterion) {
 /// speedups to `BENCH_pr6.json` at the repository root, mirroring the
 /// `BENCH_pr2.json` schema so `bench_check` consumes both.
 fn emit_bench_json(c: &mut Criterion) {
-    let mut out = format!(
-        "{{\n  \"pr\": 6,\n  \"parallel_threads\": {},\n  \"benchmarks\": [\n",
-        thread_count(),
-    );
+    let mut out = moloc_bench::bench_header(6);
     let measurements = c.measurements();
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
@@ -287,7 +300,10 @@ fn emit_bench_json(c: &mut Criterion) {
             "eval/localize_moloc_fig7_setting_serial",
         ),
         // Disjoint slots vs mutex collection.
-        ("runtime/collect_disjoint_slots", "runtime/collect_mutex_vec"),
+        (
+            "runtime/collect_disjoint_slots",
+            "runtime/collect_mutex_vec",
+        ),
         // Warm pool vs scoped spawn per job.
         ("runtime/pool_dispatch_w4", "runtime/scoped_spawn_w4"),
         // Recorder overhead: speedup here is the enabled/disabled time

@@ -27,8 +27,26 @@ use serde::Deserialize;
 struct BenchFile {
     pr: u64,
     parallel_threads: u64,
+    /// Runner-shape header fields added in PR 7; `None` when reading a
+    /// file emitted before then (or when the env pin was unset).
+    available_parallelism: Option<u64>,
+    moloc_threads: Option<u64>,
+    moloc_chunk: Option<u64>,
     benchmarks: Vec<Benchmark>,
     comparisons: Vec<Comparison>,
+}
+
+/// Renders the runner-shape header of one file for the comparison
+/// banner: machine parallelism plus the effective env pins.
+fn describe_shape(f: &BenchFile) -> String {
+    let opt = |v: Option<u64>| v.map_or("unset".to_string(), |n| n.to_string());
+    format!(
+        "{} threads, avail {}, MOLOC_THREADS {}, MOLOC_CHUNK {}",
+        f.parallel_threads,
+        opt(f.available_parallelism),
+        opt(f.moloc_threads),
+        opt(f.moloc_chunk),
+    )
 }
 
 #[derive(Debug, Deserialize)]
@@ -100,9 +118,7 @@ fn parse_args() -> Result<Args, String> {
             "--new" => args.new = value("--new")?,
             "--tolerance" => {
                 let v = value("--tolerance")?;
-                args.tolerance = v
-                    .parse()
-                    .map_err(|_| format!("invalid tolerance: {v}"))?;
+                args.tolerance = v.parse().map_err(|_| format!("invalid tolerance: {v}"))?;
             }
             "--min-speedup" => {
                 let v = value("--min-speedup")?;
@@ -151,8 +167,13 @@ fn main() {
         }
     };
     println!(
-        "comparing PR {} ({}, {} threads) -> PR {} ({}, {} threads), tolerance {:.2}x",
-        old.pr, args.old, old.parallel_threads, new.pr, args.new, new.parallel_threads,
+        "comparing PR {} ({}; {}) -> PR {} ({}; {}), tolerance {:.2}x",
+        old.pr,
+        args.old,
+        describe_shape(&old),
+        new.pr,
+        args.new,
+        describe_shape(&new),
         args.tolerance,
     );
 
@@ -179,8 +200,7 @@ fn main() {
         );
         // Sanity: a benchmark with absurd sampling is a broken run, not
         // a measurement — refuse to certify it.
-        if nb.samples == 0 || nb.iters_per_sample == 0 || nb.min_ns <= 0.0 || nb.median_ns <= 0.0
-        {
+        if nb.samples == 0 || nb.iters_per_sample == 0 || nb.min_ns <= 0.0 || nb.median_ns <= 0.0 {
             eprintln!("error: malformed measurement for {}", nb.name);
             std::process::exit(2);
         }

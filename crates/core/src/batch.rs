@@ -22,6 +22,7 @@ use crate::config::MoLocConfig;
 use crate::error::DegradationFlags;
 use crate::matching::build_kernel;
 use crate::tracker::{MotionMeasurement, TrackError};
+use moloc_fingerprint::block::{BlockNeighbors, BlockScratch, QueryBlock};
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
 use moloc_fingerprint::index::{FingerprintIndex, KnnScratch, SquaredEuclidean};
@@ -68,6 +69,12 @@ pub struct BatchScratch {
     current: Vec<(LocationId, f64)>,
     weights: Vec<(LocationId, f64)>,
     previous: Vec<(LocationId, f64)>,
+    /// Per-trace query batch for the blocked k-NN precompute
+    /// (DESIGN.md §15): all of a trace's steps localize as one
+    /// cache-blocked scan before the sequential Eq. 4/7 recursion.
+    block: QueryBlock,
+    block_scratch: BlockScratch,
+    block_out: BlockNeighbors,
 }
 
 impl BatchScratch {
@@ -79,6 +86,9 @@ impl BatchScratch {
             current: Vec::with_capacity(k),
             weights: Vec::with_capacity(k),
             previous: Vec::with_capacity(k),
+            block: QueryBlock::default(),
+            block_scratch: BlockScratch::new(),
+            block_out: BlockNeighbors::new(),
         }
     }
 
@@ -90,6 +100,8 @@ impl BatchScratch {
         self.current.clear();
         self.weights.clear();
         self.previous.clear();
+        self.block.reset(0);
+        self.block_out.clear();
     }
 }
 
@@ -323,7 +335,52 @@ impl<'a> BatchLocalizer<'a> {
                 self.last_flags.insert(DegradationFlags::NO_OBSERVED_APS);
             }
         }
+        Ok(self.posterior_step(motion))
+    }
 
+    /// [`BatchLocalizer::observe_slice_uncounted`] for a step whose
+    /// k-NN already ran in the trace's blocked precompute: copies the
+    /// step's precomputed neighbors into the working buffer, rebuilds
+    /// the same degradation flags the per-query path would have set
+    /// (the block records clean/observed per query), and runs the
+    /// shared posterior stage. Query length was validated when the
+    /// block was built; motion is validated here, preserving the
+    /// first-error contract.
+    fn observe_precomputed_uncounted(
+        &mut self,
+        step: usize,
+        motion: Option<MotionMeasurement>,
+    ) -> Result<LocationId, TrackError> {
+        self.last_flags = DegradationFlags::empty();
+        if let Some(m) = motion {
+            if !m.direction_deg.is_finite() || !m.offset_m.is_finite() || m.offset_m < 0.0 {
+                return Err(TrackError::BadMeasurement);
+            }
+        }
+        {
+            let BatchScratch {
+                block_out,
+                neighbors,
+                ..
+            } = &mut self.buf;
+            neighbors.clear();
+            neighbors.extend_from_slice(block_out.query(step));
+        }
+        if !self.buf.block.is_clean(step) {
+            self.last_flags.insert(DegradationFlags::MASKED_QUERY);
+            if self.buf.block_out.observed(step) == 0 {
+                self.last_flags.insert(DegradationFlags::NO_OBSERVED_APS);
+            }
+        }
+        Ok(self.posterior_step(motion))
+    }
+
+    /// The posterior stage shared by the per-query and precomputed
+    /// paths: Eq. 4 over `buf.neighbors`, Eq. 7 against the retained
+    /// history, top pick, and the posterior buffer swap. Inputs are
+    /// the neighbor buffer and the k-NN degradation flags, both set by
+    /// the caller.
+    fn posterior_step(&mut self, motion: Option<MotionMeasurement>) -> LocationId {
         // Eq. 4 into the reusable candidate table — the same arithmetic
         // as `CandidateSet::from_neighbors`, including the exact-match
         // branch and the iterator summation order.
@@ -345,10 +402,16 @@ impl<'a> BatchLocalizer<'a> {
                 self.buf.current.push((n.location, probability));
             }
         } else {
-            let total: f64 = self.buf.neighbors.iter().map(|n| 1.0 / n.dissimilarity).sum();
+            let total: f64 = self
+                .buf
+                .neighbors
+                .iter()
+                .map(|n| 1.0 / n.dissimilarity)
+                .sum();
             if total.is_finite() && total > 0.0 {
                 for n in &self.buf.neighbors {
-                    self.buf.current
+                    self.buf
+                        .current
                         .push((n.location, (1.0 / n.dissimilarity) / total));
                 }
             } else {
@@ -448,7 +511,7 @@ impl<'a> BatchLocalizer<'a> {
             std::mem::swap(&mut self.buf.previous, &mut self.buf.current);
         }
         self.has_previous = true;
-        Ok(estimate)
+        estimate
     }
 
     /// Localizes a whole trace into `out` (cleared first), resetting
@@ -464,6 +527,51 @@ impl<'a> BatchLocalizer<'a> {
         queries: &[(Fingerprint, Option<MotionMeasurement>)],
         out: &mut Vec<LocationId>,
     ) -> Result<(), TrackError> {
+        self.localize_steps_into(
+            queries.len(),
+            |i| queries[i].0.values(),
+            |i| queries[i].1,
+            out,
+        )
+    }
+
+    /// [`BatchLocalizer::localize_trace_into`] over raw RSS slices —
+    /// the trace-level counterpart of [`BatchLocalizer::observe_slice`],
+    /// letting pipelines feed scan buffers directly (no per-pass
+    /// [`Fingerprint`] allocation) while still batching the whole
+    /// trace's k-NN through the blocked multi-query scan. `motions[i]`
+    /// is the interval measured *before* `scans[i]` (`None` for the
+    /// first pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TrackError`] encountered; `out` then holds
+    /// the estimates produced before the failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scans` and `motions` have different lengths.
+    pub fn localize_scans_into(
+        &mut self,
+        scans: &[&[f64]],
+        motions: &[Option<MotionMeasurement>],
+        out: &mut Vec<LocationId>,
+    ) -> Result<(), TrackError> {
+        assert_eq!(scans.len(), motions.len(), "one motion interval per scan");
+        self.localize_steps_into(scans.len(), |i| scans[i], |i| motions[i], out)
+    }
+
+    /// The shared trace driver behind [`BatchLocalizer::localize_trace_into`]
+    /// and [`BatchLocalizer::localize_scans_into`]: steps are addressed
+    /// by index through the two accessors so both entry points share
+    /// one monomorphized loop per closure pair.
+    fn localize_steps_into<'q>(
+        &mut self,
+        len: usize,
+        query_at: impl Fn(usize) -> &'q [f64],
+        motion_at: impl Fn(usize) -> Option<MotionMeasurement>,
+        out: &mut Vec<LocationId>,
+    ) -> Result<(), TrackError> {
         // Trace-level span: besides timing the whole trace, it pins the
         // thread-local obs buffer open across every observation, so the
         // few remaining per-trace recorder calls merge locally and hit
@@ -471,6 +579,41 @@ impl<'a> BatchLocalizer<'a> {
         let _span = moloc_obs::span("core.batch.localize_trace");
         self.reset();
         out.clear();
+        // Blocked k-NN precompute (DESIGN.md §15): candidate
+        // generation depends only on the query, so the whole trace's
+        // k-NN runs as one cache-blocked multi-query scan before the
+        // sequential Eq. 4/7 recursion — bit-identical results, one
+        // streaming pass over the index instead of one per step. The
+        // block stops at the first length-invalid query so the
+        // first-error-with-partial-results contract is untouched
+        // (later steps, if any run, use the per-query path and report
+        // the error exactly where the serial loop would).
+        let precomputed = if moloc_fingerprint::block::block_enabled() && len > 0 {
+            let index = self.index.get();
+            let ap = index.ap_count();
+            let block = &mut self.buf.block;
+            block.reset(ap);
+            for i in 0..len {
+                let query = query_at(i);
+                if query.len() != ap {
+                    break;
+                }
+                block.push(query);
+            }
+            if block.is_empty() {
+                0
+            } else {
+                index.k_nearest_block_into::<SquaredEuclidean>(
+                    block,
+                    self.config.k,
+                    &mut self.buf.block_scratch,
+                    &mut self.buf.block_out,
+                );
+                self.buf.block_out.query_count()
+            }
+        } else {
+            0
+        };
         // All per-observation metrics accumulate in plain locals across
         // the trace and publish once at the end — identical totals and
         // distributions to per-observation emission, without recorder
@@ -481,8 +624,14 @@ impl<'a> BatchLocalizer<'a> {
         let counting = moloc_obs::is_enabled();
         let mut prev = counting.then(std::time::Instant::now);
         let mut result = Ok(());
-        for (query, motion) in queries {
-            match self.observe_slice_uncounted(query.values(), *motion) {
+        for step in 0..len {
+            let motion = motion_at(step);
+            let outcome = if step < precomputed {
+                self.observe_precomputed_uncounted(step, motion)
+            } else {
+                self.observe_slice_uncounted(query_at(step), motion)
+            };
+            match outcome {
                 Ok(estimate) => {
                     out.push(estimate);
                     if let Some(p) = prev {
@@ -578,7 +727,10 @@ fn record_rung_occupancy(flags: DegradationFlags) {
         return;
     }
     for (flag, name) in [
-        (DegradationFlags::MASKED_QUERY, "core.degradation.masked_query"),
+        (
+            DegradationFlags::MASKED_QUERY,
+            "core.degradation.masked_query",
+        ),
         (
             DegradationFlags::NO_OBSERVED_APS,
             "core.degradation.no_observed_aps",
@@ -692,8 +844,7 @@ mod tests {
         for (q, m) in &queries() {
             tracker.observe(q, *m).unwrap();
             engine.observe(q, *m).unwrap();
-            let tracked: Vec<(LocationId, f64)> =
-                tracker.candidates().unwrap().iter().collect();
+            let tracked: Vec<(LocationId, f64)> = tracker.candidates().unwrap().iter().collect();
             assert_eq!(engine.posterior(), tracked.as_slice());
         }
     }

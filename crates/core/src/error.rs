@@ -160,10 +160,14 @@ mod tests {
         };
         assert!(q.to_string().contains("6"));
         assert!(MolocError::BadMeasurement.to_string().contains("finite"));
-        assert!(MolocError::EmptyCandidates.to_string().contains("candidates"));
-        assert!(MolocError::InvalidConfig { field: "fine_sigma" }
+        assert!(MolocError::EmptyCandidates
             .to_string()
-            .contains("fine_sigma"));
+            .contains("candidates"));
+        assert!(MolocError::InvalidConfig {
+            field: "fine_sigma"
+        }
+        .to_string()
+        .contains("fine_sigma"));
     }
 
     #[test]

@@ -225,8 +225,7 @@ mod tests {
             for to in 1..=4u32 {
                 for dir in [0.0, 45.0, 90.0, 269.5, 359.9] {
                     for off in [0.0, 0.4, 5.0, 12.0] {
-                        let exact =
-                            pair_motion_probability(&db, l(from), l(to), dir, off, &config);
+                        let exact = pair_motion_probability(&db, l(from), l(to), dir, off, &config);
                         let fast = kernel.pair_probability(l(from), l(to), dir, off);
                         assert!(
                             (exact - fast).abs() <= 1e-6,

@@ -26,7 +26,6 @@
 use crate::tracker::MotionMeasurement;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
-use moloc_fingerprint::index::MetricKernel as _;
 use moloc_fingerprint::index::{FingerprintIndex, SquaredEuclidean};
 use moloc_fingerprint::metric::{Dissimilarity, Euclidean};
 use moloc_geometry::{LocationId, ReferenceGrid, Vec2};
@@ -105,6 +104,11 @@ pub struct ParticleLocalizer<'a> {
     /// Columnar scan for the per-particle emission weights; `None`
     /// falls back to the per-fingerprint metric lookup.
     index: Option<FingerprintIndex>,
+    /// Per-observation distance table: `emission_table[row]` is the
+    /// query's dissimilarity to the index's `row`-th fingerprint,
+    /// computed once per observation so the emission reweighting loop
+    /// does a table lookup per particle instead of an O(APs) scan.
+    emission_table: Vec<f64>,
 }
 
 impl<'a> ParticleLocalizer<'a> {
@@ -125,6 +129,7 @@ impl<'a> ParticleLocalizer<'a> {
             rng: StdRng::seed_from_u64(config.seed),
             kernel: None,
             index: Some(FingerprintIndex::build(fdb)),
+            emission_table: Vec::new(),
         }
     }
 
@@ -161,6 +166,15 @@ impl<'a> ParticleLocalizer<'a> {
         }
     }
 
+    /// Ranks the query against every index row once per observation:
+    /// each row's value equals the per-row kernel evaluation the old
+    /// per-particle path performed, so the table lookup is bit-exact.
+    fn precompute_emissions(&mut self, query: &Fingerprint) {
+        if let Some(index) = &self.index {
+            index.rank_all_into::<SquaredEuclidean>(query.values(), &mut self.emission_table);
+        }
+    }
+
     fn emission_weight(&self, query: &Fingerprint, position: Vec2) -> f64 {
         // Inverse-square dissimilarity against the nearest surveyed
         // location, softened by the distance to it so positions between
@@ -170,7 +184,7 @@ impl<'a> ParticleLocalizer<'a> {
             let Some(row) = index.position_of(nearest) else {
                 return 1e-12;
             };
-            SquaredEuclidean::finalize(SquaredEuclidean::rank(query.values(), index.row(row)))
+            self.emission_table[row]
         } else {
             let Some(fp) = self.fdb.fingerprint(nearest) else {
                 return 1e-12;
@@ -182,6 +196,7 @@ impl<'a> ParticleLocalizer<'a> {
     }
 
     fn spawn(&mut self, query: &Fingerprint) {
+        self.precompute_emissions(query);
         let jitter = self.grid.dx().min(self.grid.dy()) / 3.0;
         let mut particles = Vec::with_capacity(self.config.particles);
         for k in 0..self.config.particles {
@@ -283,7 +298,8 @@ impl<'a> ParticleLocalizer<'a> {
             }
             self.particles[i].position = proposed;
         }
-        // Emission reweighting.
+        // Emission reweighting off the per-observation distance table.
+        self.precompute_emissions(query);
         for i in 0..self.particles.len() {
             let w = self.emission_weight(query, self.particles[i].position);
             self.particles[i].weight *= w;

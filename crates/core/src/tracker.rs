@@ -11,6 +11,7 @@ use crate::config::MoLocConfig;
 use crate::error::MolocError;
 use crate::evaluate::{evaluate_candidates, evaluate_candidates_kernel};
 use crate::matching::build_kernel;
+use moloc_fingerprint::block::{BlockNeighbors, BlockScratch, QueryBlock};
 use moloc_fingerprint::candidates::CandidateSet;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
@@ -243,7 +244,93 @@ impl<'a> MoLocTracker<'a> {
         }
         let fingerprint_set = CandidateSet::from_neighbors(&self.neighbors)
             .map_err(|_| MolocError::EmptyCandidates)?;
+        Ok(self.advance(fingerprint_set, motion))
+    }
 
+    /// Processes a whole trace in one call, batching the per-step k-NN
+    /// scans through the cache-blocked multi-query kernel when an
+    /// indexed fingerprint backend is active (one Q×L pass over the
+    /// columnar matrix instead of Q row walks; DESIGN.md §15).
+    /// Estimates are **bit-identical** to calling [`Self::observe`]
+    /// once per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-step error ([`TrackError`]), exactly as
+    /// the equivalent `observe` loop would; steps before it have
+    /// already updated the tracker's retained candidate state.
+    pub fn observe_trace(
+        &mut self,
+        queries: &[(Fingerprint, Option<MotionMeasurement>)],
+    ) -> Result<Vec<LocationId>, TrackError> {
+        let _span = moloc_obs::span("core.tracker.observe_trace");
+        let index = match &self.fingerprints {
+            FingerprintBackend::OwnedIndex(index) => Some(&**index),
+            FingerprintBackend::SharedIndex(index) => Some(*index),
+            FingerprintBackend::ExactScan => None,
+        };
+        // Precompute k-NN for the longest valid prefix of the trace in
+        // one blocked scan; a length-mismatched query ends the prefix
+        // so the per-step path below reports it in order.
+        let precomputed = match index {
+            Some(index) if moloc_fingerprint::block::block_enabled() && !queries.is_empty() => {
+                let ap = self.fingerprint_db.ap_count();
+                let mut block = QueryBlock::new(ap);
+                for (query, _) in queries {
+                    if query.len() != ap {
+                        break;
+                    }
+                    block.push(query.values());
+                }
+                if block.is_empty() {
+                    None
+                } else {
+                    let mut scratch = BlockScratch::new();
+                    let mut out = BlockNeighbors::new();
+                    index.k_nearest_block_into::<SquaredEuclidean>(
+                        &mut block,
+                        self.config.k,
+                        &mut scratch,
+                        &mut out,
+                    );
+                    Some(out)
+                }
+            }
+            _ => None,
+        };
+        let precount = precomputed.as_ref().map_or(0, BlockNeighbors::query_count);
+        let mut estimates = Vec::with_capacity(queries.len());
+        for (step, (query, motion)) in queries.iter().enumerate() {
+            let estimate = match &precomputed {
+                Some(block_out) if step < precount => {
+                    if let Some(m) = motion {
+                        if !m.direction_deg.is_finite()
+                            || !m.offset_m.is_finite()
+                            || m.offset_m < 0.0
+                        {
+                            return Err(TrackError::BadMeasurement);
+                        }
+                    }
+                    let fingerprint_set = CandidateSet::from_neighbors(block_out.query(step))
+                        .map_err(|_| MolocError::EmptyCandidates)?;
+                    self.advance(fingerprint_set, *motion)
+                }
+                _ => self.observe(query, *motion)?,
+            };
+            estimates.push(estimate);
+        }
+        Ok(estimates)
+    }
+
+    /// Folds one step's fingerprint candidates into the retained state:
+    /// Eq. 7 motion reweighting when both history and a measurement
+    /// exist, then top-pick and retention. Shared by [`Self::observe`]
+    /// and the blocked [`Self::observe_trace`] path.
+    fn advance(
+        &mut self,
+        fingerprint_set: CandidateSet,
+        motion: Option<MotionMeasurement>,
+    ) -> LocationId {
         let posterior = match (self.previous.as_ref(), motion) {
             (Some(prev), Some(m)) => match &self.backend {
                 MotionBackend::OwnedKernel(kernel) => evaluate_candidates_kernel(
@@ -275,7 +362,7 @@ impl<'a> MoLocTracker<'a> {
         };
         let estimate = posterior.top().location;
         self.previous = Some(posterior);
-        Ok(estimate)
+        estimate
     }
 }
 
@@ -475,6 +562,68 @@ mod tests {
         let exact = run(MoLocTracker::new(&fdb, &mdb, config).with_exact_scan());
         assert_eq!(owned, exact);
         assert_eq!(shared, exact);
+    }
+
+    #[test]
+    fn observe_trace_matches_per_step_observe() {
+        let (fdb, mdb) = world();
+        let config = MoLocConfig::default();
+        let queries: Vec<(Fingerprint, Option<MotionMeasurement>)> = vec![
+            (fp(&[-40.0, -70.0]), None),
+            (
+                fp(&[-50.0, -50.05]),
+                Some(MotionMeasurement {
+                    direction_deg: 91.0,
+                    offset_m: 4.1,
+                }),
+            ),
+            (
+                fp(&[-41.0, -69.5]),
+                Some(MotionMeasurement {
+                    direction_deg: 270.0,
+                    offset_m: 4.0,
+                }),
+            ),
+            (fp(&[-50.0, -50.0]), None),
+        ];
+        let mut stepwise = MoLocTracker::new(&fdb, &mdb, config);
+        let expected: Vec<LocationId> = queries
+            .iter()
+            .map(|(q, m)| stepwise.observe(q, *m).unwrap())
+            .collect();
+        let mut batched = MoLocTracker::new(&fdb, &mdb, config);
+        assert_eq!(batched.observe_trace(&queries).unwrap(), expected);
+        let step_cands: Vec<(LocationId, f64)> = stepwise.candidates().unwrap().iter().collect();
+        let batch_cands: Vec<(LocationId, f64)> = batched.candidates().unwrap().iter().collect();
+        assert_eq!(step_cands, batch_cands);
+        // The exact-scan backend takes the per-step fallback inside
+        // observe_trace and must agree too.
+        let mut exact = MoLocTracker::new(&fdb, &mdb, config).with_exact_scan();
+        assert_eq!(exact.observe_trace(&queries).unwrap(), expected);
+    }
+
+    #[test]
+    fn observe_trace_surfaces_mid_trace_errors_in_order() {
+        let (fdb, mdb) = world();
+        let mut t = MoLocTracker::new(&fdb, &mdb, MoLocConfig::default());
+        // A length-mismatched query at step 1 ends the blocked prefix;
+        // the error must surface exactly as the stepwise loop's would.
+        let err = t
+            .observe_trace(&[
+                (fp(&[-40.0, -70.0]), None),
+                (fp(&[-40.0]), None),
+                (fp(&[-50.0, -50.0]), None),
+            ])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TrackError::QueryLength {
+                expected: 2,
+                found: 1
+            }
+        );
+        // Step 0 was processed before the error hit.
+        assert!(t.candidates().is_some());
     }
 
     #[test]

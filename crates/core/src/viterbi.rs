@@ -21,10 +21,10 @@
 use crate::config::MoLocConfig;
 use crate::matching::build_kernel;
 use crate::tracker::MotionMeasurement;
+use moloc_fingerprint::block::QueryBlock;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
 use moloc_fingerprint::index::{FingerprintIndex, SquaredEuclidean};
-use moloc_fingerprint::index::MetricKernel as _;
 use moloc_fingerprint::metric::{Dissimilarity, Euclidean};
 use moloc_geometry::LocationId;
 use moloc_motion::kernel::MotionKernel;
@@ -98,39 +98,37 @@ impl<'a> ViterbiLocalizer<'a> {
         self
     }
 
-    /// Log emission probabilities over all locations for one query:
-    /// Eq. 4 weights (1/dissimilarity), normalized across the full
-    /// state space.
-    fn log_emissions(&self, query: &Fingerprint) -> Vec<f64> {
-        let weights: Vec<f64> = match &self.index {
-            Some(index) => {
-                let mut distances = Vec::with_capacity(index.len());
-                for position in 0..index.len() {
-                    let m = SquaredEuclidean::finalize(SquaredEuclidean::rank(
-                        query.values(),
-                        index.row(position),
-                    ));
-                    distances.push(if m <= f64::EPSILON { 1e12 } else { 1.0 / m });
-                }
-                distances
-            }
-            None => self
-                .fingerprint_db
-                .iter()
-                .map(|(_, fp)| {
-                    let m = self.metric.dissimilarity(query, fp);
-                    if m <= f64::EPSILON {
-                        1e12 // exact match dominates
-                    } else {
-                        1.0 / m
-                    }
-                })
-                .collect(),
-        };
-        let total: f64 = weights.iter().sum();
-        weights
+    /// Log emission probabilities over all locations for one query on
+    /// the per-fingerprint metric walk (the pre-index reference path).
+    fn log_emissions_exact(&self, query: &Fingerprint) -> Vec<f64> {
+        let distances: Vec<f64> = self
+            .fingerprint_db
             .iter()
-            .map(|w| (w / total).max(1e-300).ln())
+            .map(|(_, fp)| self.metric.dissimilarity(query, fp))
+            .collect();
+        log_emissions_from_distances(&distances)
+    }
+
+    /// Log emission probabilities for every step of a trace at once:
+    /// the columnar index ranks all Q queries against all L rows in one
+    /// cache-blocked Q×L pass (DESIGN.md §15), then each step's
+    /// distance row is normalized independently. Bit-identical to the
+    /// old per-step indexed walk — the blocked kernel preserves the
+    /// scalar accumulation order.
+    fn log_emissions_indexed(
+        &self,
+        index: &FingerprintIndex,
+        queries: &[(Fingerprint, Option<MotionMeasurement>)],
+    ) -> Vec<Vec<f64>> {
+        let rows = index.len();
+        let mut block = QueryBlock::new(index.ap_count());
+        for (query, _) in queries {
+            block.push(query.values());
+        }
+        let mut ranks = Vec::new();
+        index.rank_all_block_into::<SquaredEuclidean>(&mut block, &mut ranks);
+        (0..queries.len())
+            .map(|s| log_emissions_from_distances(&ranks[s * rows..(s + 1) * rows]))
             .collect()
     }
 
@@ -161,12 +159,23 @@ impl<'a> ViterbiLocalizer<'a> {
         let states: Vec<LocationId> = self.fingerprint_db.locations().collect();
         let n = states.len();
 
+        // All steps' emissions up front: the indexed path amortizes one
+        // blocked Q×L scan over the whole trace instead of Q separate
+        // row walks.
+        let mut all_emissions: Vec<Vec<f64>> = match &self.index {
+            Some(index) => self.log_emissions_indexed(index, queries),
+            None => queries
+                .iter()
+                .map(|(query, _)| self.log_emissions_exact(query))
+                .collect(),
+        };
+
         // δ[s] = best log-probability of any path ending in state s.
-        let mut delta = self.log_emissions(&queries[0].0);
+        let mut delta = std::mem::take(&mut all_emissions[0]);
         let mut backpointers: Vec<Vec<usize>> = Vec::with_capacity(queries.len() - 1);
 
-        for (query, motion) in &queries[1..] {
-            let emissions = self.log_emissions(query);
+        for (step, (_, motion)) in queries.iter().enumerate().skip(1) {
+            let emissions = &all_emissions[step];
             let mut next = vec![f64::NEG_INFINITY; n];
             let mut back = vec![0usize; n];
             for (j, &to) in states.iter().enumerate() {
@@ -213,6 +222,22 @@ impl<'a> ViterbiLocalizer<'a> {
         path.reverse();
         Ok(path)
     }
+}
+
+/// Eq. 4 weights (1/dissimilarity, exact matches dominating) over one
+/// query's distance row, normalized across the full state space and
+/// floored before the log. Shared by the exact and indexed paths so the
+/// weight→log transform is applied in the exact same operation order.
+fn log_emissions_from_distances(distances: &[f64]) -> Vec<f64> {
+    let weights: Vec<f64> = distances
+        .iter()
+        .map(|&m| if m <= f64::EPSILON { 1e12 } else { 1.0 / m })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    weights
+        .iter()
+        .map(|w| (w / total).max(1e-300).ln())
+        .collect()
 }
 
 #[cfg(test)]

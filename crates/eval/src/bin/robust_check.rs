@@ -40,9 +40,7 @@ fn parse_args() -> Result<Args, String> {
             "--new" => args.new = value("--new")?,
             "--tolerance" => {
                 let v = value("--tolerance")?;
-                args.tolerance = v
-                    .parse()
-                    .map_err(|_| format!("invalid tolerance: {v}"))?;
+                args.tolerance = v.parse().map_err(|_| format!("invalid tolerance: {v}"))?;
             }
             "--help" | "-h" => {
                 println!("usage: robust_check [--old FILE] [--new FILE] [--tolerance RATIO]");

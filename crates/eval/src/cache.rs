@@ -258,11 +258,7 @@ mod tests {
         let cache = ScenarioCache::new(&world);
         cache.artifacts(5);
         cache.artifacts(6);
-        cache.artifacts_with(
-            6,
-            SanitationConfig::disabled(),
-            CountingMethod::Continuous,
-        );
+        cache.artifacts_with(6, SanitationConfig::disabled(), CountingMethod::Continuous);
         cache.artifacts_with(6, SanitationConfig::paper(), CountingMethod::Discrete);
         assert_eq!(cache.setting_builds(), 4);
         // Re-requesting any of them adds no builds.

@@ -309,8 +309,13 @@ pub fn map_db(cache: &ScenarioCache<'_>, n_aps: usize) -> MapDbAblation {
     let mut map_setting = crowdsourced.setting.clone();
     map_setting.motion_db = from_coordinates(&world.hall.grid, MapBasedConfig::default());
     let map_kernel = moloc_core::matching::build_kernel(&map_setting.motion_db, &config);
-    let map_outcomes =
-        localize_moloc_with(world, &map_setting, config, &crowdsourced.index, &map_kernel);
+    let map_outcomes = localize_moloc_with(
+        world,
+        &map_setting,
+        config,
+        &crowdsourced.index,
+        &map_kernel,
+    );
 
     MapDbAblation {
         crowdsourced_accuracy: summarize(&flatten(&crowd_outcomes)).accuracy,

@@ -6,7 +6,9 @@
 
 use crate::cache::ScenarioCache;
 use crate::metrics::{error_ecdf, flatten, summarize, LocalizationSummary};
-use crate::pipeline::{localize_moloc, localize_moloc_with, localize_wifi, EvalWorld, PassOutcome, Setting};
+use crate::pipeline::{
+    localize_moloc, localize_moloc_with, localize_wifi, EvalWorld, PassOutcome, Setting,
+};
 use crate::report;
 use moloc_core::config::MoLocConfig;
 use moloc_stats::ecdf::Ecdf;

@@ -18,6 +18,14 @@ pub const COUNTERS: &[&str] = &[
     "fingerprint.knn.queries",
     "fingerprint.knn.masked_queries",
     "fingerprint.knn.candidates_scanned",
+    // Cache-blocked multi-query scans (DESIGN.md §15): one `block_scans`
+    // tick per Q×L dispatch, `block_queries` per query inside one, and
+    // the f32 mirror's prefilter traffic (`mirror_queries` prefiltered,
+    // `mirror_survivors` exactly rescored in f64).
+    "fingerprint.knn.block_scans",
+    "fingerprint.knn.block_queries",
+    "fingerprint.knn.mirror_queries",
+    "fingerprint.knn.mirror_survivors",
     // Degradation-rung occupancy: one `observations` tick per batch
     // observation, plus one tick per rung flagged on that observation
     // (`clean` when no rung fired). Mirrors `DegradationFlags`.
@@ -37,8 +45,10 @@ pub const COUNTERS: &[&str] = &[
     // executed by a worker other than their dealt owner.
     "eval.runtime.jobs",
     "eval.runtime.steals",
-    // Intra-query sharded k-NN dispatches (large synthetic surveys).
+    // Intra-query sharded k-NN dispatches (large synthetic surveys)
+    // and multi-query block scans fanned out over query ranges.
     "eval.knn.sharded_queries",
+    "eval.knn.block_dispatches",
 ];
 
 /// Last-write-wins instantaneous values.
@@ -53,6 +63,7 @@ pub const HISTOGRAMS: &[&str] = &[
     "core.batch.localize_trace",
     "core.batch.observe",
     "core.tracker.observe",
+    "core.tracker.observe_trace",
     "core.particle.observe",
     "core.viterbi.localize_trace",
     "eval.pipeline.build_setting",

@@ -29,7 +29,6 @@ use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
 use moloc_fingerprint::index::FingerprintIndex;
 use moloc_fingerprint::nn_localizer::NnLocalizer;
-use moloc_motion::kernel::MotionKernel;
 use moloc_geometry::LocationId;
 use moloc_mobility::corpus::{CorpusConfig, TraceCorpus};
 use moloc_mobility::intervals::{measure_intervals, IntervalMeasurement};
@@ -37,6 +36,7 @@ use moloc_mobility::render::SensorTrace;
 use moloc_mobility::user::paper_users;
 use moloc_motion::builder::{BuildReport, MotionDbBuilder};
 use moloc_motion::filter::SanitationConfig;
+use moloc_motion::kernel::MotionKernel;
 use moloc_motion::matrix::MotionDb;
 use moloc_motion::rlm::Rlm;
 use moloc_radio::survey::{SiteSurvey, SurveySplit};
@@ -207,7 +207,14 @@ pub fn analyze_trace(
     counting: CountingMethod,
     n_aps: usize,
 ) -> TraceAnalysis {
-    analyze_trace_with(trace, &NnLocalizer::new(fdb), hall, detector, counting, n_aps)
+    analyze_trace_with(
+        trace,
+        &NnLocalizer::new(fdb),
+        hall,
+        detector,
+        counting,
+        n_aps,
+    )
 }
 
 /// [`analyze_trace`] over a caller-shared [`FingerprintIndex`]: skips
@@ -428,21 +435,40 @@ pub fn localize_moloc_with(
                 setting.n_aps,
             );
             let mut engine = BatchLocalizer::with_scratch(index, kernel, config, scratch);
+            // Whole-trace localization: the engine batches every pass's
+            // k-NN through the cache-blocked multi-query scan
+            // (DESIGN.md §15) before the sequential Eq. 4/7 recursion —
+            // bit-identical estimates to the old per-pass observe loop.
+            let scans: Vec<&[f64]> = trace
+                .scans
+                .iter()
+                .map(|scan| &scan[..setting.n_aps])
+                .collect();
+            let motions: Vec<_> = (0..scans.len())
+                .map(|i| {
+                    if i == 0 {
+                        None
+                    } else {
+                        analysis.measurements[i - 1]
+                    }
+                })
+                .collect();
+            let mut estimates = Vec::with_capacity(scans.len());
+            engine
+                .localize_scans_into(&scans, &motions, &mut estimates)
+                .expect("query length matches database");
             let outcomes: Vec<PassOutcome> = trace
                 .passes
                 .iter()
-                .zip(&trace.scans)
                 .enumerate()
-                .map(|(pass_index, (pass, scan))| {
-                    let motion = if pass_index == 0 {
-                        None
-                    } else {
-                        analysis.measurements[pass_index - 1]
-                    };
-                    let estimate = engine
-                        .observe_slice(&scan[..setting.n_aps], motion)
-                        .expect("query length matches database");
-                    outcome(world, trace_index, pass_index, pass.location, estimate)
+                .map(|(pass_index, pass)| {
+                    outcome(
+                        world,
+                        trace_index,
+                        pass_index,
+                        pass.location,
+                        estimates[pass_index],
+                    )
                 })
                 .collect();
             scratch = engine.into_scratch();

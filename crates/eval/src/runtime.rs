@@ -220,9 +220,8 @@ impl Runtime {
         // SAFETY: the erased borrow is released before this function
         // returns — `run_job` blocks until every participant has left
         // the job (see `JobState` safety note).
-        let task: TaskRef = unsafe {
-            std::mem::transmute::<&(dyn Fn(Range<usize>) + Sync), TaskRef>(shard_fn)
-        };
+        let task: TaskRef =
+            unsafe { std::mem::transmute::<&(dyn Fn(Range<usize>) + Sync), TaskRef>(shard_fn) };
         let job = Arc::new(JobState {
             task,
             deques: deques.into_iter().map(Mutex::new).collect(),
@@ -250,10 +249,7 @@ impl Runtime {
         {
             let mut slot = lock(&self.slot);
             while job.pending.load(Ordering::Acquire) > 0 {
-                slot = self
-                    .done_cv
-                    .wait(slot)
-                    .unwrap_or_else(|e| e.into_inner());
+                slot = self.done_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
             }
             slot.job = None;
         }
@@ -329,10 +325,7 @@ impl Runtime {
                             }
                         }
                     }
-                    slot = self
-                        .job_cv
-                        .wait(slot)
-                        .unwrap_or_else(|e| e.into_inner());
+                    slot = self.job_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
                 }
             };
             let items = job.work(worker_slot);
@@ -489,7 +482,11 @@ mod tests {
             }
         });
         for (i, c) in counts.iter().enumerate() {
-            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i} ran a wrong number of times");
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "item {i} ran a wrong number of times"
+            );
         }
     }
 

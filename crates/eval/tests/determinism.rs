@@ -16,9 +16,7 @@ use moloc_core::config::MoLocConfig;
 use moloc_core::matching::build_kernel;
 use moloc_core::tracker::MoLocTracker;
 use moloc_eval::parallel::{par_run, set_worker_override, thread_count};
-use moloc_eval::pipeline::{
-    analyze_trace, localize_moloc, localize_wifi, EvalWorld, PassOutcome,
-};
+use moloc_eval::pipeline::{analyze_trace, localize_moloc, localize_wifi, EvalWorld, PassOutcome};
 use moloc_sensors::steps::StepDetector;
 
 #[test]
@@ -30,7 +28,9 @@ fn thread_count_env_contract() {
 
 #[test]
 fn par_run_equals_serial_map_for_pure_functions() {
-    let serial: Vec<u64> = (0..193u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D)).collect();
+    let serial: Vec<u64> = (0..193u64)
+        .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D))
+        .collect();
     let parallel = par_run(193, |i| (i as u64).wrapping_mul(0x2545F4914F6CDD1D));
     assert_eq!(serial, parallel);
 }
@@ -107,11 +107,14 @@ fn serial_child_process_matches_parallel_parent() {
     let serial_digest = stdout
         .split("DIGEST=")
         .nth(1)
-        .map(|rest| rest.chars().take_while(char::is_ascii_hexdigit).collect::<String>())
+        .map(|rest| {
+            rest.chars()
+                .take_while(char::is_ascii_hexdigit)
+                .collect::<String>()
+        })
         .expect("child printed a digest");
     assert_eq!(
-        serial_digest,
-        digest,
+        serial_digest, digest,
         "serial (MOLOC_THREADS=1) and parallel outcomes diverged"
     );
 }
@@ -136,21 +139,30 @@ fn outcome_digest_is_invariant_across_worker_counts() {
 }
 
 #[test]
-fn serial_child_digest_survives_thread_and_chunk_settings() {
-    // Environment-level matrix: MOLOC_THREADS and MOLOC_CHUNK are
-    // parsed once per process, so each cell runs as a clean child.
-    // Chunk size shifts shard boundaries (including chunk=1, maximal
-    // stealing, and a chunk larger than the trace count, one shard);
-    // neither it nor the worker count may leak into outcomes.
+fn serial_child_digest_survives_thread_chunk_and_block_settings() {
+    // Environment-level matrix: MOLOC_THREADS, MOLOC_CHUNK, and the
+    // blocked-scan toggles are parsed once per process, so each cell
+    // runs as a clean child. Chunk size shifts shard boundaries
+    // (including chunk=1, maximal stealing, and a chunk larger than
+    // the trace count, one shard); MOLOC_BLOCK=0 forces the per-query
+    // k-NN loop and MOLOC_MIRROR=0 the pure-f64 blocked kernel. None
+    // of them may leak into outcomes.
     let digest = outcome_digest();
     let exe = std::env::current_exe().expect("test binary path");
-    for (threads, chunk) in [
-        ("2", None),
-        ("3", None),
-        ("8", None),
-        ("2", Some("1")),
-        ("3", Some("7")),
-        ("2", Some("1024")),
+    for (threads, chunk, block, mirror) in [
+        ("2", None, None, None),
+        ("3", None, None, None),
+        ("8", None, None, None),
+        ("2", Some("1"), None, None),
+        ("3", Some("7"), None, None),
+        ("2", Some("1024"), None, None),
+        // Blocked path disabled entirely: per-query scans only.
+        ("2", None, Some("0"), None),
+        ("3", Some("7"), Some("0"), None),
+        // Blocked path on, f32 mirror off: pure-f64 lane kernel.
+        ("2", None, Some("1"), Some("0")),
+        // Both explicitly on (the defaults, spelled out).
+        ("3", None, Some("1"), Some("1")),
     ] {
         let mut cmd = std::process::Command::new(&exe);
         cmd.args(["helper_print_outcome_digest", "--exact", "--nocapture"])
@@ -160,8 +172,19 @@ fn serial_child_digest_survives_thread_and_chunk_settings() {
             Some(c) => cmd.env("MOLOC_CHUNK", c),
             None => cmd.env_remove("MOLOC_CHUNK"),
         };
+        match block {
+            Some(b) => cmd.env("MOLOC_BLOCK", b),
+            None => cmd.env_remove("MOLOC_BLOCK"),
+        };
+        match mirror {
+            Some(m) => cmd.env("MOLOC_MIRROR", m),
+            None => cmd.env_remove("MOLOC_MIRROR"),
+        };
         let out = cmd.output().expect("spawn digest child");
-        assert!(out.status.success(), "child {threads}/{chunk:?} failed: {out:?}");
+        assert!(
+            out.status.success(),
+            "child {threads}/{chunk:?}/{block:?}/{mirror:?} failed: {out:?}"
+        );
         let stdout = String::from_utf8_lossy(&out.stdout);
         let child_digest = stdout
             .split("DIGEST=")
@@ -174,7 +197,33 @@ fn serial_child_digest_survives_thread_and_chunk_settings() {
             .expect("child printed a digest");
         assert_eq!(
             child_digest, digest,
-            "MOLOC_THREADS={threads} MOLOC_CHUNK={chunk:?} diverged from the parent"
+            "MOLOC_THREADS={threads} MOLOC_CHUNK={chunk:?} MOLOC_BLOCK={block:?} \
+             MOLOC_MIRROR={mirror:?} diverged from the parent"
+        );
+    }
+}
+
+#[test]
+fn outcome_digest_is_invariant_across_block_and_mirror_toggles() {
+    // The blocked multi-query scan and its f32 mirror are throughput
+    // knobs, never output knobs: flipping them in-process (the
+    // override shadows the once-parsed env toggles) must reproduce the
+    // ambient digest bit-for-bit.
+    use moloc_fingerprint::block::{set_block_override, set_mirror_override};
+    let baseline = outcome_digest();
+    for (block, mirror) in [
+        (Some(false), None),
+        (Some(true), Some(false)),
+        (Some(true), Some(true)),
+    ] {
+        set_block_override(block);
+        set_mirror_override(mirror);
+        let digest = outcome_digest();
+        set_block_override(None);
+        set_mirror_override(None);
+        assert_eq!(
+            digest, baseline,
+            "block={block:?} mirror={mirror:?} diverged from ambient"
         );
     }
 }
@@ -231,23 +280,18 @@ fn batch_engine_digest_matches_exact_scan_tracker() {
                 setting.counting,
                 setting.n_aps,
             );
-            let mut tracker = MoLocTracker::new_with_kernel(
-                &setting.fdb,
-                &setting.motion_db,
-                config,
-                &kernel,
-            )
-            .with_exact_scan();
+            let mut tracker =
+                MoLocTracker::new_with_kernel(&setting.fdb, &setting.motion_db, config, &kernel)
+                    .with_exact_scan();
             trace
                 .passes
                 .iter()
                 .zip(&trace.scans)
                 .enumerate()
                 .map(|(pass_index, (pass, scan))| {
-                    let query =
-                        moloc_fingerprint::fingerprint::Fingerprint::new(
-                            scan[..setting.n_aps].to_vec(),
-                        );
+                    let query = moloc_fingerprint::fingerprint::Fingerprint::new(
+                        scan[..setting.n_aps].to_vec(),
+                    );
                     let motion = if pass_index == 0 {
                         None
                     } else {

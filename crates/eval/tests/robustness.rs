@@ -10,7 +10,9 @@ use moloc_core::config::MoLocConfig;
 use moloc_eval::experiments::robustness;
 use moloc_eval::pipeline::{localize_moloc, EvalWorld};
 use moloc_faults::plan::{FaultPlan, FaultSuite};
-use moloc_faults::{ApDropout, ApOutage, RlmCorruption, RogueAp, SensorGap, StaleDrift, TimestampJitter};
+use moloc_faults::{
+    ApDropout, ApOutage, RlmCorruption, RogueAp, SensorGap, StaleDrift, TimestampJitter,
+};
 
 fn world() -> EvalWorld {
     EvalWorld::small(2013)
@@ -41,7 +43,10 @@ fn zero_intensity_plan_is_bit_identical_to_clean_pipeline() {
             gap_s: 1.0,
             seed: 7,
         })
-        .with(TimestampJitter { std_s: 0.0, seed: 7 })
+        .with(TimestampJitter {
+            std_s: 0.0,
+            seed: 7,
+        })
         .with(RlmCorruption {
             fraction: 0.0,
             seed: 7,
@@ -79,7 +84,10 @@ fn every_injector_survives_high_intensity() {
             gap_s: 5.0,
             seed: 4,
         }),
-        Box::new(TimestampJitter { std_s: 2.0, seed: 5 }),
+        Box::new(TimestampJitter {
+            std_s: 2.0,
+            seed: 5,
+        }),
         Box::new(RlmCorruption {
             fraction: 1.0,
             seed: 6,
@@ -113,14 +121,16 @@ fn every_injector_survives_high_intensity() {
             gap_s: 4.0,
             seed: 4,
         })
-        .with(TimestampJitter { std_s: 1.0, seed: 5 })
+        .with(TimestampJitter {
+            std_s: 1.0,
+            seed: 5,
+        })
         .with(RlmCorruption {
             fraction: 0.7,
             seed: 6,
         });
     assert!(!suite.is_empty() && FaultSuite::new().is_empty());
-    let (outcomes, counts) =
-        robustness::localize_faulted(&world, &setting, config, &suite);
+    let (outcomes, counts) = robustness::localize_faulted(&world, &setting, config, &suite);
     assert_eq!(outcomes.len(), world.corpus.test.len());
     // Half the readings dropped: the masked rung must actually fire.
     assert!(counts.masked > 0);

@@ -35,8 +35,7 @@ impl SensorGap {
             // compass — same trace, same length — lose identical
             // windows.
             let span = len.saturating_sub(gap_samples).max(1);
-            let start =
-                (unit(hash(self.seed, trace, gap as u64, 0)) * span as f64) as usize;
+            let start = (unit(hash(self.seed, trace, gap as u64, 0)) * span as f64) as usize;
             let end = (start + gap_samples).min(len);
             for value in &mut values[start.min(len)..end] {
                 *value = f64::NAN;
@@ -161,12 +160,7 @@ mod tests {
         let mut compass = series(150);
         plan.apply_accel(2, &mut accel);
         plan.apply_compass(2, &mut compass);
-        let mask = |s: &TimeSeries| {
-            s.values()
-                .iter()
-                .map(|v| v.is_nan())
-                .collect::<Vec<_>>()
-        };
+        let mask = |s: &TimeSeries| s.values().iter().map(|v| v.is_nan()).collect::<Vec<_>>();
         assert_eq!(mask(&accel), mask(&compass));
         assert!(mask(&accel).iter().any(|&m| m));
     }
@@ -193,7 +187,10 @@ mod tests {
 
     #[test]
     fn jitter_shifts_timebase_only() {
-        let plan = TimestampJitter { std_s: 0.5, seed: 3 };
+        let plan = TimestampJitter {
+            std_s: 0.5,
+            seed: 3,
+        };
         let original = series(50);
         let mut accel = original.clone();
         let mut compass = original.clone();
@@ -205,7 +202,11 @@ mod tests {
         assert_eq!(accel.sample_rate_hz(), original.sample_rate_hz());
 
         let mut zero = original.clone();
-        TimestampJitter { std_s: 0.0, seed: 3 }.apply_accel(1, &mut zero);
+        TimestampJitter {
+            std_s: 0.0,
+            seed: 3,
+        }
+        .apply_accel(1, &mut zero);
         assert_eq!(zero, original);
     }
 }

@@ -131,9 +131,13 @@ impl FingerprintDb {
         for (id, set) in samples {
             let mut accumulators: Option<Vec<Welford>> = None;
             for sample in set {
-                let accumulators = accumulators
-                    .get_or_insert_with(|| vec![Welford::new(); sample.len()]);
-                assert_eq!(sample.len(), accumulators.len(), "fingerprint lengths differ");
+                let accumulators =
+                    accumulators.get_or_insert_with(|| vec![Welford::new(); sample.len()]);
+                assert_eq!(
+                    sample.len(),
+                    accumulators.len(),
+                    "fingerprint lengths differ"
+                );
                 for (acc, &value) in accumulators.iter_mut().zip(sample.values()) {
                     acc.push(value);
                 }

@@ -39,6 +39,18 @@ pub trait MetricKernel: Copy + Send + Sync + 'static {
 
     /// A short human-readable name for reports.
     fn name() -> &'static str;
+
+    /// Whether `rank` is exactly [`crate::metric::euclidean_sq`] —
+    /// a sum of per-AP squared differences accumulated in slice order.
+    /// Only such kernels may take the blocked lane path (whose
+    /// register-blocked accumulators reproduce that accumulation order
+    /// bit-for-bit) and the f32 mirror prefilter (whose conservative
+    /// error bound assumes the squared-difference form). Kernels that
+    /// keep the default `false` are evaluated per query inside the
+    /// block entry points, with identical results.
+    fn block_compatible() -> bool {
+        false
+    }
 }
 
 /// Euclidean ranking on squared distance, `sqrt` deferred to survivors.
@@ -61,6 +73,10 @@ impl MetricKernel for SquaredEuclidean {
 
     fn name() -> &'static str {
         "euclidean"
+    }
+
+    fn block_compatible() -> bool {
+        true
     }
 }
 
@@ -106,11 +122,12 @@ impl MetricKernel for CosineKernel {
 
 /// One retained scan candidate: rank ascending, ties broken by lower
 /// row position (rows are stored in location-id order, so position
-/// order is id order).
+/// order is id order). Shared with the blocked kernels' per-query
+/// selection tables ([`crate::block::BlockScratch`]).
 #[derive(Debug, Clone, Copy)]
-struct RankEntry {
-    rank: f64,
-    position: u32,
+pub(crate) struct RankEntry {
+    pub(crate) rank: f64,
+    pub(crate) position: u32,
 }
 
 impl PartialEq for RankEntry {
@@ -253,7 +270,26 @@ pub struct FingerprintIndex {
     matrix: Vec<f64>,
     sq_norms: Vec<f64>,
     ap_count: usize,
+    /// f32 quantized copy of `matrix` in *column-major* (AP-major)
+    /// layout — `mirror[a * len() + row]` — used by the blocked scans
+    /// as a half-bandwidth *prefilter*: contiguous per-AP columns let
+    /// the f32 kernels vectorize across rows, and survivors are exactly
+    /// rescored from `matrix`, so quantization can never change a
+    /// result. `None` when values are too large to quantize safely
+    /// (see [`F32_SAFE_LIMIT`]).
+    mirror: Option<Vec<f32>>,
+    /// Largest |value| in `matrix`; feeds the mirror's conservative
+    /// quantization-error bound.
+    max_abs: f64,
 }
+
+/// Largest |value| the f32 mirror accepts, for matrix and query alike.
+/// Beyond this, f64→f32 conversion could overflow to infinity and a
+/// subsequent `∞ − ∞` would poison ranks with NaN; below it every
+/// intermediate of the f32 kernel stays finite (`4·8·(2·1e15)² ≪
+/// f32::MAX`). RSS fingerprints live near `[-100, 0]`, so real surveys
+/// never come close.
+pub(crate) const F32_SAFE_LIMIT: f64 = 1e15;
 
 impl FingerprintIndex {
     /// Flattens a database into the columnar layout. `O(locations ×
@@ -268,12 +304,33 @@ impl FingerprintIndex {
             matrix.extend_from_slice(fp.values());
             sq_norms.push(fp.values().iter().map(|v| v * v).sum());
         }
+        let max_abs = matrix.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let mirror = if max_abs < F32_SAFE_LIMIT {
+            let rows = ids.len();
+            let mut cols = vec![0.0f32; rows * ap_count];
+            for (row, fp) in matrix.chunks_exact(ap_count.max(1)).enumerate() {
+                for (a, &v) in fp.iter().enumerate() {
+                    cols[a * rows + row] = v as f32;
+                }
+            }
+            Some(cols)
+        } else {
+            None
+        };
         Self {
             ids,
             matrix,
             sq_norms,
             ap_count,
+            mirror,
+            max_abs,
         }
+    }
+
+    /// Whether the index carries an f32 mirror (built whenever the
+    /// survey's values fit f32 safely — effectively always for RSS).
+    pub fn has_mirror(&self) -> bool {
+        self.mirror.is_some()
     }
 
     /// Number of indexed locations.
@@ -715,6 +772,1304 @@ impl FingerprintIndex {
     }
 }
 
+// ---------------------------------------------------------------------
+// Blocked multi-query kernels (DESIGN.md §15).
+//
+// A `QueryBlock` of Q queries is evaluated against the index in
+// cache-blocked Q×L tiles: an L-tile of rows is kept L1-resident while
+// register-blocked accumulator lanes walk a Q-tile of queries over it,
+// one independent accumulator per query so the compiler vectorizes
+// across the query dimension. Per (query, row) the rank is accumulated
+// in exactly `euclidean_sq`'s slice order, so the blocked scan is
+// bit-identical to the per-query scan. The optional f32 mirror runs
+// the same tiling at half the memory bandwidth as a *prefilter*: every
+// row within a conservative quantization-error bound of the k-th
+// smallest f32 rank survives to an exact f64 rescore under the serial
+// comparator, which provably retains the true top-k (contents and tie
+// order).
+// ---------------------------------------------------------------------
+
+/// Rows per L-tile: 128 rows × 8 APs × 8 B = 8 KiB of matrix plus an
+/// 8 KiB tile-rank buffer — together at most half a typical L1d, so
+/// one row tile stays resident while every query sub-tile revisits it.
+const TILE_ROWS: usize = 128;
+
+/// Query lanes per f64 register tile; the remainder runs narrower
+/// const-width tiles so every tile stays a compile-time constant. Eight
+/// lanes give the compute phase enough independent accumulators to
+/// saturate the FP pipes across vector widths.
+const TILE_Q: usize = 8;
+
+/// Query lanes per f32 mirror register tile: 4 queries × a
+/// [`MIRROR_CHUNK`]-row accumulator panel fits the vector register
+/// file with room for the column loads.
+const MIRROR_TILE_Q: usize = 4;
+
+/// Rows per f32 mirror chunk: the accumulator-panel width of the
+/// column-major compute kernel. 16 rows × [`MIRROR_TILE_Q`] queries is
+/// eight vector registers of accumulators — the panel stays register-
+/// resident with room for the column loads.
+const MIRROR_CHUNK: usize = 16;
+
+/// Rows per chunk of the single-query mirror scan: one query offers no
+/// cross-query parallelism, so the row panel is widened until the
+/// accumulator dependency chains stop mattering.
+const SINGLE_CHUNK: usize = 64;
+
+/// Lanes of the strided running-minimum sweep that bounds a query's
+/// k-th smallest f32 rank (so the mirror path requires
+/// `k <= BOUND_LANES`; larger k routes to the f64 lane kernel). 16
+/// f32 lanes are two AVX2 registers of pure vertical `min` — the
+/// whole bound costs a branchless pass over the rank row plus a
+/// 16-element sort.
+const BOUND_LANES: usize = 16;
+
+/// One selection step of the blocked scan, replicating [`select`]'s
+/// semantics for a single query with caller-held state: fill the first
+/// `k` offers unconditionally, then replace the cached worst slot only
+/// on a *strictly* smaller rank (equal ranks lose the position
+/// tie-break to every retained entry). Offers must arrive in ascending
+/// `position` order. `slots` is the query's `k`-wide table; `worst_at`
+/// / `worst` are only meaningful once `filled == k`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn offer(
+    slots: &mut [RankEntry],
+    filled: &mut u32,
+    worst_at: &mut u32,
+    worst: &mut f64,
+    k: usize,
+    rank: f64,
+    position: u32,
+) {
+    let f = *filled as usize;
+    if f < k {
+        slots[f] = RankEntry { rank, position };
+        *filled += 1;
+        if f + 1 == k {
+            let at = worst_slot(&slots[..k]);
+            *worst_at = at as u32;
+            *worst = slots[at].rank;
+        }
+    } else if rank < *worst {
+        slots[*worst_at as usize] = RankEntry { rank, position };
+        let at = worst_slot(&slots[..k]);
+        *worst_at = at as u32;
+        *worst = slots[at].rank;
+    }
+}
+
+impl FingerprintIndex {
+    /// Multi-query k-NN: ranks every query in `block` against the
+    /// index and records each query's `k` nearest (ascending by
+    /// dissimilarity, ties to lower id) plus its observed AP count in
+    /// `out` (cleared first), in query order.
+    ///
+    /// **Bit-identical** to calling
+    /// [`FingerprintIndex::k_nearest_into`] per clean query and
+    /// [`FingerprintIndex::k_nearest_masked_into`] per degraded
+    /// (non-finite) query — the blocked lane kernel reproduces the
+    /// scalar accumulation order, the f32 mirror only prefilters ahead
+    /// of an exact f64 rescore, and masked queries are routed through
+    /// the per-query masked path unchanged. Kernels whose
+    /// [`MetricKernel::block_compatible`] is false, row widths without
+    /// an unrolled lane kernel, and `MOLOC_BLOCK=0` all take the
+    /// per-query loop with identical results. With warm `block`,
+    /// `scratch`, and `out` the scan performs zero heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the block's width does not match the
+    /// index's AP count.
+    pub fn k_nearest_block_into<K: MetricKernel>(
+        &self,
+        block: &mut crate::block::QueryBlock,
+        k: usize,
+        scratch: &mut crate::block::BlockScratch,
+        out: &mut crate::block::BlockNeighbors,
+    ) {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(
+            block.ap_count(),
+            self.ap_count,
+            "query block width must match database"
+        );
+        out.clear();
+        if block.is_empty() {
+            return;
+        }
+        let q_count = block.len();
+        moloc_obs::counter_add_batch(&[
+            ("fingerprint.knn.block_scans", 1),
+            ("fingerprint.knn.block_queries", q_count as u64),
+        ]);
+        let lane_width = (4..=8).contains(&self.ap_count);
+        if !(K::block_compatible() && crate::block::block_enabled() && lane_width) {
+            // Per-query loop: exactly the calls the caller would have
+            // made without a block (which also keeps their counters).
+            for q in 0..q_count {
+                let query = block.query(q);
+                let observed = if block.is_clean(q) {
+                    self.k_nearest_into::<K>(query, k, &mut scratch.knn, &mut scratch.tmp_out);
+                    self.ap_count
+                } else {
+                    self.k_nearest_masked_into(query, k, &mut scratch.knn, &mut scratch.tmp_out)
+                };
+                out.push_query(&scratch.tmp_out, observed);
+            }
+            return;
+        }
+        block.seal();
+        let block = &*block;
+        let clean_count = (0..q_count).filter(|&q| block.is_clean(q)).count();
+        moloc_obs::counter_add_batch(&[
+            ("fingerprint.knn.queries", clean_count as u64),
+            (
+                "fingerprint.knn.candidates_scanned",
+                (clean_count * self.len()) as u64,
+            ),
+        ]);
+        // Reset the per-query selection tables. Masked queries get
+        // lane slots too (their NaN ranks park harmlessly in the fill
+        // phase); their lane results are discarded at emit.
+        scratch.slots.clear();
+        scratch.slots.resize(
+            q_count * k,
+            RankEntry {
+                rank: 0.0,
+                position: 0,
+            },
+        );
+        scratch.filled.clear();
+        scratch.filled.resize(q_count, 0);
+        scratch.worst_at.clear();
+        scratch.worst_at.resize(q_count, 0);
+        scratch.worst.clear();
+        scratch.worst.resize(q_count, f64::INFINITY);
+        let use_mirror = self.mirror.is_some()
+            && crate::block::mirror_enabled()
+            && block.max_abs() < F32_SAFE_LIMIT
+            && k <= BOUND_LANES;
+        if use_mirror {
+            self.block_pass_f32(block, k, scratch);
+            self.block_rescore(block, k, scratch);
+        } else {
+            self.block_select_f64(block, k, scratch);
+        }
+        for q in 0..q_count {
+            if block.is_clean(q) {
+                let slots = &mut scratch.slots[q * k..q * k + scratch.filled[q] as usize];
+                slots.sort_unstable();
+                scratch.tmp_out.clear();
+                scratch.tmp_out.extend(slots.iter().map(|entry| Neighbor {
+                    location: self.ids[entry.position as usize],
+                    dissimilarity: K::finalize(entry.rank),
+                }));
+                out.push_query(&scratch.tmp_out, self.ap_count);
+            } else {
+                let observed = self.k_nearest_masked_into(
+                    block.query(q),
+                    k,
+                    &mut scratch.knn,
+                    &mut scratch.tmp_out,
+                );
+                out.push_query(&scratch.tmp_out, observed);
+            }
+        }
+    }
+
+    /// The finalized dissimilarity of every row to every query in the
+    /// block, written query-major into `out` (cleared first):
+    /// `out[q * self.len() + row]`. The blocked counterpart of
+    /// [`FingerprintIndex::rank_all_into`] for full-state emission
+    /// models (Viterbi), bit-identical to the per-query path; always
+    /// ranks in f64 (every value is reported, so the f32 prefilter
+    /// cannot help).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's width does not match the index's AP count.
+    pub fn rank_all_block_into<K: MetricKernel>(
+        &self,
+        block: &mut crate::block::QueryBlock,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(
+            block.ap_count(),
+            self.ap_count,
+            "query block width must match database"
+        );
+        let q_count = block.len();
+        let rows = self.len();
+        out.clear();
+        let lane_width = (4..=8).contains(&self.ap_count);
+        if !(K::block_compatible() && crate::block::block_enabled() && lane_width) {
+            out.reserve(q_count * rows);
+            for q in 0..q_count {
+                self.scan_rows::<K>(block.query(q), |_, rank| out.push(K::finalize(rank)));
+            }
+            return;
+        }
+        block.seal();
+        out.resize(q_count * rows, 0.0);
+        match self.ap_count {
+            4 => self.rank_all_tiles::<K, 4>(block, out),
+            5 => self.rank_all_tiles::<K, 5>(block, out),
+            6 => self.rank_all_tiles::<K, 6>(block, out),
+            7 => self.rank_all_tiles::<K, 7>(block, out),
+            8 => self.rank_all_tiles::<K, 8>(block, out),
+            _ => unreachable!("lane path requires 4..=8 APs"),
+        }
+    }
+
+    /// Single-query k-NN through the f32 mirror prefilter: one
+    /// half-bandwidth f32 scan ranks every row and keeps the k-th
+    /// smallest f32 rank, a second linear pass over the (tiny) f32 rank
+    /// buffer collects every row within the quantization-error bound of
+    /// it, and the survivors are exactly rescored in f64 under the
+    /// serial comparator — **bit-identical** to
+    /// [`FingerprintIndex::k_nearest_into`], typically ~1.5–2× faster.
+    /// Falls back to `k_nearest_into` (same results) when the kernel is
+    /// not [`MetricKernel::block_compatible`], the mirror is absent or
+    /// disabled (`MOLOC_MIRROR=0`), the row width has no unrolled
+    /// kernel, or the query has non-finite or f32-unsafe values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the query length does not match the
+    /// index's AP count.
+    pub fn k_nearest_mirror_into<K: MetricKernel>(
+        &self,
+        query: &[f64],
+        k: usize,
+        scratch: &mut crate::block::BlockScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        assert!(k > 0, "k must be positive");
+        self.check_query(query);
+        let safe = K::block_compatible()
+            && crate::block::mirror_enabled()
+            && self.mirror.is_some()
+            && (4..=8).contains(&self.ap_count)
+            && k <= BOUND_LANES
+            && query
+                .iter()
+                .all(|v| v.is_finite() && v.abs() < F32_SAFE_LIMIT);
+        if !safe {
+            self.k_nearest_into::<K>(query, k, &mut scratch.knn, out);
+            return;
+        }
+        moloc_obs::counter_add_batch(&[
+            ("fingerprint.knn.queries", 1),
+            ("fingerprint.knn.candidates_scanned", self.len() as u64),
+            ("fingerprint.knn.mirror_queries", 1),
+        ]);
+        let rows = self.len();
+        // Grow-only: the scan writes every entry in `[..rows]` before
+        // it is read, so warm runs skip the re-zeroing memset entirely.
+        if scratch.ranks32.len() < rows {
+            scratch.ranks32.resize(rows, 0.0);
+        }
+        scratch.slots.clear();
+        scratch.slots.resize(
+            k,
+            RankEntry {
+                rank: 0.0,
+                position: 0,
+            },
+        );
+        match self.ap_count {
+            4 => self.mirror_scan_single::<4>(query, scratch),
+            5 => self.mirror_scan_single::<5>(query, scratch),
+            6 => self.mirror_scan_single::<6>(query, scratch),
+            7 => self.mirror_scan_single::<7>(query, scratch),
+            8 => self.mirror_scan_single::<8>(query, scratch),
+            _ => unreachable!("mirror path requires 4..=8 APs"),
+        }
+        // Upper bound on the k-th smallest f32 rank (branchless lane
+        // minima, no selection table); the exact rescore below
+        // re-selects among every row within the quantization band of
+        // it, so the bound's slack only admits extra survivors.
+        let u = kth_rank_bound(&scratch.ranks32[..rows], k);
+        let tau = if u.is_finite() {
+            u + 2.0 * self.quantization_bound(query_max_abs(query))
+        } else {
+            // Fewer than k finite f32 ranks: everything survives.
+            f64::INFINITY
+        };
+        {
+            let crate::block::BlockScratch {
+                ref ranks32,
+                ref mut survivors,
+                ..
+            } = *scratch;
+            survivors.clear();
+            // Packed sweep for the survivors; the rounded-up f32 bound
+            // can only admit extra rows, which the exact f64 rescore
+            // below sorts out.
+            for_each_below::<false>(&ranks32[..rows], f32_upper_bound(tau), |r| {
+                survivors.push(r as u32);
+            });
+        }
+        moloc_obs::counter_add(
+            "fingerprint.knn.mirror_survivors",
+            scratch.survivors.len() as u64,
+        );
+        let slots = &mut scratch.slots[..k];
+        let mut filled = 0u32;
+        let mut worst_at = 0u32;
+        let mut worst = f64::INFINITY;
+        for &row in &scratch.survivors {
+            let rank = euclidean_sq(query, self.row(row as usize));
+            offer(slots, &mut filled, &mut worst_at, &mut worst, k, rank, row);
+        }
+        let slots = &mut slots[..filled as usize];
+        slots.sort_unstable();
+        out.clear();
+        out.extend(slots.iter().map(|entry| Neighbor {
+            location: self.ids[entry.position as usize],
+            dissimilarity: K::finalize(entry.rank),
+        }));
+    }
+
+    /// Conservative bound `E` on `|f32 rank − f64 rank|` for squared-
+    /// Euclidean ranks over values bounded by `m` in magnitude.
+    /// Per term: quantizing both operands and differencing costs at
+    /// most `≈2mε` absolutely, so the squared difference (magnitude
+    /// `≤ 4m²`) is off by at most `≈10m²ε`; sequentially accumulating
+    /// N terms adds at most `≈2N²m²ε` of summation rounding (partial
+    /// sums are `≤ 4Nm²`) — `(10N + 2N²)m²ε` in total, and the
+    /// `8·N·(N + 2)` factor keeps a ~3x margin on top of that.
+    /// Soundness (never excluding a true top-k row) only needs `E` to
+    /// be an over-estimate; slack merely admits extra survivors to the
+    /// exact rescore, but too much slack sweeps every near-tie into
+    /// the rescore on quantized-grid data.
+    fn quantization_bound(&self, query_max_abs: f64) -> f64 {
+        let m = self.max_abs.max(query_max_abs);
+        let n = self.ap_count as f64;
+        8.0 * n * (n + 2.0) * m * m * f64::from(f32::EPSILON)
+    }
+
+    /// Dispatches the f64 lane kernel over L-tiles × Q-tiles, feeding
+    /// each query's selection table.
+    fn block_select_f64(
+        &self,
+        block: &crate::block::QueryBlock,
+        k: usize,
+        scratch: &mut crate::block::BlockScratch,
+    ) {
+        match self.ap_count {
+            4 => self.block_select_f64_const::<4>(block, k, scratch),
+            5 => self.block_select_f64_const::<5>(block, k, scratch),
+            6 => self.block_select_f64_const::<6>(block, k, scratch),
+            7 => self.block_select_f64_const::<7>(block, k, scratch),
+            8 => self.block_select_f64_const::<8>(block, k, scratch),
+            _ => unreachable!("lane path requires 4..=8 APs"),
+        }
+    }
+
+    fn block_select_f64_const<const N: usize>(
+        &self,
+        block: &crate::block::QueryBlock,
+        k: usize,
+        scratch: &mut crate::block::BlockScratch,
+    ) {
+        let q_count = block.len();
+        let rows = self.len();
+        let mut base = 0usize;
+        while base < rows {
+            let end = (base + TILE_ROWS).min(rows);
+            let mut q0 = 0usize;
+            while q0 < q_count {
+                let qt = (q_count - q0).min(TILE_Q);
+                match qt {
+                    8 => self.lane_tile_f64::<N, 8>(block, q0, base..end, k, scratch),
+                    7 => self.lane_tile_f64::<N, 7>(block, q0, base..end, k, scratch),
+                    6 => self.lane_tile_f64::<N, 6>(block, q0, base..end, k, scratch),
+                    5 => self.lane_tile_f64::<N, 5>(block, q0, base..end, k, scratch),
+                    4 => self.lane_tile_f64::<N, 4>(block, q0, base..end, k, scratch),
+                    3 => self.lane_tile_f64::<N, 3>(block, q0, base..end, k, scratch),
+                    2 => self.lane_tile_f64::<N, 2>(block, q0, base..end, k, scratch),
+                    _ => self.lane_tile_f64::<N, 1>(block, q0, base..end, k, scratch),
+                }
+                q0 += qt;
+            }
+            base = end;
+        }
+    }
+
+    /// One Q-tile over one L-tile in f64, in two phases. The *compute*
+    /// phase is branchless: per (query, row) the rank is
+    /// `Σₐ (queryₐ − rowₐ)²` accumulated in ascending AP order — the
+    /// exact operation sequence of [`euclidean_sq`], so ranks (and
+    /// therefore selections) are bit-identical to the scalar scan — and
+    /// is spilled to the L1-resident tile-rank buffer while a running
+    /// per-lane minimum is tracked, with `QT` independent accumulators
+    /// so the compiler vectorizes across the query lanes. The
+    /// *selection* phase then walks the buffered ranks in ascending row
+    /// order, skipping any lane whose tile minimum cannot strictly beat
+    /// its cached worst (equal ranks never enter, so the skip is
+    /// result-exact) and skipping masked lanes outright (their results
+    /// are replaced by the per-query masked scan at emit).
+    #[inline(always)]
+    fn lane_tile_f64<const N: usize, const QT: usize>(
+        &self,
+        block: &crate::block::QueryBlock,
+        q0: usize,
+        rows: Range<usize>,
+        k: usize,
+        scratch: &mut crate::block::BlockScratch,
+    ) {
+        let q_count = block.len();
+        let lanes = block.lanes();
+        let tile = &self.matrix[rows.start * N..rows.end * N];
+        let tile_len = rows.end - rows.start;
+        let mut qv = [[0.0f64; QT]; N];
+        for (a, lane) in qv.iter_mut().enumerate() {
+            lane.copy_from_slice(&lanes[a * q_count + q0..a * q_count + q0 + QT]);
+        }
+        let crate::block::BlockScratch {
+            ref mut tile_ranks,
+            ref mut slots,
+            ref mut filled,
+            ref mut worst_at,
+            ref mut worst,
+            ..
+        } = *scratch;
+        // Grow-only: the compute kernel overwrites every entry it
+        // reads back, so the buffer is never re-zeroed on warm scans.
+        if tile_ranks.len() < tile_len * QT {
+            tile_ranks.resize(tile_len * QT, 0.0);
+        }
+        let mut tmin = [f64::INFINITY; QT];
+        lane_tile_compute_f64::<N, QT>(tile, &qv, &mut tile_ranks[..tile_len * QT], &mut tmin);
+        for q in 0..QT {
+            let qi = q0 + q;
+            if !block.is_clean(qi) {
+                continue;
+            }
+            let ranks = &tile_ranks[..tile_len * QT];
+            if (filled[qi] as usize) < k {
+                // Still filling (first tile for any practical k):
+                // every rank enters the table serially.
+                for i in 0..tile_len {
+                    offer(
+                        &mut slots[qi * k..(qi + 1) * k],
+                        &mut filled[qi],
+                        &mut worst_at[qi],
+                        &mut worst[qi],
+                        k,
+                        ranks[i * QT + q],
+                        (rows.start + i) as u32,
+                    );
+                }
+                continue;
+            }
+            if tmin[q] >= worst[qi] {
+                continue;
+            }
+            // Full table: strided sweep of the lane's ranks for the
+            // strictly-improving ones, offering in ascending row order
+            // exactly like the serial scan. The bound lives in a
+            // register and is re-read only after an accepted offer, so
+            // the hot loop is one load and one compare; it can only
+            // skip ranks the serial scan would reject, and `offer`
+            // re-applies the exact test.
+            let mut w = worst[qi];
+            for i in 0..tile_len {
+                let rank = ranks[i * QT + q];
+                if rank < w {
+                    offer(
+                        &mut slots[qi * k..(qi + 1) * k],
+                        &mut filled[qi],
+                        &mut worst_at[qi],
+                        &mut worst[qi],
+                        k,
+                        rank,
+                        (rows.start + i) as u32,
+                    );
+                    w = worst[qi];
+                }
+            }
+        }
+    }
+
+    /// Pass 1 of the mirror path, in two phases. The *compute* phase
+    /// runs the branchless f32 column kernel over the quantized mirror:
+    /// per chunk of [`MIRROR_CHUNK`] rows and register tile of
+    /// [`MIRROR_TILE_Q`] queries, contiguous per-AP columns feed a
+    /// rows × queries accumulator panel and every rank lands in the
+    /// query-major `ranks32` buffer (row-contiguous stores, since the
+    /// panel is already row-major per query). The *selection* phase
+    /// then bounds each clean query's k-th smallest f32 rank via
+    /// strided lane minima ([`kth_rank_bound`]) — that bound is the
+    /// rescore threshold.
+    fn block_pass_f32(
+        &self,
+        block: &crate::block::QueryBlock,
+        k: usize,
+        scratch: &mut crate::block::BlockScratch,
+    ) {
+        let q_count = block.len();
+        let lanes = block.lanes();
+        scratch.lanes32.clear();
+        scratch.lanes32.reserve(lanes.len());
+        scratch.lanes32.extend(lanes.iter().map(|&v| v as f32));
+        let rows = self.len();
+        // Grow-only: the column kernel writes every (query, row) rank
+        // before the selection and rescore passes read them, so warm
+        // scans never pay the re-zeroing memset (256 KB per scan at
+        // 2048 x 32).
+        if scratch.ranks32.len() < q_count * rows {
+            scratch.ranks32.resize(q_count * rows, 0.0);
+        }
+        {
+            let mirror = self
+                .mirror
+                .as_deref()
+                .expect("mirror presence checked by caller");
+            let crate::block::BlockScratch {
+                ref lanes32,
+                ref mut ranks32,
+                ..
+            } = *scratch;
+            let ranks32 = &mut ranks32[..q_count * rows];
+            match self.ap_count {
+                4 => mirror_pass_f32::<4>(mirror, lanes32, rows, q_count, ranks32),
+                5 => mirror_pass_f32::<5>(mirror, lanes32, rows, q_count, ranks32),
+                6 => mirror_pass_f32::<6>(mirror, lanes32, rows, q_count, ranks32),
+                7 => mirror_pass_f32::<7>(mirror, lanes32, rows, q_count, ranks32),
+                8 => mirror_pass_f32::<8>(mirror, lanes32, rows, q_count, ranks32),
+                _ => unreachable!("lane path requires 4..=8 APs"),
+            }
+        }
+        self.block_select_f32(block, k, scratch);
+    }
+
+    /// Phase 2 of the f32 pass: per clean query, an upper bound on the
+    /// k-th smallest f32 rank via [`kth_rank_bound`] — stored in the
+    /// query's `worst` slot (`filled` stays 0; the rescore pass builds
+    /// the actual table). A bound is enough: the rescore pass
+    /// re-selects exactly among every row within the quantization band
+    /// of it, so a looser bound only admits extra survivors, never
+    /// changes the result. Masked queries are skipped outright; the
+    /// emit loop replaces their results with the per-query masked
+    /// scan. Requires `k <= BOUND_LANES` (the caller routes larger k
+    /// to the f64 lane kernel).
+    fn block_select_f32(
+        &self,
+        block: &crate::block::QueryBlock,
+        k: usize,
+        scratch: &mut crate::block::BlockScratch,
+    ) {
+        let rows = self.len();
+        let crate::block::BlockScratch {
+            ref ranks32,
+            ref mut filled,
+            ref mut worst,
+            ..
+        } = *scratch;
+        for q in 0..block.len() {
+            if !block.is_clean(q) {
+                continue;
+            }
+            worst[q] = kth_rank_bound(&ranks32[q * rows..(q + 1) * rows], k);
+            filled[q] = 0;
+        }
+    }
+
+    /// Pass 2 of the mirror path: per clean query, every row whose f32
+    /// rank is within `2E` of the selection phase's bound `u` on the
+    /// k-th smallest f32 rank survives, and the survivors are rescored
+    /// with the exact f64 kernel under the serial (rank, position)
+    /// comparator, overwriting the query's slot table with the final
+    /// selection. Soundness: pointwise `|r32 − r64| ≤ E` puts every
+    /// true top-k row's f32 rank at or below `w32 + 2E ≤ u + 2E`
+    /// (where `w32` is the exact k-th smallest f32 rank), so the
+    /// survivor set provably contains the true top-k and the rescore's
+    /// selection among it is the global one.
+    fn block_rescore(
+        &self,
+        block: &crate::block::QueryBlock,
+        k: usize,
+        scratch: &mut crate::block::BlockScratch,
+    ) {
+        let rows = self.len();
+        let e = self.quantization_bound(block.max_abs());
+        let mut survivors_total = 0u64;
+        let crate::block::BlockScratch {
+            ref ranks32,
+            ref mut survivors,
+            ref mut slots,
+            ref mut filled,
+            ref mut worst,
+            ..
+        } = *scratch;
+        for q in 0..block.len() {
+            if !block.is_clean(q) {
+                continue;
+            }
+            // An infinite bound means fewer than k finite f32 ranks
+            // existed (tiny surveys): everything is a survivor anyway.
+            let tau = if worst[q].is_finite() {
+                worst[q] + 2.0 * e
+            } else {
+                f64::INFINITY
+            };
+            survivors.clear();
+            // Packed sweep of the query's rank row: survivors are
+            // sparse, so almost every 8-lane compare is a zero-mask
+            // skip. The rounded-up f32 bound can only admit extra
+            // rows, which the exact f64 rescore below sorts out.
+            let ranks = &ranks32[q * rows..(q + 1) * rows];
+            for_each_below::<false>(ranks, f32_upper_bound(tau), |r| {
+                survivors.push(r as u32);
+            });
+            survivors_total += survivors.len() as u64;
+            let query = block.query(q);
+            let slots = &mut slots[q * k..(q + 1) * k];
+            let mut q_filled = 0u32;
+            let mut worst_at = 0u32;
+            let mut q_worst = f64::INFINITY;
+            for &row in survivors.iter() {
+                let rank = euclidean_sq(query, self.row(row as usize));
+                offer(
+                    slots,
+                    &mut q_filled,
+                    &mut worst_at,
+                    &mut q_worst,
+                    k,
+                    rank,
+                    row,
+                );
+            }
+            filled[q] = q_filled;
+        }
+        moloc_obs::counter_add("fingerprint.knn.mirror_survivors", survivors_total);
+    }
+
+    /// Pass 1 of the single-query mirror path: the branchless f32
+    /// column kernel over [`SINGLE_CHUNK`]-row panels, recording every
+    /// rank (accumulated per row in ascending AP order, exactly
+    /// [`crate::metric::euclidean_sq_f32`]'s sequence) for the
+    /// selection and survivor sweeps.
+    fn mirror_scan_single<const N: usize>(
+        &self,
+        query: &[f64],
+        scratch: &mut crate::block::BlockScratch,
+    ) {
+        let mirror = self
+            .mirror
+            .as_deref()
+            .expect("mirror presence checked by caller");
+        let rows = self.len();
+        let mut q32 = [0.0f32; N];
+        for (a, v) in q32.iter_mut().enumerate() {
+            *v = query[a] as f32;
+        }
+        mirror_single_compute::<N>(mirror, rows, &q32, &mut scratch.ranks32[..rows]);
+    }
+
+    /// Q-tiled all-rows ranking: writes `K::finalize` of every (query,
+    /// row) rank into `out[q * rows + row]`, accumulating each rank in
+    /// [`euclidean_sq`]'s order (bit-identical to the per-query scan).
+    fn rank_all_tiles<K: MetricKernel, const N: usize>(
+        &self,
+        block: &crate::block::QueryBlock,
+        out: &mut [f64],
+    ) {
+        let q_count = block.len();
+        let lanes = block.lanes();
+        let rows = self.len();
+        let mut base = 0usize;
+        while base < rows {
+            let end = (base + TILE_ROWS).min(rows);
+            let mut q0 = 0usize;
+            while q0 < q_count {
+                let qt = (q_count - q0).min(TILE_Q);
+                match qt {
+                    8 => rank_all_tile::<K, N, 8>(
+                        &self.matrix,
+                        lanes,
+                        rows,
+                        q_count,
+                        q0,
+                        base..end,
+                        out,
+                    ),
+                    7 => rank_all_tile::<K, N, 7>(
+                        &self.matrix,
+                        lanes,
+                        rows,
+                        q_count,
+                        q0,
+                        base..end,
+                        out,
+                    ),
+                    6 => rank_all_tile::<K, N, 6>(
+                        &self.matrix,
+                        lanes,
+                        rows,
+                        q_count,
+                        q0,
+                        base..end,
+                        out,
+                    ),
+                    5 => rank_all_tile::<K, N, 5>(
+                        &self.matrix,
+                        lanes,
+                        rows,
+                        q_count,
+                        q0,
+                        base..end,
+                        out,
+                    ),
+                    4 => rank_all_tile::<K, N, 4>(
+                        &self.matrix,
+                        lanes,
+                        rows,
+                        q_count,
+                        q0,
+                        base..end,
+                        out,
+                    ),
+                    3 => rank_all_tile::<K, N, 3>(
+                        &self.matrix,
+                        lanes,
+                        rows,
+                        q_count,
+                        q0,
+                        base..end,
+                        out,
+                    ),
+                    2 => rank_all_tile::<K, N, 2>(
+                        &self.matrix,
+                        lanes,
+                        rows,
+                        q_count,
+                        q0,
+                        base..end,
+                        out,
+                    ),
+                    _ => rank_all_tile::<K, N, 1>(
+                        &self.matrix,
+                        lanes,
+                        rows,
+                        q_count,
+                        q0,
+                        base..end,
+                        out,
+                    ),
+                }
+                q0 += qt;
+            }
+            base = end;
+        }
+    }
+}
+
+/// `true` when the host supports AVX2 and the wide recompilations of
+/// the tile kernels below may be entered. `std`'s detection macro
+/// caches the CPUID result in an atomic, so the per-tile cost is one
+/// relaxed load.
+#[inline]
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The smallest f32 upper bound of `x`: the returned `b` satisfies
+/// `f64::from(b) >= x`, so an f32 value `v` with `f64::from(v) < x`
+/// (resp. `<= x`) always satisfies `v < b` (resp. `v <= b`). Used to
+/// run candidate prefilters as pure f32 comparisons: the f32 sweep may
+/// admit a few extra candidates (rounded-up bound), never lose one.
+#[inline]
+fn f32_upper_bound(x: f64) -> f32 {
+    let b = x as f32;
+    if f64::from(b) >= x || b.is_infinite() {
+        b
+    } else {
+        // `as f32` rounded down; bump one ULP. Ranks are nonnegative
+        // finite, for which the bit increment is exactly `next_up`.
+        f32::from_bits(b.to_bits() + 1)
+    }
+}
+
+/// Calls `f(i)` for every `i` with `vals[i] < bound` (`STRICT`) or
+/// `vals[i] <= bound` (`!STRICT`), in ascending order. On AVX2 hosts
+/// the predicate runs as a packed compare + movemask sweep, eight
+/// lanes per iteration; the visited set is exactly the scalar
+/// predicate's (comparison only, no arithmetic; NaN compares false in
+/// both forms). This is the workhorse of the selection and survivor
+/// passes: candidates are sparse, so almost every iteration is a
+/// Upper bound on the k-th smallest value of `vals` (`k` at most
+/// [`BOUND_LANES`]), as an exact `f64`: [`BOUND_LANES`] strided
+/// running minima over the buffer — pure vertical `min`, no branches,
+/// no bookkeeping — then the k-th smallest of the lane minima.
+///
+/// Soundness: each finite lane minimum is an actual value of `vals`
+/// at a distinct position, so if the k-th smallest lane minimum `u`
+/// is finite, at least k distinct values are `<= u` and the true k-th
+/// smallest is too. (An infinite `u` — fewer than k nonempty lanes —
+/// is the trivial bound; callers rescore everything.) The bound is
+/// near-exact in practice: a lane minimum is already deep in the left
+/// tail of its 1/[`BOUND_LANES`] slice of the buffer, so the k-th
+/// smallest of them sits within a few ranks of the true k-th.
+///
+/// NaNs (masked-query fill ranks never reach here, but belt and
+/// braces) lose every `<` comparison, so they never displace a lane
+/// minimum, and `total_cmp` sorts them last.
+fn kth_rank_bound(vals: &[f32], k: usize) -> f64 {
+    debug_assert!((1..=BOUND_LANES).contains(&k));
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support verified at runtime.
+        return unsafe { kth_rank_bound_avx2(vals, k) };
+    }
+    kth_rank_bound_generic(vals, k)
+}
+
+#[inline(always)]
+fn kth_rank_bound_generic(vals: &[f32], k: usize) -> f64 {
+    let mut lanes = [f32::INFINITY; BOUND_LANES];
+    let mut chunks = vals.chunks_exact(BOUND_LANES);
+    for chunk in &mut chunks {
+        for (lane, &v) in lanes.iter_mut().zip(chunk) {
+            *lane = if v < *lane { v } else { *lane };
+        }
+    }
+    for (lane, &v) in lanes.iter_mut().zip(chunks.remainder()) {
+        *lane = if v < *lane { v } else { *lane };
+    }
+    lanes.sort_unstable_by(f32::total_cmp);
+    f64::from(lanes[k - 1])
+}
+
+/// AVX2 build of [`kth_rank_bound_generic`]: the lane minima are two
+/// `vminps` registers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kth_rank_bound_avx2(vals: &[f32], k: usize) -> f64 {
+    kth_rank_bound_generic(vals, k)
+}
+
+/// Calls `f(i)` for every `i` with `vals[i] < bound` (`STRICT`) or
+/// `vals[i] <= bound` (`!STRICT`), in ascending order. On AVX2 hosts
+/// the predicate runs as a packed compare + movemask sweep, eight
+/// lanes per iteration; the visited set is exactly the scalar
+/// predicate's (comparison only, no arithmetic; NaN compares false in
+/// both forms). This is the workhorse of the selection and survivor
+/// passes: candidates are sparse, so almost every iteration is a
+/// zero-mask skip.
+#[inline]
+fn for_each_below<const STRICT: bool>(vals: &[f32], bound: f32, f: impl FnMut(usize)) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: guarded by runtime AVX2 detection above.
+        return unsafe { for_each_below_avx2::<STRICT>(vals, bound, f) };
+    }
+    for_each_below_generic::<STRICT>(vals, bound, f)
+}
+
+#[inline(always)]
+fn for_each_below_generic<const STRICT: bool>(vals: &[f32], bound: f32, mut f: impl FnMut(usize)) {
+    for (i, &v) in vals.iter().enumerate() {
+        if (STRICT && v < bound) || (!STRICT && v <= bound) {
+            f(i);
+        }
+    }
+}
+
+/// AVX2 compare + movemask sweep; identical visited set to
+/// [`for_each_below_generic`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn for_each_below_avx2<const STRICT: bool>(
+    vals: &[f32],
+    bound: f32,
+    mut f: impl FnMut(usize),
+) {
+    use std::arch::x86_64::{
+        _mm256_cmp_ps, _mm256_loadu_ps, _mm256_movemask_ps, _mm256_set1_ps, _CMP_LE_OQ, _CMP_LT_OQ,
+    };
+    let b = _mm256_set1_ps(bound);
+    // Ordered quiet compares: false on NaN, like the scalar `<`.
+    let cmp = |v| {
+        if STRICT {
+            _mm256_cmp_ps::<_CMP_LT_OQ>(v, b)
+        } else {
+            _mm256_cmp_ps::<_CMP_LE_OQ>(v, b)
+        }
+    };
+    let mut i = 0usize;
+    // Two vectors per iteration, fused into one 16-bit mask: bit order
+    // equals index order, so visits stay ascending.
+    while i + 16 <= vals.len() {
+        // SAFETY: `i + 16 <= vals.len()` bounds both unaligned loads.
+        let (v0, v1) = unsafe {
+            (
+                _mm256_loadu_ps(vals.as_ptr().add(i)),
+                _mm256_loadu_ps(vals.as_ptr().add(i + 8)),
+            )
+        };
+        let m0 = _mm256_movemask_ps(cmp(v0)) as u32 & 0xff;
+        let m1 = _mm256_movemask_ps(cmp(v1)) as u32 & 0xff;
+        let mut mask = m0 | (m1 << 8);
+        while mask != 0 {
+            f(i + mask.trailing_zeros() as usize);
+            mask &= mask - 1;
+        }
+        i += 16;
+    }
+    if i + 8 <= vals.len() {
+        // SAFETY: `i + 8 <= vals.len()` bounds the unaligned load.
+        let v = unsafe { _mm256_loadu_ps(vals.as_ptr().add(i)) };
+        let mut mask = _mm256_movemask_ps(cmp(v)) as u32 & 0xff;
+        while mask != 0 {
+            f(i + mask.trailing_zeros() as usize);
+            mask &= mask - 1;
+        }
+        i += 8;
+    }
+    for_each_below_generic::<STRICT>(&vals[i..], bound, |j| f(i + j));
+}
+
+/// Declares one multiversioned tile kernel: `$name` dispatches at
+/// runtime between the baseline-target compilation of `$generic` and
+/// an AVX2 recompilation of the same `#[inline(always)]` body.
+///
+/// Bit-exactness across the two compilations is structural: each
+/// (query, row) rank is a *sequential* accumulation over the AP axis —
+/// SIMD width only changes how many independent accumulators advance
+/// per instruction, never the order of operations within one — and
+/// FMA is deliberately **not** enabled, so no contraction can alter a
+/// single rounding. IEEE 754 then guarantees identical bits from
+/// identical operation sequences, which is what the determinism digest
+/// and the cross-path proptests rely on.
+macro_rules! multiversion_kernel {
+    (
+        $(#[$doc:meta])*
+        fn $name:ident / $avx2:ident / $generic:ident
+        <$(const $cp:ident: usize),+>
+        ($($arg:ident: $ty:ty),* $(,)?)
+    ) => {
+        $(#[$doc])*
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        fn $name<$(const $cp: usize),+>($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if avx2_available() {
+                // SAFETY: guarded by runtime AVX2 detection above.
+                return unsafe { $avx2::<$($cp),+>($($arg),*) };
+            }
+            $generic::<$($cp),+>($($arg),*)
+        }
+
+        /// AVX2 recompilation of the `#[inline(always)]` kernel body;
+        /// see [`multiversion_kernel`] for the bit-exactness argument.
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx2<$(const $cp: usize),+>($($arg: $ty),*) {
+            $generic::<$($cp),+>($($arg),*)
+        }
+    };
+}
+
+multiversion_kernel! {
+    /// Compute phase of [`FingerprintIndex::lane_tile_f64`]: ranks one
+    /// L-tile × Q-tile into `tile_ranks[i * QT + q]` and tracks each
+    /// lane's tile minimum. Branchless — no selection state here.
+    fn lane_tile_compute_f64 / lane_tile_compute_f64_avx2 / lane_tile_compute_f64_generic
+    <const N: usize, const QT: usize>(
+        tile: &[f64],
+        qv: &[[f64; QT]; N],
+        tile_ranks: &mut [f64],
+        tmin: &mut [f64; QT],
+    )
+}
+
+#[inline(always)]
+fn lane_tile_compute_f64_generic<const N: usize, const QT: usize>(
+    tile: &[f64],
+    qv: &[[f64; QT]; N],
+    tile_ranks: &mut [f64],
+    tmin: &mut [f64; QT],
+) {
+    for (i, row) in tile.chunks_exact(N).enumerate() {
+        let mut acc = [0.0f64; QT];
+        for (a, qa) in qv.iter().enumerate() {
+            let rv = row[a];
+            for q in 0..QT {
+                let d = qa[q] - rv;
+                acc[q] += d * d;
+            }
+        }
+        // Interleaved stores (`[i * QT + q]`): one row's QT ranks land
+        // in a single contiguous burst, and the q-loop vectorizes
+        // across the accumulator panel — lane-major stores (strided by
+        // tile length) defeat that and cost ~3x on the whole kernel.
+        // The selection phase walks the buffer strided instead.
+        let out = &mut tile_ranks[i * QT..(i + 1) * QT];
+        for q in 0..QT {
+            out[q] = acc[q];
+            // `<` selection (not `f64::min`): a NaN rank from a masked
+            // lane can never become the minimum.
+            tmin[q] = if acc[q] < tmin[q] { acc[q] } else { tmin[q] };
+        }
+    }
+}
+
+multiversion_kernel! {
+    /// Full f32 compute pass over the column-major mirror: Q-tile
+    /// outer (the query lanes are hoisted into registers once per
+    /// tile), [`MIRROR_CHUNK`]-row panels inner — the mirror is half
+    /// the f64 matrix and typically cache-resident, so re-streaming it
+    /// per query tile is cheap. Each row's rank is accumulated in
+    /// ascending AP order (bit-identical to
+    /// [`crate::metric::euclidean_sq_f32`]) and spilled
+    /// row-contiguously into the query-major `ranks32` buffer.
+    /// Branchless — no selection state is touched here.
+    fn mirror_pass_f32 / mirror_pass_f32_avx2 / mirror_pass_f32_generic
+    <const N: usize>(
+        mirror: &[f32],
+        lanes32: &[f32],
+        rows: usize,
+        q_count: usize,
+        ranks32: &mut [f32],
+    )
+}
+
+#[inline(always)]
+fn mirror_pass_f32_generic<const N: usize>(
+    mirror: &[f32],
+    lanes32: &[f32],
+    rows: usize,
+    q_count: usize,
+    ranks32: &mut [f32],
+) {
+    let main = rows - rows % MIRROR_CHUNK;
+    let mut q0 = 0usize;
+    while q0 < q_count {
+        let qt = (q_count - q0).min(MIRROR_TILE_Q);
+        match qt {
+            4 => mirror_lane_f32::<N, 4>(mirror, lanes32, rows, q_count, q0, main, ranks32),
+            3 => mirror_lane_f32::<N, 3>(mirror, lanes32, rows, q_count, q0, main, ranks32),
+            2 => mirror_lane_f32::<N, 2>(mirror, lanes32, rows, q_count, q0, main, ranks32),
+            _ => mirror_lane_f32::<N, 1>(mirror, lanes32, rows, q_count, q0, main, ranks32),
+        }
+        q0 += qt;
+    }
+    // Scalar tail for the last partial chunk.
+    if main < rows {
+        for q in 0..q_count {
+            for r in main..rows {
+                let mut acc = 0.0f32;
+                for a in 0..N {
+                    let d = lanes32[a * q_count + q] - mirror[a * rows + r];
+                    acc += d * d;
+                }
+                ranks32[q * rows + r] = acc;
+            }
+        }
+    }
+}
+
+/// One query tile's sweep over every full [`MIRROR_CHUNK`]-row panel
+/// of the column-major mirror (the partial tail panel is handled by
+/// the caller). The accumulator panel is read and written strictly
+/// elementwise — its address never escapes into a call or memcpy — so
+/// the compiler keeps the whole panel in vector registers instead of
+/// round-tripping every accumulate through the stack.
+#[inline(always)]
+fn mirror_lane_f32<const N: usize, const QT: usize>(
+    mirror: &[f32],
+    lanes32: &[f32],
+    rows: usize,
+    q_count: usize,
+    q0: usize,
+    main: usize,
+    ranks32: &mut [f32],
+) {
+    let mut qv = [[0.0f32; QT]; N];
+    for (a, lane) in qv.iter_mut().enumerate() {
+        lane.copy_from_slice(&lanes32[a * q_count + q0..a * q_count + q0 + QT]);
+    }
+    let mut base = 0usize;
+    while base < main {
+        let mut acc = [[0.0f32; MIRROR_CHUNK]; QT];
+        for (a, qa) in qv.iter().enumerate() {
+            let col: &[f32; MIRROR_CHUNK] = mirror[a * rows + base..a * rows + base + MIRROR_CHUNK]
+                .try_into()
+                .expect("full chunk");
+            for (q, accq) in acc.iter_mut().enumerate() {
+                let qaq = qa[q];
+                for r in 0..MIRROR_CHUNK {
+                    let d = qaq - col[r];
+                    accq[r] += d * d;
+                }
+            }
+        }
+        for (q, accq) in acc.iter().enumerate() {
+            let out = &mut ranks32[(q0 + q) * rows + base..][..MIRROR_CHUNK];
+            // NOT `copy_from_slice`: that takes the accumulator
+            // panel's address, which forces it onto the stack and
+            // turns the whole kernel into load-op-store chains;
+            // elementwise stores keep it in vector registers.
+            #[allow(clippy::manual_memcpy)]
+            for r in 0..MIRROR_CHUNK {
+                out[r] = accq[r];
+            }
+        }
+        base += MIRROR_CHUNK;
+    }
+}
+
+multiversion_kernel! {
+    /// Compute pass of the single-query mirror scan: ranks every row of
+    /// the column-major f32 mirror over [`SINGLE_CHUNK`]-row panels
+    /// (each row's rank accumulated in ascending AP order, exactly
+    /// [`crate::metric::euclidean_sq_f32`]'s sequence) into `ranks32`.
+    fn mirror_single_compute / mirror_single_compute_avx2 / mirror_single_compute_generic
+    <const N: usize>(
+        mirror: &[f32],
+        rows: usize,
+        q32: &[f32; N],
+        ranks32: &mut [f32],
+    )
+}
+
+#[inline(always)]
+fn mirror_single_compute_generic<const N: usize>(
+    mirror: &[f32],
+    rows: usize,
+    q32: &[f32; N],
+    ranks32: &mut [f32],
+) {
+    let main = rows - rows % SINGLE_CHUNK;
+    let mut base = 0usize;
+    while base < main {
+        // Elementwise panel stores, like the blocked kernel: the
+        // accumulator's address never escapes, so it stays in vector
+        // registers.
+        let mut acc = [0.0f32; SINGLE_CHUNK];
+        for (a, &qa) in q32.iter().enumerate() {
+            let col: &[f32; SINGLE_CHUNK] = mirror[a * rows + base..a * rows + base + SINGLE_CHUNK]
+                .try_into()
+                .expect("full chunk");
+            for r in 0..SINGLE_CHUNK {
+                let d = qa - col[r];
+                acc[r] += d * d;
+            }
+        }
+        let out = &mut ranks32[base..base + SINGLE_CHUNK];
+        // NOT `copy_from_slice`: see `mirror_lane_f32` — the panel
+        // must stay address-free to live in registers.
+        #[allow(clippy::manual_memcpy)]
+        for r in 0..SINGLE_CHUNK {
+            out[r] = acc[r];
+        }
+        base += SINGLE_CHUNK;
+    }
+    if main < rows {
+        for r in main..rows {
+            let mut acc = 0.0f32;
+            for (a, &qa) in q32.iter().enumerate() {
+                let d = qa - mirror[a * rows + r];
+                acc += d * d;
+            }
+            ranks32[r] = acc;
+        }
+    }
+}
+
+/// One Q-tile over one L-tile of the all-rows ranking; runtime-
+/// dispatched by hand (the kernel is additionally generic over the
+/// metric, which [`multiversion_kernel`] does not cover). The same
+/// bit-exactness argument applies: AVX2 only widens the lanes.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn rank_all_tile<K: MetricKernel, const N: usize, const QT: usize>(
+    matrix: &[f64],
+    lanes: &[f64],
+    total_rows: usize,
+    q_count: usize,
+    q0: usize,
+    rows: Range<usize>,
+    out: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: guarded by runtime AVX2 detection above.
+        return unsafe {
+            rank_all_tile_avx2::<K, N, QT>(matrix, lanes, total_rows, q_count, q0, rows, out)
+        };
+    }
+    rank_all_tile_generic::<K, N, QT>(matrix, lanes, total_rows, q_count, q0, rows, out)
+}
+
+/// AVX2 recompilation of the all-rows tile kernel body.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn rank_all_tile_avx2<K: MetricKernel, const N: usize, const QT: usize>(
+    matrix: &[f64],
+    lanes: &[f64],
+    total_rows: usize,
+    q_count: usize,
+    q0: usize,
+    rows: Range<usize>,
+    out: &mut [f64],
+) {
+    rank_all_tile_generic::<K, N, QT>(matrix, lanes, total_rows, q_count, q0, rows, out)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rank_all_tile_generic<K: MetricKernel, const N: usize, const QT: usize>(
+    matrix: &[f64],
+    lanes: &[f64],
+    total_rows: usize,
+    q_count: usize,
+    q0: usize,
+    rows: Range<usize>,
+    out: &mut [f64],
+) {
+    let tile = &matrix[rows.start * N..rows.end * N];
+    let mut qv = [[0.0f64; QT]; N];
+    for (a, lane) in qv.iter_mut().enumerate() {
+        lane.copy_from_slice(&lanes[a * q_count + q0..a * q_count + q0 + QT]);
+    }
+    for (i, row) in tile.chunks_exact(N).enumerate() {
+        let mut acc = [0.0f64; QT];
+        for a in 0..N {
+            let rv = row[a];
+            for q in 0..QT {
+                let d = qv[a][q] - rv;
+                acc[q] += d * d;
+            }
+        }
+        for q in 0..QT {
+            out[(q0 + q) * total_rows + rows.start + i] = K::finalize(acc[q]);
+        }
+    }
+}
+
+/// Largest |value| of a (finite) query; non-finite entries are skipped
+/// so masked queries still get a meaningful bound.
+fn query_max_abs(query: &[f64]) -> f64 {
+    query
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -844,6 +2199,206 @@ mod tests {
         let mut scratch = KnnScratch::new();
         let mut out = Vec::new();
         index.k_nearest_into::<SquaredEuclidean>(&[-40.0, -70.0], 0, &mut scratch, &mut out);
+    }
+
+    /// A 6-AP survey wide enough to exercise the lane kernels' tile
+    /// remainders (the deterministic value pattern creates ties).
+    fn wide_db(locations: u32) -> FingerprintDb {
+        FingerprintDb::from_fingerprints(
+            (0..locations)
+                .map(|i| {
+                    let values = (0..6)
+                        .map(|a| -40.0 - f64::from((i * 7 + a * 13) % 23))
+                        .collect();
+                    (l(i + 1), Fingerprint::new(values))
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn block_queries(count: usize) -> Vec<Vec<f64>> {
+        (0..count)
+            .map(|q| {
+                (0..6)
+                    .map(|a| -41.0 - f64::from(((q * 11 + a * 5) % 19) as u32))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_scan_matches_per_query_scan_bits() {
+        let index = FingerprintIndex::build(&wide_db(300));
+        assert!(index.has_mirror());
+        let mut block = crate::block::QueryBlock::new(6);
+        let queries = block_queries(9);
+        for q in &queries {
+            block.push(q);
+        }
+        let mut scratch = crate::block::BlockScratch::new();
+        let mut out = crate::block::BlockNeighbors::new();
+        let mut knn = KnnScratch::new();
+        let mut serial = Vec::new();
+        for k in [1, 3, 8, 500] {
+            index.k_nearest_block_into::<SquaredEuclidean>(&mut block, k, &mut scratch, &mut out);
+            assert_eq!(out.query_count(), queries.len());
+            for (q, query) in queries.iter().enumerate() {
+                index.k_nearest_into::<SquaredEuclidean>(query, k, &mut knn, &mut serial);
+                let blocked = out.query(q);
+                assert_eq!(blocked.len(), serial.len());
+                assert_eq!(out.observed(q), 6);
+                for (a, b) in blocked.iter().zip(&serial) {
+                    assert_eq!(a.location, b.location);
+                    assert_eq!(a.dissimilarity.to_bits(), b.dissimilarity.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_scan_routes_masked_queries_through_masked_path() {
+        let index = FingerprintIndex::build(&wide_db(64));
+        let mut block = crate::block::QueryBlock::new(6);
+        let clean = block_queries(1).remove(0);
+        let mut masked = clean.clone();
+        masked[2] = f64::NAN;
+        masked[5] = f64::INFINITY;
+        block.push(&clean);
+        block.push(&masked);
+        let mut scratch = crate::block::BlockScratch::new();
+        let mut out = crate::block::BlockNeighbors::new();
+        index.k_nearest_block_into::<SquaredEuclidean>(&mut block, 5, &mut scratch, &mut out);
+        let mut knn = KnnScratch::new();
+        let mut serial = Vec::new();
+        let observed = index.k_nearest_masked_into(&masked, 5, &mut knn, &mut serial);
+        assert_eq!(out.observed(1), observed);
+        assert_eq!(observed, 4);
+        for (a, b) in out.query(1).iter().zip(&serial) {
+            assert_eq!(a.location, b.location);
+            assert_eq!(a.dissimilarity.to_bits(), b.dissimilarity.to_bits());
+        }
+    }
+
+    #[test]
+    fn block_scan_without_mirror_matches_per_query_scan() {
+        // Toggling the mirror must not change a single bit.
+        let index = FingerprintIndex::build(&wide_db(90));
+        let queries = block_queries(5);
+        let mut block = crate::block::QueryBlock::new(6);
+        for q in &queries {
+            block.push(q);
+        }
+        let mut scratch = crate::block::BlockScratch::new();
+        let mut out = crate::block::BlockNeighbors::new();
+        crate::block::set_mirror_override(Some(false));
+        index.k_nearest_block_into::<SquaredEuclidean>(&mut block, 4, &mut scratch, &mut out);
+        crate::block::set_mirror_override(None);
+        let mut knn = KnnScratch::new();
+        let mut serial = Vec::new();
+        for (q, query) in queries.iter().enumerate() {
+            index.k_nearest_into::<SquaredEuclidean>(query, 4, &mut knn, &mut serial);
+            for (a, b) in out.query(q).iter().zip(&serial) {
+                assert_eq!(a.location, b.location);
+                assert_eq!(a.dissimilarity.to_bits(), b.dissimilarity.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn block_scan_handles_non_lane_widths_via_fallback() {
+        // 2-AP index: no unrolled lane kernel, per-query fallback.
+        let index = FingerprintIndex::build(&db());
+        let mut block = crate::block::QueryBlock::new(2);
+        block.push(&[-41.0, -69.0]);
+        block.push(&[-69.0, -41.0]);
+        let mut scratch = crate::block::BlockScratch::new();
+        let mut out = crate::block::BlockNeighbors::new();
+        index.k_nearest_block_into::<SquaredEuclidean>(&mut block, 2, &mut scratch, &mut out);
+        assert_eq!(out.query(0)[0].location, l(1));
+        assert_eq!(out.query(1)[0].location, l(7));
+    }
+
+    #[test]
+    fn non_block_kernels_loop_per_query_with_identical_results() {
+        let index = FingerprintIndex::build(&wide_db(40));
+        let queries = block_queries(3);
+        let mut block = crate::block::QueryBlock::new(6);
+        for q in &queries {
+            block.push(q);
+        }
+        let mut scratch = crate::block::BlockScratch::new();
+        let mut out = crate::block::BlockNeighbors::new();
+        index.k_nearest_block_into::<ManhattanKernel>(&mut block, 3, &mut scratch, &mut out);
+        let mut knn = KnnScratch::new();
+        let mut serial = Vec::new();
+        for (q, query) in queries.iter().enumerate() {
+            index.k_nearest_into::<ManhattanKernel>(query, 3, &mut knn, &mut serial);
+            for (a, b) in out.query(q).iter().zip(&serial) {
+                assert_eq!(a.location, b.location);
+                assert_eq!(a.dissimilarity.to_bits(), b.dissimilarity.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rank_all_block_matches_per_query_rank_all() {
+        let index = FingerprintIndex::build(&wide_db(70));
+        let queries = block_queries(5);
+        let mut block = crate::block::QueryBlock::new(6);
+        for q in &queries {
+            block.push(q);
+        }
+        let mut flat = Vec::new();
+        index.rank_all_block_into::<SquaredEuclidean>(&mut block, &mut flat);
+        assert_eq!(flat.len(), queries.len() * index.len());
+        let mut serial = Vec::new();
+        for (q, query) in queries.iter().enumerate() {
+            index.rank_all_into::<SquaredEuclidean>(query, &mut serial);
+            for (row, expect) in serial.iter().enumerate() {
+                assert_eq!(flat[q * index.len() + row].to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_single_query_matches_serial_scan_bits() {
+        let index = FingerprintIndex::build(&wide_db(257));
+        let query = block_queries(1).remove(0);
+        let mut scratch = crate::block::BlockScratch::new();
+        let mut knn = KnnScratch::new();
+        let (mut fast, mut serial) = (Vec::new(), Vec::new());
+        for k in [1, 8, 300] {
+            index.k_nearest_mirror_into::<SquaredEuclidean>(&query, k, &mut scratch, &mut fast);
+            index.k_nearest_into::<SquaredEuclidean>(&query, k, &mut knn, &mut serial);
+            assert_eq!(fast.len(), serial.len());
+            for (a, b) in fast.iter().zip(&serial) {
+                assert_eq!(a.location, b.location);
+                assert_eq!(a.dissimilarity.to_bits(), b.dissimilarity.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn f32_unsafe_values_disable_the_mirror() {
+        let huge = FingerprintDb::from_fingerprints(vec![
+            (l(1), Fingerprint::new(vec![1.0e16, 0.0, 0.0, 0.0])),
+            (l(2), Fingerprint::new(vec![0.0, 1.0e16, 0.0, 0.0])),
+        ])
+        .unwrap();
+        let index = FingerprintIndex::build(&huge);
+        assert!(!index.has_mirror());
+        // The mirror entry point still answers correctly via fallback.
+        let mut scratch = crate::block::BlockScratch::new();
+        let mut out = Vec::new();
+        index.k_nearest_mirror_into::<SquaredEuclidean>(
+            &[1.0e16, 0.0, 0.0, 0.0],
+            1,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out[0].location, l(1));
+        assert_eq!(out[0].dissimilarity, 0.0);
     }
 
     #[test]

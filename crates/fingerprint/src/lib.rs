@@ -12,6 +12,9 @@
 //! * [`index`] — the columnar [`index::FingerprintIndex`]: a flattened
 //!   structure-of-arrays view of the database with monomorphized metric
 //!   kernels for allocation-free squared-distance k-NN scans.
+//! * [`block`] — multi-query [`block::QueryBlock`] batches for the
+//!   cache-blocked Q×L scan kernels and the f32 quantized index mirror
+//!   (bit-identical to per-query scans; see DESIGN.md §15).
 //! * [`knn`] — k-nearest-neighbor retrieval (Eq. 3).
 //! * [`candidates`] — candidate sets with inverse-dissimilarity
 //!   probabilities (Eq. 4).
@@ -40,6 +43,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod block;
 pub mod candidates;
 pub mod centroid;
 pub mod db;
@@ -50,6 +54,7 @@ pub mod knn;
 pub mod metric;
 pub mod nn_localizer;
 
+pub use block::{BlockNeighbors, BlockScratch, QueryBlock};
 pub use candidates::{Candidate, CandidateSet};
 pub use db::FingerprintDb;
 pub use fingerprint::Fingerprint;

@@ -40,6 +40,16 @@ pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>()
 }
 
+/// [`euclidean_sq`] on f32 values — the kernel of the quantized index
+/// mirror's prefilter pass (`crate::index`). Unlike the f64 kernel its
+/// exact accumulation order carries no bit-identity contract: mirror
+/// ranks only *order* a conservative prefilter whose survivors are
+/// rescored with the exact f64 kernel, so any faithful f32 sum works.
+#[inline]
+pub fn euclidean_sq_f32(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>()
+}
+
 /// The squared Euclidean dissimilarity over the *observed* dimensions
 /// only: APs where either side is non-finite (NaN marks a missing or
 /// dropped reading) are excluded from the sum instead of poisoning it.

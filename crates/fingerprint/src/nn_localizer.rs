@@ -150,8 +150,7 @@ fn nearest_masked_scan(db: &FingerprintDb, query: &[f64]) -> LocationId {
             best = Some((id, rank));
         }
     }
-    best.map(|(id, _)| id)
-        .unwrap_or_else(|| LocationId::new(1))
+    best.map(|(id, _)| id).unwrap_or_else(|| LocationId::new(1))
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Property-based tests for the fingerprinting engine.
 
+use moloc_fingerprint::block::{BlockNeighbors, BlockScratch, QueryBlock};
 use moloc_fingerprint::candidates::CandidateSet;
 use moloc_fingerprint::db::FingerprintDb;
 use moloc_fingerprint::fingerprint::Fingerprint;
@@ -26,6 +27,12 @@ fn coarse_rss() -> impl Strategy<Value = f64> {
 
 fn coarse_fingerprint(n: usize) -> impl Strategy<Value = Fingerprint> {
     prop::collection::vec(coarse_rss(), n).prop_map(Fingerprint::new)
+}
+
+/// A coarse RSS reading that is sometimes NaN (a dropped sensor value),
+/// so multi-query blocks mix masked and clean queries.
+fn maybe_masked_rss() -> impl Strategy<Value = f64> {
+    (0u8..9, coarse_rss()).prop_map(|(sel, v)| if sel == 0 { f64::NAN } else { v })
 }
 
 proptest! {
@@ -265,6 +272,85 @@ proptest! {
         );
         prop_assert_eq!(sharded.len(), serial.len());
         for (a, b) in sharded.iter().zip(&serial) {
+            prop_assert_eq!(a.location, b.location);
+            prop_assert_eq!(a.dissimilarity.to_bits(), b.dissimilarity.to_bits());
+        }
+    }
+
+    #[test]
+    fn block_knn_matches_per_query_scans_including_masked(
+        fps in prop::collection::vec(coarse_fingerprint(6), 2..60),
+        queries in prop::collection::vec(
+            prop::collection::vec(maybe_masked_rss(), 6), 1..12,
+        ),
+        k in 1usize..12,
+    ) {
+        // The cache-blocked multi-query scan (f32 mirror prefilter
+        // included — coarse grids keep every value f32-safe) must
+        // reproduce the per-query scans exactly, masked queries
+        // routed through the masked path with the same observed
+        // count. Coarse grids make both cross-query and cross-row
+        // rank ties common, so (rank, position) tie order is
+        // exercised for real.
+        let entries: Vec<(LocationId, Fingerprint)> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (LocationId::from_index(i), f.clone()))
+            .collect();
+        let db = FingerprintDb::from_fingerprints(entries).unwrap();
+        let index = FingerprintIndex::build(&db);
+        let mut block = QueryBlock::new(6);
+        for q in &queries {
+            block.push(q);
+        }
+        let mut scratch = BlockScratch::new();
+        let mut out = BlockNeighbors::new();
+        index.k_nearest_block_into::<SquaredEuclidean>(&mut block, k, &mut scratch, &mut out);
+        prop_assert_eq!(out.query_count(), queries.len());
+        let mut knn = KnnScratch::with_k(k);
+        let mut serial = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            let observed = if q.iter().all(|v| v.is_finite()) {
+                index.k_nearest_into::<SquaredEuclidean>(q, k, &mut knn, &mut serial);
+                index.ap_count()
+            } else {
+                index.k_nearest_masked_into(q, k, &mut knn, &mut serial)
+            };
+            prop_assert_eq!(out.observed(qi), observed, "query {} observed", qi);
+            let blocked = out.query(qi);
+            prop_assert_eq!(blocked.len(), serial.len(), "query {} len", qi);
+            for (a, b) in blocked.iter().zip(&serial) {
+                prop_assert_eq!(a.location, b.location);
+                prop_assert_eq!(a.dissimilarity.to_bits(), b.dissimilarity.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_prefilter_rescore_is_bit_identical_to_serial_scan(
+        fps in prop::collection::vec(fingerprint(6), 2..80),
+        query in fingerprint(6),
+        k in 1usize..12,
+    ) {
+        // The f32 quantized mirror is a *prefilter*: its survivors are
+        // exactly rescored in f64, so the top-k indices, values, and
+        // tie order must be bitwise equal to the plain f64 scan for
+        // arbitrary surveys.
+        let entries: Vec<(LocationId, Fingerprint)> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (LocationId::from_index(i), f.clone()))
+            .collect();
+        let db = FingerprintDb::from_fingerprints(entries).unwrap();
+        let index = FingerprintIndex::build(&db);
+        prop_assert!(index.has_mirror());
+        let mut scratch = BlockScratch::new();
+        let mut knn = KnnScratch::with_k(k);
+        let (mut fast, mut serial) = (Vec::new(), Vec::new());
+        index.k_nearest_mirror_into::<SquaredEuclidean>(query.values(), k, &mut scratch, &mut fast);
+        index.k_nearest_into::<SquaredEuclidean>(query.values(), k, &mut knn, &mut serial);
+        prop_assert_eq!(fast.len(), serial.len());
+        for (a, b) in fast.iter().zip(&serial) {
             prop_assert_eq!(a.location, b.location);
             prop_assert_eq!(a.dissimilarity.to_bits(), b.dissimilarity.to_bits());
         }

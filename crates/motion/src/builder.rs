@@ -115,10 +115,7 @@ impl MotionDbBuilder {
     /// Returns [`SanitationError`] when the configuration fails
     /// [`SanitationConfig::validate`] — an invalid threshold is a
     /// caller-input problem, reported as a value rather than a panic.
-    pub fn new(
-        map: MapReference,
-        config: SanitationConfig,
-    ) -> Result<Self, SanitationError> {
+    pub fn new(map: MapReference, config: SanitationConfig) -> Result<Self, SanitationError> {
         config.validate()?;
         Ok(Self {
             map,

@@ -183,7 +183,9 @@ mod tests {
         };
         assert_eq!(
             c.validate().unwrap_err(),
-            SanitationError::NonPositive { field: "fine_sigma" }
+            SanitationError::NonPositive {
+                field: "fine_sigma"
+            }
         );
     }
 

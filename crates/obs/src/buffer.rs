@@ -86,7 +86,9 @@ impl LocalBuffer {
                     self.counter_handles.len() - 1
                 }
             };
-            self.counter_handles[slot].1.fetch_add(delta, Ordering::Relaxed);
+            self.counter_handles[slot]
+                .1
+                .fetch_add(delta, Ordering::Relaxed);
         }
         // Samples publish folded: all of one name's samples collapse
         // locally, then hit the histogram as a single batch — a few

@@ -55,7 +55,8 @@ mod tests {
         struct CountOnly(std::sync::atomic::AtomicU64);
         impl Recorder for CountOnly {
             fn counter_add(&self, _name: &'static str, delta: u64) {
-                self.0.fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+                self.0
+                    .fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
             }
         }
         let sink = CountOnly(std::sync::atomic::AtomicU64::new(0));

@@ -30,11 +30,7 @@ pub struct MetricsRegistry {
 }
 
 fn entry<T: Default>(table: &Table<T>, name: &'static str) -> Arc<T> {
-    if let Some(found) = table
-        .read()
-        .unwrap_or_else(|e| e.into_inner())
-        .get(name)
-    {
+    if let Some(found) = table.read().unwrap_or_else(|e| e.into_inner()).get(name) {
         return Arc::clone(found);
     }
     Arc::clone(

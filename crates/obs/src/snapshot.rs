@@ -74,8 +74,14 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     pub(crate) fn collect(
-        counters: &std::collections::HashMap<&'static str, std::sync::Arc<std::sync::atomic::AtomicU64>>,
-        gauges: &std::collections::HashMap<&'static str, std::sync::Arc<std::sync::atomic::AtomicU64>>,
+        counters: &std::collections::HashMap<
+            &'static str,
+            std::sync::Arc<std::sync::atomic::AtomicU64>,
+        >,
+        gauges: &std::collections::HashMap<
+            &'static str,
+            std::sync::Arc<std::sync::atomic::AtomicU64>,
+        >,
         histograms: &std::collections::HashMap<&'static str, std::sync::Arc<Histogram>>,
     ) -> Self {
         use std::sync::atomic::Ordering;
@@ -226,8 +232,8 @@ fn json_f64(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::MetricsRegistry;
     use crate::recorder::Recorder as _;
+    use crate::registry::MetricsRegistry;
 
     fn sample() -> MetricsSnapshot {
         let r = MetricsRegistry::new();

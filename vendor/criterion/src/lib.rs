@@ -128,7 +128,10 @@ impl Criterion {
 
     /// Prints a one-line closing summary.
     pub fn final_summary(&self) {
-        println!("benchmarks complete: {} measurements", self.measurements.len());
+        println!(
+            "benchmarks complete: {} measurements",
+            self.measurements.len()
+        );
     }
 }
 
@@ -233,9 +236,7 @@ mod tests {
             .sample_size(5)
             .warm_up_time(Duration::from_millis(10))
             .measurement_time(Duration::from_millis(50));
-        c.bench_function("tiny/sum", |b| {
-            b.iter(|| (0..100u64).sum::<u64>())
-        });
+        c.bench_function("tiny/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         let m = c.measurement("tiny/sum").expect("recorded");
         assert_eq!(m.samples, 5);
         assert!(m.mean_ns > 0.0);

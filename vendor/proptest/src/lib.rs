@@ -406,12 +406,12 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            return ::core::result::Result::Err($crate::TestCaseError::fail(
-                ::std::format!(
-                    "assertion failed: {} != {} (both {:?})",
-                    stringify!($left), stringify!($right), l,
-                ),
-            ));
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+            )));
         }
     }};
 }
@@ -421,9 +421,7 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::core::result::Result::Err($crate::TestCaseError::reject(
-                stringify!($cond),
-            ));
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
         }
     };
 }

@@ -343,9 +343,7 @@ impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Option<T> {
         use de::Error;
         match d.deserialize_value()? {
             Value::Null => Ok(None),
-            other => from_value(other)
-                .map(Some)
-                .map_err(D::Error::custom),
+            other => from_value(other).map(Some).map_err(D::Error::custom),
         }
     }
 }

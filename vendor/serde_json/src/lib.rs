@@ -239,10 +239,7 @@ impl<'a> Parser<'a> {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(Error::new(format!(
-                "invalid keyword at byte {}",
-                self.pos
-            )))
+            Err(Error::new(format!("invalid keyword at byte {}", self.pos)))
         }
     }
 
@@ -362,10 +359,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "unknown escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -380,10 +374,8 @@ impl<'a> Parser<'a> {
             .bytes
             .get(self.pos..end)
             .ok_or_else(|| Error::new("truncated \\u escape"))?;
-        let text =
-            std::str::from_utf8(slice).map_err(|_| Error::new("invalid \\u escape"))?;
-        let code =
-            u32::from_str_radix(text, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| Error::new("invalid \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| Error::new("invalid \\u escape"))?;
         self.pos = end;
         Ok(code)
     }
