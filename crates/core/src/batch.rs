@@ -240,6 +240,23 @@ impl<'a> BatchLocalizer<'a> {
         self.last_flags = DegradationFlags::empty();
     }
 
+    /// Restores the engine's complete recursion state from a
+    /// checkpoint: the retained posterior (as returned by
+    /// [`BatchLocalizer::posterior`]) and the degradation flags of the
+    /// observation that produced it.
+    ///
+    /// Eq. 7 consumes nothing but the previous posterior, so an engine
+    /// restored this way continues **bit-identically** to the engine
+    /// that produced the checkpoint — the crash-recovery contract of
+    /// `moloc-session` (proven by its kill-and-replay digest tests). An
+    /// empty `posterior` restores the pre-first-observation state.
+    pub fn restore_posterior(&mut self, posterior: &[(LocationId, f64)], flags: DegradationFlags) {
+        self.buf.previous.clear();
+        self.buf.previous.extend_from_slice(posterior);
+        self.has_previous = !posterior.is_empty();
+        self.last_flags = flags;
+    }
+
     /// Which graceful fallbacks fired during the most recent
     /// observation (empty when the estimate came from the clean
     /// full-fusion path). See [`DegradationFlags`] for the ladder.
@@ -859,6 +876,45 @@ mod tests {
         assert_eq!(first, second);
         engine.reset();
         assert!(engine.posterior().is_empty());
+    }
+
+    #[test]
+    fn restore_posterior_resumes_bit_identically() {
+        let (fdb, mdb) = world();
+        let config = MoLocConfig::default();
+        let queries = queries();
+        // Uninterrupted reference run.
+        let mut reference = BatchLocalizer::new(&fdb, &mdb, config);
+        let mut expected = Vec::new();
+        for (q, m) in &queries {
+            expected.push(reference.observe(q, *m).unwrap());
+        }
+        // Cut the run at every boundary, checkpoint the posterior, and
+        // resume on a fresh engine: estimates and retained posteriors
+        // must match the uninterrupted run bit-for-bit.
+        for cut in 0..=queries.len() {
+            let mut first = BatchLocalizer::new(&fdb, &mdb, config);
+            let mut estimates = Vec::new();
+            for (q, m) in &queries[..cut] {
+                estimates.push(first.observe(q, *m).unwrap());
+            }
+            let saved: Vec<(LocationId, f64)> = first.posterior().to_vec();
+            let flags = first.last_flags();
+            let mut resumed = BatchLocalizer::new(&fdb, &mdb, config);
+            resumed.restore_posterior(&saved, flags);
+            assert_eq!(resumed.posterior(), saved.as_slice());
+            assert_eq!(resumed.last_flags(), flags);
+            for (q, m) in &queries[cut..] {
+                estimates.push(resumed.observe(q, *m).unwrap());
+            }
+            assert_eq!(estimates, expected, "cut at {cut} diverged");
+            if cut == queries.len() {
+                let bits = |p: &[(LocationId, f64)]| {
+                    p.iter().map(|(l, v)| (*l, v.to_bits())).collect::<Vec<_>>()
+                };
+                assert_eq!(bits(resumed.posterior()), bits(reference.posterior()));
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 /// Every variant is a caller-input problem, never an internal
 /// inconsistency — internal invariant violations remain panics so they
 /// fail loudly in tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MolocError {
     /// The query fingerprint length does not match the database.
     QueryLength {
@@ -29,11 +29,33 @@ pub enum MolocError {
     /// No usable fingerprint candidates could be formed for the query.
     EmptyCandidates,
     /// A configuration value was rejected by validation (e.g. a
-    /// non-positive sanitation threshold).
+    /// non-positive sanitation threshold, or a malformed `MOLOC_*`
+    /// environment variable).
     InvalidConfig {
-        /// The offending configuration field.
+        /// The offending configuration field (or environment variable).
         field: &'static str,
+        /// The rejected raw value, when one was supplied (env/config
+        /// strings); `None` for structural violations with no single
+        /// offending literal.
+        value: Option<String>,
     },
+}
+
+impl MolocError {
+    /// An [`MolocError::InvalidConfig`] with no captured raw value.
+    pub fn invalid_config(field: &'static str) -> Self {
+        MolocError::InvalidConfig { field, value: None }
+    }
+
+    /// An [`MolocError::InvalidConfig`] carrying the rejected raw
+    /// string, so diagnostics name both the knob and what was fed to
+    /// it.
+    pub fn invalid_config_value(field: &'static str, value: impl Into<String>) -> Self {
+        MolocError::InvalidConfig {
+            field,
+            value: Some(value.into()),
+        }
+    }
 }
 
 impl std::fmt::Display for MolocError {
@@ -46,9 +68,10 @@ impl std::fmt::Display for MolocError {
             MolocError::EmptyCandidates => {
                 write!(f, "no usable fingerprint candidates for the query")
             }
-            MolocError::InvalidConfig { field } => {
-                write!(f, "invalid configuration: {field}")
-            }
+            MolocError::InvalidConfig { field, value } => match value {
+                Some(value) => write!(f, "invalid configuration: {field}={value:?}"),
+                None => write!(f, "invalid configuration: {field}"),
+            },
         }
     }
 }
@@ -57,7 +80,7 @@ impl std::error::Error for MolocError {}
 
 impl From<moloc_motion::filter::SanitationError> for MolocError {
     fn from(e: moloc_motion::filter::SanitationError) -> Self {
-        MolocError::InvalidConfig { field: e.field() }
+        MolocError::invalid_config(e.field())
     }
 }
 
@@ -93,6 +116,14 @@ impl DegradationFlags {
     /// The raw bit representation.
     pub const fn bits(self) -> u8 {
         self.0
+    }
+
+    /// Rebuilds flags from a raw bit representation, masking unknown
+    /// bits. The checkpoint/recovery path round-trips flags through
+    /// [`DegradationFlags::bits`]; masking keeps a corrupted-but-
+    /// checksum-colliding byte from smuggling undefined flags in.
+    pub const fn from_bits(bits: u8) -> Self {
+        Self(bits & 0b1111)
     }
 
     /// Whether no fallback fired.
@@ -163,11 +194,12 @@ mod tests {
         assert!(MolocError::EmptyCandidates
             .to_string()
             .contains("candidates"));
-        assert!(MolocError::InvalidConfig {
-            field: "fine_sigma"
-        }
-        .to_string()
-        .contains("fine_sigma"));
+        assert!(MolocError::invalid_config("fine_sigma")
+            .to_string()
+            .contains("fine_sigma"));
+        let with_value = MolocError::invalid_config_value("MOLOC_THREADS", "banana");
+        assert!(with_value.to_string().contains("MOLOC_THREADS"));
+        assert!(with_value.to_string().contains("banana"));
     }
 
     #[test]
@@ -177,12 +209,7 @@ mod tests {
             field: "coarse_offset_m",
         }
         .into();
-        assert_eq!(
-            err,
-            MolocError::InvalidConfig {
-                field: "coarse_offset_m"
-            }
-        );
+        assert_eq!(err, MolocError::invalid_config("coarse_offset_m"));
         // The round trip from a real invalid config lands on the same
         // variant.
         let bad = SanitationConfig {
@@ -190,11 +217,21 @@ mod tests {
             ..SanitationConfig::default()
         };
         let err: MolocError = bad.validate().unwrap_err().into();
+        assert_eq!(err, MolocError::invalid_config("min_samples"));
+    }
+
+    #[test]
+    fn flags_round_trip_through_bits() {
+        let f = DegradationFlags::MASKED_QUERY | DegradationFlags::CANDIDATE_RESET;
+        assert_eq!(DegradationFlags::from_bits(f.bits()), f);
+        // Unknown high bits are masked off, never resurrected.
+        assert_eq!(DegradationFlags::from_bits(0xF0), DegradationFlags::empty());
         assert_eq!(
-            err,
-            MolocError::InvalidConfig {
-                field: "min_samples"
-            }
+            DegradationFlags::from_bits(0xFF),
+            DegradationFlags::MASKED_QUERY
+                | DegradationFlags::NO_OBSERVED_APS
+                | DegradationFlags::MOTION_FALLBACK
+                | DegradationFlags::CANDIDATE_RESET
         );
     }
 

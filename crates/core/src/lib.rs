@@ -11,6 +11,9 @@
 //! * [`error`] — the typed [`error::MolocError`] hierarchy and the
 //!   [`error::DegradationFlags`] surfaced when serving paths fall back
 //!   (masked k-NN, fingerprint-only prior, candidate reset).
+//! * [`env`] — strict parsing for `MOLOC_*` environment knobs:
+//!   malformed values are typed [`error::MolocError::InvalidConfig`]
+//!   errors carrying the offending string, never silent fallbacks.
 //! * [`matching`] — motion matching (Eq. 5: `P_{i,j}(d, o) =
 //!   D_{i,j}(d)·O_{i,j}(o)`) and its extension over candidate sets
 //!   (Eq. 6).
@@ -64,6 +67,7 @@
 pub mod batch;
 pub mod config;
 pub mod engine;
+pub mod env;
 pub mod error;
 pub mod evaluate;
 pub mod matching;

@@ -141,6 +141,10 @@ fn section_len(doc: &Value, name: &str) -> usize {
 }
 
 fn main() {
+    if let Err(e) = moloc_eval::parallel::validate_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let mut paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.iter().any(|a| a == "--help" || a == "-h") {
         println!("usage: metrics_check FILE");

@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the MoLoc paper.
 //!
 //! ```text
-//! repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness]
-//!       [--seed N] [--fast] [--robust-out FILE] [--metrics FILE]
+//! repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness|chaos]
+//!       [--seed N] [--fast] [--robust-out FILE] [--chaos-out FILE] [--metrics FILE]
 //! ```
 //!
 //! `--fast` runs the reduced corpus (for smoke tests); the default runs
@@ -18,7 +18,7 @@
 
 use moloc_eval::cache::ScenarioCache;
 use moloc_eval::experiments::{
-    ablations, baselines, fig4, fig6, fig7, fig8, robustness, seeds, table1,
+    ablations, baselines, chaos, fig4, fig6, fig7, fig8, robustness, seeds, table1,
 };
 use moloc_eval::pipeline::EvalWorld;
 
@@ -28,6 +28,7 @@ struct Args {
     seed: u64,
     fast: bool,
     robust_out: Option<String>,
+    chaos_out: Option<String>,
     metrics_out: Option<String>,
 }
 
@@ -37,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 2013,
         fast: false,
         robust_out: None,
+        chaos_out: None,
         metrics_out: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -60,6 +62,12 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--robust-out requires a value".to_string())?,
                 );
             }
+            "--chaos-out" => {
+                args.chaos_out = Some(
+                    iter.next()
+                        .ok_or_else(|| "--chaos-out requires a value".to_string())?,
+                );
+            }
             "--metrics" => {
                 args.metrics_out = Some(
                     iter.next()
@@ -68,7 +76,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness] [--seed N] [--fast] [--robust-out FILE] [--metrics FILE]"
+                    "usage: repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness|chaos] [--seed N] [--fast] [--robust-out FILE] [--chaos-out FILE] [--metrics FILE]"
                 );
                 std::process::exit(0);
             }
@@ -86,6 +94,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Surface a typo'd MOLOC_* variable as a typed, actionable error
+    // before any pool spins up or any session opens a log — never a
+    // silent fallback, never a mid-run panic from a cached resolver.
+    if let Err(e) = moloc_eval::parallel::validate_env().and(moloc_session::validate_env()) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
 
     if args.metrics_out.is_some() {
         // Declare the full taxonomy first so every canonical name shows
@@ -138,6 +154,26 @@ fn run(args: &Args) {
         println!("{}", robustness::render(&sweep));
         if let Some(path) = &args.robust_out {
             let json = serde_json::to_string_pretty(&sweep).expect("sweep serializes");
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+
+    if wants("chaos") {
+        // Reduced corpus, like the robustness sweep: the chaos artifact
+        // gates CI, so it must stay fast and seed-stable.
+        eprintln!(
+            "building reduced world for the chaos suite (seed {})...",
+            args.seed
+        );
+        let small = EvalWorld::small(args.seed);
+        let suite = chaos::run(&small, args.seed);
+        println!("{}", chaos::render(&suite));
+        if let Some(path) = &args.chaos_out {
+            let json = serde_json::to_string_pretty(&suite).expect("chaos serializes");
             if let Err(e) = std::fs::write(path, json + "\n") {
                 eprintln!("error: write {path}: {e}");
                 std::process::exit(2);

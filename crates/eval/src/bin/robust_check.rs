@@ -61,6 +61,10 @@ fn load(path: &str) -> Result<Robustness, String> {
 }
 
 fn main() {
+    if let Err(e) = moloc_eval::parallel::validate_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

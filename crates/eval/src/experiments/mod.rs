@@ -11,9 +11,11 @@
 //! | [`baselines`] | extension: MoLoc vs Horus vs HMM vs particle filter vs WiFi NN |
 //! | [`seeds`] | extension: seed-sensitivity sweep of the headline comparison |
 //! | [`robustness`] | extension: fault-injection sweeps and the degradation ladder |
+//! | [`chaos`] | extension: crash-safe streaming under stream faults, kill matrices, watchdogs |
 
 pub mod ablations;
 pub mod baselines;
+pub mod chaos;
 pub mod fig4;
 pub mod fig6;
 pub mod fig7;

@@ -45,16 +45,37 @@ pub const COUNTERS: &[&str] = &[
     // executed by a worker other than their dealt owner.
     "eval.runtime.jobs",
     "eval.runtime.steals",
+    // Runtime watchdogs: jobs whose deadline fired before every shard
+    // started, workers flagged still-busy past the stall grace period,
+    // and poisoned jobs recorded in the quarantine registry.
+    "eval.runtime.deadline_expired",
+    "eval.runtime.stalls_detected",
+    "eval.runtime.quarantined",
     // Intra-query sharded k-NN dispatches (large synthetic surveys)
     // and multi-query block scans fanned out over query ranges.
     "eval.knn.sharded_queries",
     "eval.knn.block_dispatches",
+    // Streaming session layer (moloc-session): transport, checkpoint,
+    // recovery, admission, and watchdog events.
+    "session.stream.ingested",
+    "session.stream.delivered",
+    "session.checkpoint.writes",
+    "session.checkpoint.bytes",
+    "session.checkpoint.compactions",
+    "session.recovery.attempts",
+    "session.recovery.resumed",
+    "session.recovery.corrupt_logs",
+    "session.admission.accepted",
+    "session.admission.shed",
+    "session.watchdog.reaped",
 ];
 
 /// Last-write-wins instantaneous values.
 pub const GAUGES: &[&str] = &[
     // Resolved worker-pool width after `MOLOC_THREADS` clamping.
     "eval.parallel.threads",
+    // Live sessions held by the streaming session manager.
+    "session.manager.active",
 ];
 
 /// Value distributions (timing spans record seconds).

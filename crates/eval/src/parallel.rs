@@ -41,6 +41,7 @@
 //! [`par_run_chunked`].
 
 use crate::runtime::{shard_ranges, Runtime, SlotVec};
+use moloc_core::error::MolocError;
 use moloc_fingerprint::block::{BlockNeighbors, BlockScratch, QueryBlock};
 use moloc_fingerprint::index::{FingerprintIndex, KnnScratch, MetricKernel, ShardCandidate};
 use moloc_fingerprint::knn::Neighbor;
@@ -51,7 +52,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
 
-pub use crate::runtime::{SlotWriter, MAX_POOL_WORKERS};
+pub use crate::runtime::{
+    clear_quarantine, quarantine_log, JobReport, QuarantineRecord, SlotWriter, MAX_POOL_WORKERS,
+};
 
 /// Upper bound on requested threads, as a multiple of the machine's
 /// available parallelism. Mild oversubscription can help when traces
@@ -80,9 +83,9 @@ pub const KNN_SHARD_MIN_WORK: usize = 32_768;
 ///
 /// Resolution order:
 /// 1. [`set_worker_override`], when armed (bench harnesses only);
-/// 2. `MOLOC_THREADS` environment variable, if it parses to an integer
-///    ≥ 1 (invalid values are ignored, not fatal), clamped to
-///    [`MAX_OVERSUBSCRIPTION`]× the available parallelism;
+/// 2. `MOLOC_THREADS` environment variable — must parse to an integer
+///    ≥ 1, clamped to [`MAX_OVERSUBSCRIPTION`]× the available
+///    parallelism;
 /// 3. [`std::thread::available_parallelism`];
 /// 4. 1 (serial) if the platform cannot report parallelism.
 ///
@@ -90,6 +93,13 @@ pub const KNN_SHARD_MIN_WORK: usize = 32_768;
 /// width. The resolved count is published as the
 /// `eval.parallel.threads` gauge while metrics collection is enabled
 /// (the gauge write is skipped entirely while the recorder is off).
+///
+/// # Panics
+///
+/// Panics (fail-fast) when `MOLOC_THREADS` is set but malformed —
+/// garbage no longer degrades silently to the machine default. Entry
+/// points call [`validate_env`] first, which surfaces the same defect
+/// as a typed [`MolocError::InvalidConfig`] before any pool spins up.
 pub fn thread_count() -> usize {
     let resolved = match worker_override() {
         Some(n) => n,
@@ -102,40 +112,51 @@ pub fn thread_count() -> usize {
 }
 
 /// The `MOLOC_THREADS` resolution, performed once and cached.
+/// Malformed values fail fast (see [`thread_count`]).
 fn cached_thread_count() -> usize {
     static CACHED: OnceLock<usize> = OnceLock::new();
     *CACHED.get_or_init(|| {
         let available = thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
-        resolve_thread_count(std::env::var("MOLOC_THREADS").ok().as_deref(), available)
+        match resolve_thread_count(std::env::var("MOLOC_THREADS").ok().as_deref(), available) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
+        }
     })
 }
 
 /// The pure resolution rule behind [`thread_count`]: `raw` is the
 /// `MOLOC_THREADS` value (if set), `available` the machine parallelism.
-fn resolve_thread_count(raw: Option<&str>, available: usize) -> usize {
+/// Unset keeps the machine default; a set-but-malformed value (garbage,
+/// empty, zero) is a typed error naming the knob and echoing the raw
+/// string — never a silent fallback.
+fn resolve_thread_count(raw: Option<&str>, available: usize) -> Result<usize, MolocError> {
     let available = available.max(1);
     let ceiling = available.saturating_mul(MAX_OVERSUBSCRIPTION);
-    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n.min(ceiling),
-        _ => available,
+    match moloc_core::env::parse_positive_usize("MOLOC_THREADS", raw)? {
+        Some(n) => Ok(n.min(ceiling)),
+        None => Ok(available),
     }
 }
 
 /// The process-wide shard-size pin from `MOLOC_CHUNK`, parsed once.
-/// `None` (unset or invalid) lets each call compute its own default.
+/// `None` (unset) lets each call compute its own default; malformed
+/// values fail fast like `MOLOC_THREADS`.
 fn chunk_override() -> Option<usize> {
     static CACHED: OnceLock<Option<usize>> = OnceLock::new();
-    *CACHED.get_or_init(|| resolve_chunk(std::env::var("MOLOC_CHUNK").ok().as_deref()))
+    *CACHED.get_or_init(
+        || match resolve_chunk(std::env::var("MOLOC_CHUNK").ok().as_deref()) {
+            Ok(pin) => pin,
+            Err(e) => panic!("{e}"),
+        },
+    )
 }
 
-/// The pure resolution rule behind the `MOLOC_CHUNK` pin.
-fn resolve_chunk(raw: Option<&str>) -> Option<usize> {
-    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
-        Some(n) if n >= 1 => Some(n),
-        _ => None,
-    }
+/// The pure resolution rule behind the `MOLOC_CHUNK` pin: a shard size
+/// must be a positive integer; anything else set is a typed error.
+fn resolve_chunk(raw: Option<&str>) -> Result<Option<usize>, MolocError> {
+    moloc_core::env::parse_positive_usize("MOLOC_CHUNK", raw)
 }
 
 /// Bench-harness worker-count override: `0` means "not armed".
@@ -189,19 +210,41 @@ fn knn_shard_min() -> usize {
         usize::MAX => {
             static CACHED: OnceLock<usize> = OnceLock::new();
             *CACHED.get_or_init(|| {
-                resolve_shard_min(std::env::var("MOLOC_KNN_SHARD_MIN").ok().as_deref())
+                match resolve_shard_min(std::env::var("MOLOC_KNN_SHARD_MIN").ok().as_deref()) {
+                    Ok(n) => n,
+                    Err(e) => panic!("{e}"),
+                }
             })
         }
         n => n,
     }
 }
 
-/// The pure resolution rule behind `MOLOC_KNN_SHARD_MIN`: any value
-/// that parses (including 0) wins; unset or invalid falls back to the
-/// default.
-fn resolve_shard_min(raw: Option<&str>) -> usize {
-    raw.and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(KNN_SHARD_MIN_WORK)
+/// The pure resolution rule behind `MOLOC_KNN_SHARD_MIN`: any integer
+/// (including 0 — "always shard") wins; unset keeps the default; a
+/// set-but-malformed value is a typed error.
+fn resolve_shard_min(raw: Option<&str>) -> Result<usize, MolocError> {
+    Ok(moloc_core::env::parse_usize("MOLOC_KNN_SHARD_MIN", raw)?.unwrap_or(KNN_SHARD_MIN_WORK))
+}
+
+/// Strictly validates every `MOLOC_*` knob this module reads
+/// (`MOLOC_THREADS`, `MOLOC_CHUNK`, `MOLOC_KNN_SHARD_MIN`). Entry
+/// points call this before touching the pool so a typo'd variable is a
+/// typed, actionable error — not a setting silently replaced by a
+/// default, and not a mid-run panic from the cached resolver.
+///
+/// # Errors
+///
+/// Returns [`MolocError::InvalidConfig`] naming the first malformed
+/// variable and echoing its raw value.
+pub fn validate_env() -> Result<(), MolocError> {
+    let available = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    resolve_thread_count(std::env::var("MOLOC_THREADS").ok().as_deref(), available)?;
+    resolve_chunk(std::env::var("MOLOC_CHUNK").ok().as_deref())?;
+    resolve_shard_min(std::env::var("MOLOC_KNN_SHARD_MIN").ok().as_deref())?;
+    Ok(())
 }
 
 thread_local! {
@@ -286,6 +329,51 @@ where
     }
     let workers = thread_count().min(n);
     Runtime::global().run_shards(workers, shard_ranges(n, chunk), &shard_fn);
+}
+
+/// [`par_shards`] under a watchdog: shards not started by `deadline`
+/// are abandoned (a shard in flight always completes — items are never
+/// interrupted midway), a pool worker still busy past the grace period
+/// is flagged as stalled, and a panicking job is recorded in the
+/// [`quarantine_log`] before its panic is rethrown. Returns the
+/// [`JobReport`] accounting for completed versus abandoned items.
+///
+/// Unlike [`par_shards`], coverage of `0..n` is **not** guaranteed when
+/// the deadline fires: callers own the partial-work policy (retry,
+/// degrade, or fail). The deterministic primitives above never pass a
+/// deadline, so their bit-identical-output contract is unaffected.
+pub fn par_shards_deadline<F>(
+    n: usize,
+    chunk: usize,
+    deadline: Option<std::time::Instant>,
+    shard_fn: F,
+) -> JobReport
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let workers = thread_count().min(n.max(1));
+    par_shards_deadline_with_workers(workers, n, chunk, deadline, shard_fn)
+}
+
+/// [`par_shards_deadline`] with an explicit worker count, ignoring
+/// [`thread_count`] — chaos harnesses use this to exercise the pooled
+/// watchdog path even on single-core hosts.
+pub fn par_shards_deadline_with_workers<F>(
+    workers: usize,
+    n: usize,
+    chunk: usize,
+    deadline: Option<std::time::Instant>,
+    shard_fn: F,
+) -> JobReport
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    Runtime::global().run_shards_deadline(
+        workers.min(n.max(1)),
+        shard_ranges(n, chunk),
+        deadline,
+        &shard_fn,
+    )
 }
 
 /// [`par_shards`] with an explicit worker count, ignoring
@@ -628,46 +716,76 @@ mod tests {
     }
 
     #[test]
-    fn resolve_shard_min_parses_any_integer_or_defaults() {
-        assert_eq!(resolve_shard_min(Some("0")), 0);
-        assert_eq!(resolve_shard_min(Some(" 4096 ")), 4096);
-        assert_eq!(resolve_shard_min(Some("nope")), KNN_SHARD_MIN_WORK);
-        assert_eq!(resolve_shard_min(None), KNN_SHARD_MIN_WORK);
+    fn resolve_shard_min_accepts_any_integer_and_defaults_when_unset() {
+        assert_eq!(resolve_shard_min(Some("0")), Ok(0));
+        assert_eq!(resolve_shard_min(Some(" 4096 ")), Ok(4096));
+        assert_eq!(resolve_shard_min(None), Ok(KNN_SHARD_MIN_WORK));
     }
 
     #[test]
     fn resolve_honors_sane_env_values() {
-        assert_eq!(resolve_thread_count(Some("1"), 8), 1);
-        assert_eq!(resolve_thread_count(Some(" 6 "), 8), 6);
-        assert_eq!(resolve_thread_count(Some("32"), 8), 32);
+        assert_eq!(resolve_thread_count(Some("1"), 8), Ok(1));
+        assert_eq!(resolve_thread_count(Some(" 6 "), 8), Ok(6));
+        assert_eq!(resolve_thread_count(Some("32"), 8), Ok(32));
+        assert_eq!(resolve_thread_count(None, 8), Ok(8));
+        // A platform that cannot report parallelism still yields 1.
+        assert_eq!(resolve_thread_count(None, 0), Ok(1));
+        assert_eq!(resolve_thread_count(Some("3"), 0), Ok(3));
     }
 
     #[test]
     fn resolve_clamps_absurd_requests() {
         // MOLOC_THREADS=1000000 used to be taken literally and spawn a
         // million scoped threads; now it caps at 4x the parallelism.
-        assert_eq!(resolve_thread_count(Some("1000000"), 8), 32);
-        assert_eq!(resolve_thread_count(Some(&usize::MAX.to_string()), 2), 8);
+        assert_eq!(resolve_thread_count(Some("1000000"), 8), Ok(32));
+        assert_eq!(resolve_thread_count(Some(&usize::MAX.to_string()), 2), Ok(8));
     }
 
     #[test]
-    fn resolve_falls_back_on_invalid_or_missing_input() {
-        assert_eq!(resolve_thread_count(None, 8), 8);
-        assert_eq!(resolve_thread_count(Some("zero"), 8), 8);
-        assert_eq!(resolve_thread_count(Some("0"), 8), 8);
-        assert_eq!(resolve_thread_count(Some(""), 8), 8);
-        // A platform that cannot report parallelism still yields 1.
-        assert_eq!(resolve_thread_count(None, 0), 1);
-        assert_eq!(resolve_thread_count(Some("3"), 0), 3);
+    fn malformed_thread_counts_are_typed_errors_not_silent_fallbacks() {
+        // Regression: `MOLOC_THREADS=fuor` used to run the whole
+        // evaluation serial without a word. Now the error names the
+        // knob and echoes the rejected string.
+        for bad in ["zero", "0", "", "fuor", "1e3", "-2"] {
+            let err = resolve_thread_count(Some(bad), 8).unwrap_err();
+            assert_eq!(
+                err,
+                MolocError::invalid_config_value("MOLOC_THREADS", bad),
+                "{bad:?} must be rejected"
+            );
+            assert!(err.to_string().contains("MOLOC_THREADS"));
+        }
     }
 
     #[test]
-    fn resolve_chunk_accepts_positive_integers_only() {
-        assert_eq!(resolve_chunk(Some("4")), Some(4));
-        assert_eq!(resolve_chunk(Some(" 12 ")), Some(12));
-        assert_eq!(resolve_chunk(Some("0")), None);
-        assert_eq!(resolve_chunk(Some("nope")), None);
-        assert_eq!(resolve_chunk(None), None);
+    fn resolve_chunk_accepts_positive_integers_and_rejects_the_rest() {
+        assert_eq!(resolve_chunk(Some("4")), Ok(Some(4)));
+        assert_eq!(resolve_chunk(Some(" 12 ")), Ok(Some(12)));
+        assert_eq!(resolve_chunk(None), Ok(None));
+        for bad in ["0", "nope", ""] {
+            assert_eq!(
+                resolve_chunk(Some(bad)),
+                Err(MolocError::invalid_config_value("MOLOC_CHUNK", bad)),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_shard_min_is_a_typed_error() {
+        let err = resolve_shard_min(Some("-3")).unwrap_err();
+        assert_eq!(
+            err,
+            MolocError::invalid_config_value("MOLOC_KNN_SHARD_MIN", "-3")
+        );
+        assert!(err.to_string().contains("-3"));
+    }
+
+    #[test]
+    fn validate_env_passes_in_a_clean_environment() {
+        // CI may legitimately pin these variables; validation must
+        // accept whatever the ambient (working) environment holds.
+        assert_eq!(validate_env(), Ok(()));
     }
 
     #[test]

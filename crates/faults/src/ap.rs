@@ -4,12 +4,13 @@
 use crate::plan::FaultPlan;
 use crate::rng::{hash, std_normal, unit};
 use moloc_fingerprint::db::FingerprintDb;
+use serde::{Deserialize, Serialize};
 
 /// Independently drops each `(trace, pass, ap)` reading with
 /// probability `rate`, writing NaN (the pipeline's "unobserved" value).
 /// Models APs intermittently missing from scans — the dominant failure
 /// in production fingerprinting deployments.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ApDropout {
     /// Per-reading dropout probability in `[0, 1]`.
     pub rate: f64,
@@ -34,7 +35,7 @@ impl FaultPlan for ApDropout {
 
 /// A hard outage of one AP: every scan loses that reading. Models a
 /// powered-off or decommissioned transmitter after the site survey.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ApOutage {
     /// Index of the dead AP within the scan vector.
     pub ap: usize,
@@ -55,7 +56,7 @@ impl FaultPlan for ApOutage {
 /// A rogue (or re-tuned) AP: a constant RSS bias on one AP plus
 /// occasional high-power bursts. Models interference and transmit-power
 /// reconfiguration that the survey never saw.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RogueAp {
     /// Index of the affected AP.
     pub ap: usize,
@@ -93,7 +94,7 @@ impl FaultPlan for RogueAp {
 /// Stale-survey drift: perturbs every stored fingerprint value with
 /// independent Gaussian noise of standard deviation `std_db`. Models a
 /// database surveyed long ago while the radio environment moved on.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StaleDrift {
     /// Per-value drift standard deviation, in dB.
     pub std_db: f64,

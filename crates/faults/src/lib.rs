@@ -17,6 +17,13 @@
 //! * [`sensor`] — inertial faults: [`sensor::SensorGap`] and
 //!   [`sensor::TimestampJitter`].
 //! * [`rlm`] — motion-database faults: [`rlm::RlmCorruption`].
+//! * [`stream`] — stream/lifecycle faults for the crash-safe session
+//!   layer: [`stream::ScanReorder`], [`stream::ScanDuplicate`],
+//!   [`stream::ScanLoss`], [`stream::ClockSkew`],
+//!   [`stream::CheckpointCorruption`], and [`stream::WorkerStall`].
+//! * [`spec`] — [`spec::FaultPlanSpec`], the JSON-round-trippable
+//!   declarative form of a fault composition, printed by chaos tests
+//!   on failure so every red run reproduces from the spec + seed.
 //!
 //! Every injector is an exact no-op at zero intensity, so a zero-fault
 //! plan leaves the pipeline bit-identical to an uninjected run.
@@ -39,8 +46,14 @@ pub mod plan;
 pub mod rlm;
 pub mod rng;
 pub mod sensor;
+pub mod spec;
+pub mod stream;
 
 pub use ap::{ApDropout, ApOutage, RogueAp, StaleDrift};
 pub use plan::{apply_to_trace, FaultPlan, FaultSuite};
 pub use rlm::RlmCorruption;
 pub use sensor::{SensorGap, TimestampJitter};
+pub use spec::FaultPlanSpec;
+pub use stream::{
+    CheckpointCorruption, ClockSkew, ScanDuplicate, ScanLoss, ScanReorder, WorkerStall,
+};

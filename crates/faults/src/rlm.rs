@@ -3,13 +3,14 @@
 use crate::plan::FaultPlan;
 use crate::rng::{hash, unit};
 use moloc_motion::matrix::MotionDb;
+use serde::{Deserialize, Serialize};
 
 /// Deletes each trained (undirected) motion-database pair independently
 /// with probability `fraction`. Models RLM cells lost to crowdsourcing
 /// gaps or corrupted beyond sanitation: lookups of a deleted pair fall
 /// back to the kernel's untrained-pair probability, and Eq. 6/7
 /// degrades toward the fingerprint-only prior.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RlmCorruption {
     /// Per-pair deletion probability in `[0, 1]`.
     pub fraction: f64,

@@ -3,6 +3,7 @@
 use crate::plan::FaultPlan;
 use crate::rng::{hash, std_normal, unit};
 use moloc_sensors::series::TimeSeries;
+use serde::{Deserialize, Serialize};
 
 /// Punches NaN windows into the accelerometer and compass streams:
 /// `gaps_per_trace` gaps of `gap_s` seconds each, placed uniformly over
@@ -10,7 +11,7 @@ use moloc_sensors::series::TimeSeries;
 /// silences every sensor at once). Downstream, gapped intervals fail
 /// the walking test or produce no usable compass mean and degrade to
 /// fingerprint-only localization.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SensorGap {
     /// Number of gaps punched into each trace.
     pub gaps_per_trace: usize,
@@ -65,7 +66,7 @@ impl FaultPlan for SensorGap {
 /// per trace (standard deviation `std_s`). Models clock skew between
 /// the WiFi scan timestamps and the inertial pipeline: intervals slice
 /// the sensor streams slightly off the true pass boundaries.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TimestampJitter {
     /// Jitter standard deviation in seconds.
     pub std_s: f64,

@@ -1,0 +1,169 @@
+//! The wire unit of the streaming session layer.
+//!
+//! A [`ScanEvent`] is one localization query as it arrives off the
+//! network: an RSS scan plus the motion measured over the interval
+//! since the previous scan, tagged with a per-session sequence number
+//! (the ordering key Eq. 7's recursion depends on) and a globally
+//! unique delivery id (the dedup key — retransmissions reuse the
+//! `event_id` but may arrive any number of times, in any order).
+
+use moloc_core::tracker::MotionMeasurement;
+
+/// One streamed localization query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanEvent {
+    /// Globally unique delivery identifier. Duplicated deliveries of
+    /// the same logical event carry the same `event_id`.
+    pub event_id: u64,
+    /// Position of this event in the session's logical stream,
+    /// starting at 0. Eq. 7 consumes events strictly in `seq` order.
+    pub seq: u64,
+    /// The RSS scan (one value per AP, NaN for unheard APs).
+    pub scan: Vec<f64>,
+    /// Dead-reckoned motion over the interval ending at this scan.
+    /// `None` for the first event of a stream and whenever the inertial
+    /// pipeline dropped the interval.
+    pub motion: Option<MotionMeasurement>,
+}
+
+impl ScanEvent {
+    /// Serialized size of this event inside a checkpoint payload.
+    pub(crate) fn encoded_len(&self) -> usize {
+        // event_id + seq + motion tag + 2 motion f64s + scan len + scan.
+        8 + 8 + 1 + 16 + 4 + 8 * self.scan.len()
+    }
+
+    /// Appends the event to a checkpoint payload (little-endian,
+    /// f64s as raw IEEE-754 bits so replay is bit-identical).
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.event_id.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        match self.motion {
+            Some(m) => {
+                out.push(1);
+                out.extend_from_slice(&m.direction_deg.to_bits().to_le_bytes());
+                out.extend_from_slice(&m.offset_m.to_bits().to_le_bytes());
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&[0u8; 16]);
+            }
+        }
+        let len = u32::try_from(self.scan.len()).expect("scan length fits u32");
+        out.extend_from_slice(&len.to_le_bytes());
+        for &v in &self.scan {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Decodes one event from a checkpoint payload, advancing `pos`.
+    /// `None` when the payload is too short or structurally invalid —
+    /// the caller treats that as checkpoint corruption.
+    pub(crate) fn decode_from(bytes: &[u8], pos: &mut usize) -> Option<ScanEvent> {
+        let event_id = take_u64(bytes, pos)?;
+        let seq = take_u64(bytes, pos)?;
+        let tag = *bytes.get(*pos)?;
+        *pos += 1;
+        let dir = take_u64(bytes, pos)?;
+        let off = take_u64(bytes, pos)?;
+        let motion = match tag {
+            0 => None,
+            1 => Some(MotionMeasurement {
+                direction_deg: f64::from_bits(dir),
+                offset_m: f64::from_bits(off),
+            }),
+            _ => return None,
+        };
+        let len = take_u32(bytes, pos)? as usize;
+        if bytes.len().saturating_sub(*pos) < 8 * len {
+            return None;
+        }
+        let mut scan = Vec::with_capacity(len);
+        for _ in 0..len {
+            scan.push(f64::from_bits(take_u64(bytes, pos)?));
+        }
+        Some(ScanEvent {
+            event_id,
+            seq,
+            scan,
+            motion,
+        })
+    }
+}
+
+pub(crate) fn take_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let chunk = bytes.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(chunk.try_into().ok()?))
+}
+
+pub(crate) fn take_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let chunk = bytes.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_le_bytes(chunk.try_into().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScanEvent {
+        ScanEvent {
+            event_id: 0xDEAD_BEEF,
+            seq: 7,
+            scan: vec![-40.5, f64::NAN, -71.25],
+            motion: Some(MotionMeasurement {
+                direction_deg: 93.5,
+                offset_m: 4.25,
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_identically_including_nan() {
+        for event in [
+            sample(),
+            ScanEvent {
+                event_id: 1,
+                seq: 0,
+                scan: vec![],
+                motion: None,
+            },
+        ] {
+            let mut buf = Vec::new();
+            event.encode_into(&mut buf);
+            assert_eq!(buf.len(), event.encoded_len());
+            let mut pos = 0;
+            let back = ScanEvent::decode_from(&buf, &mut pos).expect("decodes");
+            assert_eq!(pos, buf.len());
+            assert_eq!(back.event_id, event.event_id);
+            assert_eq!(back.seq, event.seq);
+            assert_eq!(back.motion, event.motion);
+            let bits: Vec<u64> = event.scan.iter().map(|v| v.to_bits()).collect();
+            let back_bits: Vec<u64> = back.scan.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, back_bits, "NaN payloads must survive verbatim");
+        }
+    }
+
+    #[test]
+    fn truncated_bytes_never_decode() {
+        let mut buf = Vec::new();
+        sample().encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(
+                ScanEvent::decode_from(&buf[..cut], &mut pos).is_none(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_motion_tag_is_rejected() {
+        let mut buf = Vec::new();
+        sample().encode_into(&mut buf);
+        buf[16] = 2; // motion tag is neither 0 nor 1
+        let mut pos = 0;
+        assert!(ScanEvent::decode_from(&buf, &mut pos).is_none());
+    }
+}

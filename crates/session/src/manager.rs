@@ -1,0 +1,202 @@
+//! Bounded session admission with load-shedding and a stall watchdog.
+//!
+//! The serving tier cannot run an unbounded number of full-fusion
+//! sessions: each holds a retained posterior, a reorder window, and a
+//! motion-kernel working set. The [`SessionManager`] therefore admits
+//! at most `max_full_sessions` sessions at full fidelity; every
+//! session past the bound is **shed to fingerprint-only mode**
+//! (Eq. 4 without the Eq. 7 motion fusion) instead of queueing
+//! unboundedly — degraded answers now beat perfect answers never.
+//!
+//! A watchdog ([`SessionManager::reap_stalled`]) evicts sessions that
+//! have not seen an arrival within the stall timeout, freeing their
+//! full-fidelity slots; the next shed session admitted after a reap
+//! gets a full slot again. Time is injected (`std::time::Instant`
+//! parameters) so tests drive the watchdog deterministically.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use moloc_core::config::MoLocConfig;
+use moloc_fingerprint::index::FingerprintIndex;
+use moloc_motion::kernel::MotionKernel;
+
+use crate::event::ScanEvent;
+use crate::session::{Estimate, SessionConfig, StreamingSession};
+use crate::SessionError;
+
+/// Admission-control knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManagerConfig {
+    /// Sessions served at full fidelity; everything beyond is shed.
+    pub max_full_sessions: usize,
+    /// Idle time after which the watchdog evicts a session.
+    pub stall_timeout: Duration,
+    /// Per-session streaming configuration.
+    pub session: SessionConfig,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            max_full_sessions: 1024,
+            stall_timeout: Duration::from_secs(300),
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// How a session was admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// Full fusion: fingerprint matching + motion matching (Eq. 7).
+    Full,
+    /// Load-shed: fingerprint-only (Eq. 4), motion evidence dropped.
+    FingerprintOnly,
+}
+
+#[derive(Debug)]
+struct Slot<'a> {
+    session: StreamingSession<'a>,
+    mode: AdmissionMode,
+    last_activity: Instant,
+}
+
+/// The multi-user session frontend. See the module docs.
+#[derive(Debug)]
+pub struct SessionManager<'a> {
+    index: &'a FingerprintIndex,
+    kernel: &'a MotionKernel,
+    moloc: MoLocConfig,
+    config: ManagerConfig,
+    sessions: BTreeMap<u64, Slot<'a>>,
+    full_active: usize,
+}
+
+impl<'a> SessionManager<'a> {
+    /// A manager serving sessions over shared databases.
+    pub fn new(
+        index: &'a FingerprintIndex,
+        kernel: &'a MotionKernel,
+        moloc: MoLocConfig,
+        config: ManagerConfig,
+    ) -> SessionManager<'a> {
+        SessionManager {
+            index,
+            kernel,
+            moloc,
+            config,
+            sessions: BTreeMap::new(),
+            full_active: 0,
+        }
+    }
+
+    /// Routes one arrival to `user`'s session, admitting it first if
+    /// new. Estimates unlocked by the arrival are appended to `out`;
+    /// the session's admission mode is returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the session's [`SessionError`] (the arrival still
+    /// counts as activity, so one malformed query does not stall the
+    /// session into the watchdog's jaws).
+    pub fn ingest(
+        &mut self,
+        user: u64,
+        event: ScanEvent,
+        now: Instant,
+        out: &mut Vec<Estimate>,
+    ) -> Result<AdmissionMode, SessionError> {
+        if !self.sessions.contains_key(&user) {
+            self.admit(user, now);
+        }
+        let slot = self.sessions.get_mut(&user).expect("admitted above");
+        slot.last_activity = now;
+        slot.session.ingest(event, out)?;
+        Ok(slot.mode)
+    }
+
+    fn admit(&mut self, user: u64, now: Instant) {
+        let mode = if self.full_active < self.config.max_full_sessions {
+            self.full_active += 1;
+            moloc_obs::counter_add("session.admission.accepted", 1);
+            AdmissionMode::Full
+        } else {
+            moloc_obs::counter_add("session.admission.shed", 1);
+            AdmissionMode::FingerprintOnly
+        };
+        let mut session =
+            StreamingSession::new(self.index, self.kernel, self.moloc, self.config.session);
+        session.set_fingerprint_only(mode == AdmissionMode::FingerprintOnly);
+        self.sessions.insert(
+            user,
+            Slot {
+                session,
+                mode,
+                last_activity: now,
+            },
+        );
+        moloc_obs::gauge_set("session.manager.active", self.sessions.len() as u64);
+    }
+
+    /// Finishes and removes `user`'s session, draining its reorder
+    /// tail into `out`. `Ok(false)` when the user has no session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the session's [`SessionError`] from the tail drain
+    /// (the session is removed either way).
+    pub fn finish(&mut self, user: u64, out: &mut Vec<Estimate>) -> Result<bool, SessionError> {
+        match self.sessions.remove(&user) {
+            None => Ok(false),
+            Some(mut slot) => {
+                if slot.mode == AdmissionMode::Full {
+                    self.full_active -= 1;
+                }
+                moloc_obs::gauge_set("session.manager.active", self.sessions.len() as u64);
+                slot.session.finish(out)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Evicts every session idle longer than the stall timeout,
+    /// returning the evicted user ids in ascending order. Freed
+    /// full-fidelity slots become available to future admissions.
+    pub fn reap_stalled(&mut self, now: Instant) -> Vec<u64> {
+        let timeout = self.config.stall_timeout;
+        let stalled: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, slot)| now.duration_since(slot.last_activity) > timeout)
+            .map(|(&user, _)| user)
+            .collect();
+        for &user in &stalled {
+            if let Some(slot) = self.sessions.remove(&user) {
+                if slot.mode == AdmissionMode::Full {
+                    self.full_active -= 1;
+                }
+            }
+        }
+        if !stalled.is_empty() {
+            moloc_obs::counter_add("session.watchdog.reaped", stalled.len() as u64);
+            moloc_obs::gauge_set("session.manager.active", self.sessions.len() as u64);
+        }
+        stalled
+    }
+
+    /// Active session count.
+    pub fn active(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Active full-fidelity session count.
+    pub fn full_active(&self) -> usize {
+        self.full_active
+    }
+
+    /// The admission mode of `user`'s session, if one is active.
+    pub fn mode_of(&self, user: u64) -> Option<AdmissionMode> {
+        self.sessions.get(&user).map(|slot| slot.mode)
+    }
+}

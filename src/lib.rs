@@ -20,7 +20,8 @@
 //! | [`radio`] | `moloc-radio` | RF propagation, shadowing, RSS scans, site surveys |
 //! | [`geometry`] | `moloc-geometry` | floor plans, reference grids, walkable graphs |
 //! | [`stats`] | `moloc-stats` | Gaussians, circular statistics, ECDFs |
-//! | [`faults`] | `moloc-faults` | seeded fault injection: AP dropout, rogue APs, sensor gaps, RLM corruption |
+//! | [`faults`] | `moloc-faults` | seeded fault injection: AP dropout, rogue APs, sensor gaps, RLM corruption, stream & lifecycle faults |
+//! | [`session`] | `moloc-session` | crash-safe streaming: reorder buffer, checkpointed tracker state, recovery |
 //! | [`obs`] | `moloc-obs` | zero-dependency metrics: counters, histograms, timing spans, snapshots |
 //! | [`eval`] | `moloc-eval` | the simulated office-hall testbed and every paper experiment |
 //!
@@ -79,6 +80,7 @@ pub use moloc_motion as motion;
 pub use moloc_obs as obs;
 pub use moloc_radio as radio;
 pub use moloc_sensors as sensors;
+pub use moloc_session as session;
 pub use moloc_stats as stats;
 
 /// Commonly used types, one import away.
@@ -102,4 +104,5 @@ pub mod prelude {
     pub use moloc_radio::RadioEnvironment;
     pub use moloc_sensors::counting::CountingMethod;
     pub use moloc_sensors::steps::StepDetector;
+    pub use moloc_session::{ScanEvent, SessionConfig, SessionError, StreamingSession};
 }
