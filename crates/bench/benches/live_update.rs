@@ -1,0 +1,214 @@
+//! Live-update serving-path benchmarks (PR 9).
+//!
+//! The epoch-snapshot design promise is that following live database
+//! updates costs the query path almost nothing: a reader performs one
+//! atomic epoch load per step and only touches the slot lock when a
+//! publish actually landed. Two arms check that promise on a 256-cell
+//! synthetic deployment:
+//!
+//! * **Static engine** — a plain `BatchLocalizer` pinned to the seed
+//!   database, observing a 16-step motion-fused trace. The pre-PR
+//!   serving path.
+//! * **Live engine** — a `LiveLocalizer` behind a `SnapshotReader` on
+//!   the same database with no publishes in flight, observing the same
+//!   trace. Identical estimates; the only extra work is the per-step
+//!   epoch check.
+//!
+//! Their ratio is the `live/reader_overhead` comparison, gated in CI at
+//! >= 0.90x (the epoch check may cost at most ~10%, which clears the
+//! few-percent run-to-run noise of shared hosts). A third,
+//! informational arm measures full publish latency — fold one survey
+//! delta, rebuild fingerprint database + index + motion database, swap
+//! the slot — which bounds how quickly crowdsourced contributions can
+//! reach readers.
+//!
+//! The final target writes every measurement and the derived speedups
+//! to `BENCH_pr9.json` at the repository root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moloc_bench::light_criterion;
+use moloc_core::batch::BatchLocalizer;
+use moloc_core::config::MoLocConfig;
+use moloc_core::matching::build_kernel;
+use moloc_core::tracker::MotionMeasurement;
+use moloc_geometry::polygon::Aabb;
+use moloc_geometry::{FloorPlan, LocationId, ReferenceGrid, Vec2, WalkGraph};
+use moloc_live::{LiveLocalizer, SnapshotPublisher, UpdateLog};
+use moloc_motion::builder::MapReference;
+use moloc_motion::filter::SanitationConfig;
+use moloc_motion::rlm::Rlm;
+
+/// Grid columns and rows: 16 x 16 = 256 reference locations, the same
+/// order of magnitude as the paper floor at survey density.
+const COLS: u32 = 16;
+const ROWS: u32 = 16;
+/// Steps per benchmarked trace: one full row walked east.
+const STEPS: usize = 16;
+const N_APS: usize = 6;
+
+fn l(i: u32) -> LocationId {
+    LocationId::new(i)
+}
+
+/// 16x16 grid spaced 2 m in an open hall; ids 1..=256, row-major.
+fn map() -> MapReference {
+    let grid =
+        ReferenceGrid::new(Vec2::new(1.0, 1.0), COLS, ROWS, 2.0, 2.0).expect("valid grid");
+    let plan = FloorPlan::new(
+        Aabb::new(Vec2::ZERO, Vec2::new(2.0 * COLS as f64, 2.0 * ROWS as f64)).expect("valid aabb"),
+    );
+    let graph = WalkGraph::from_grid(&grid, &plan);
+    MapReference::new(&grid, &graph)
+}
+
+/// Deterministic 6-AP fingerprint for location `id`: a dBm lattice
+/// plus a sub-dBm dither so neighbors are distinct but realistic.
+fn fingerprint_values(id: u32) -> Vec<f64> {
+    (0..N_APS as u32)
+        .map(|a| {
+            -40.0 - f64::from((id * 7 + a * 13) % 23) - f64::from((id * 31 + a * 11) % 97) / 128.0
+        })
+        .collect()
+}
+
+/// Survey + RLM corpus: one sample per location, five clean east RLMs
+/// per horizontally-adjacent pair (enough to build every motion cell
+/// the benchmarked trace crosses).
+fn seeded_log() -> UpdateLog {
+    let mut log = UpdateLog::new(N_APS, map(), SanitationConfig::paper()).expect("valid config");
+    for id in 1..=COLS * ROWS {
+        log.observe_survey_sample(l(id), &fingerprint_values(id))
+            .expect("sample matches AP count");
+    }
+    for row in 0..ROWS {
+        for col in 0..COLS - 1 {
+            let from = row * COLS + col + 1;
+            for k in 0..5 {
+                log.observe_rlm(
+                    Rlm::new(l(from), l(from + 1), 89.0 + f64::from(k), 2.0).expect("valid rlm"),
+                );
+            }
+        }
+    }
+    log
+}
+
+fn east() -> Option<MotionMeasurement> {
+    Some(MotionMeasurement {
+        direction_deg: 90.0,
+        offset_m: 2.0,
+    })
+}
+
+/// The benchmarked walk: row 4 traversed east, scans straight off the
+/// survey (the arms compare serving overhead, not accuracy).
+fn trace() -> Vec<(Vec<f64>, Option<MotionMeasurement>)> {
+    let first = 3 * COLS + 1;
+    (0..STEPS as u32)
+        .map(|s| {
+            let motion = if s == 0 { None } else { east() };
+            (fingerprint_values(first + s), motion)
+        })
+        .collect()
+}
+
+fn bench_live_update(c: &mut Criterion) {
+    let mut log = seeded_log();
+    let seed = log.build_snapshot(0).expect("seed snapshot builds");
+    let publisher = SnapshotPublisher::new(seed.clone());
+    log.mark_published();
+    let config = MoLocConfig::paper();
+    let walk = trace();
+
+    // --- Static serving: the pre-PR path, database pinned forever.
+    let kernel = build_kernel(&seed.motion_db, &config);
+    let mut static_engine = BatchLocalizer::new_with_index(&seed.index, &kernel, config);
+    c.bench_function("live/static_observe_trace_256x16", |b| {
+        b.iter(|| {
+            static_engine.reset();
+            for (scan, motion) in &walk {
+                black_box(
+                    static_engine
+                        .observe_slice(black_box(scan), *motion)
+                        .expect("step scores"),
+                );
+            }
+        })
+    });
+
+    // --- Live serving: same database, no publish in flight — pure
+    // per-step epoch-check overhead.
+    let mut live = LiveLocalizer::new(publisher.reader(), config);
+    c.bench_function("live/live_observe_trace_256x16", |b| {
+        b.iter(|| {
+            live.reset();
+            for (scan, motion) in &walk {
+                black_box(
+                    live.observe(black_box(scan), *motion)
+                        .expect("step scores"),
+                );
+            }
+        })
+    });
+
+    // --- Publish latency (informational): fold one crowdsourced
+    // survey delta and republish the full 256-location snapshot.
+    c.bench_function("live/publish_one_delta_256", |b| {
+        b.iter(|| {
+            log.observe_survey_sample(l(1), &fingerprint_values(1))
+                .expect("sample matches AP count");
+            black_box(publisher.publish(&mut log).expect("publish succeeds"));
+        })
+    });
+}
+
+/// Final group target: serializes every measurement plus the derived
+/// speedups to `BENCH_pr9.json` at the repository root.
+fn emit_bench_json(c: &mut Criterion) {
+    let mut out = moloc_bench::bench_header(9);
+    let measurements = c.measurements();
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.3}, \"median_ns\": {:.3}, \
+             \"min_ns\": {:.3}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            m.name,
+            m.mean_ns,
+            m.median_ns,
+            m.min_ns,
+            m.samples,
+            m.iters_per_sample,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"comparisons\": [\n");
+    // (comparison label, fast arm, baseline arm). One gated pair: the
+    // live serving loop over the static engine it wraps (CI gates
+    // >= 0.90x — the epoch check may cost at most ~10%).
+    let pairs = [(
+        "live/reader_overhead",
+        "live/live_observe_trace_256x16",
+        "live/static_observe_trace_256x16",
+    )];
+    for (i, (label, name, baseline)) in pairs.iter().enumerate() {
+        let fast = c.measurement(name).expect("benchmark ran").mean_ns;
+        let slow = c.measurement(baseline).expect("baseline ran").mean_ns;
+        let speedup = slow / fast;
+        println!("{label}: {speedup:.2}x ({name} over {baseline})");
+        out.push_str(&format!(
+            "    {{\"name\": \"{label}\", \"baseline\": \"{baseline}\", \
+             \"speedup\": {speedup:.3}}}{}\n",
+            if i + 1 < pairs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
+    std::fs::write(path, out).expect("write BENCH_pr9.json");
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = light_criterion();
+    targets = bench_live_update, emit_bench_json
+}
+criterion_main!(benches);

@@ -31,16 +31,20 @@ use moloc_geometry::LocationId;
 use moloc_motion::kernel::MotionKernel;
 use moloc_motion::matrix::MotionDb;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 #[cfg(doc)]
 use moloc_fingerprint::candidates::CandidateSet;
 
-/// A resource the engine either owns or borrows from a caller who
-/// shares it across engines (one build per setting, not per trace).
+/// A resource the engine either owns, borrows from a caller who shares
+/// it across engines (one build per setting, not per trace), or holds
+/// reference-counted so a live-update publisher can retire the backing
+/// snapshot while readers finish their current step on it.
 #[derive(Debug)]
 enum Resource<'a, T> {
     Owned(Box<T>),
     Shared(&'a T),
+    Counted(Arc<T>),
 }
 
 impl<T> Resource<'_, T> {
@@ -48,6 +52,7 @@ impl<T> Resource<'_, T> {
         match self {
             Resource::Owned(v) => v,
             Resource::Shared(v) => v,
+            Resource::Counted(v) => v,
         }
     }
 }
@@ -164,6 +169,32 @@ impl BatchLocalizer<'static> {
             folds: ObsFolds::default(),
         }
     }
+
+    /// An engine over reference-counted artifacts — the live-update
+    /// path. Unlike [`BatchLocalizer::new_with_index`], the engine is
+    /// `'static`: it co-owns the index and kernel, so a snapshot
+    /// publisher can retire the epoch that produced them while this
+    /// engine finishes its trace on the old data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new_counted(
+        index: Arc<FingerprintIndex>,
+        kernel: Arc<MotionKernel>,
+        config: MoLocConfig,
+    ) -> BatchLocalizer<'static> {
+        config.validate();
+        BatchLocalizer {
+            index: Resource::Counted(index),
+            kernel: Resource::Counted(kernel),
+            config,
+            buf: BatchScratch::for_k(config.k),
+            has_previous: false,
+            last_flags: DegradationFlags::empty(),
+            folds: ObsFolds::default(),
+        }
+    }
 }
 
 impl<'a> BatchLocalizer<'a> {
@@ -215,6 +246,19 @@ impl<'a> BatchLocalizer<'a> {
     /// recycling (the counterpart of [`BatchLocalizer::with_scratch`]).
     pub fn into_scratch(self) -> BatchScratch {
         self.buf
+    }
+
+    /// Swaps the engine onto a newer epoch's index and kernel, keeping
+    /// the retained posterior, degradation flags, and warmed buffers —
+    /// the live-update reader's epoch transition. The posterior is a
+    /// list of `(LocationId, probability)` pairs, so it stays
+    /// meaningful across the swap as long as the new snapshot keeps the
+    /// same location-id space (the live-update contract: crowdsourced
+    /// deltas refine locations, they never renumber them). Call only at
+    /// a step boundary — one localization step must never mix epochs.
+    pub fn adopt_counted(&mut self, index: Arc<FingerprintIndex>, kernel: Arc<MotionKernel>) {
+        self.index = Resource::Counted(index);
+        self.kernel = Resource::Counted(kernel);
     }
 
     /// The engine's fingerprint index.
@@ -914,6 +958,51 @@ mod tests {
                 };
                 assert_eq!(bits(resumed.posterior()), bits(reference.posterior()));
             }
+        }
+    }
+
+    #[test]
+    fn counted_engine_matches_owned_and_adopt_preserves_posterior() {
+        let (fdb, mdb) = world();
+        let config = MoLocConfig::default();
+        let index = Arc::new(FingerprintIndex::build(&fdb));
+        let kernel = Arc::new(build_kernel(&mdb, &config));
+        let mut owned = BatchLocalizer::new(&fdb, &mdb, config);
+        let mut counted = BatchLocalizer::new_counted(Arc::clone(&index), Arc::clone(&kernel), config);
+        assert_eq!(
+            owned.localize_trace(&queries()).unwrap(),
+            counted.localize_trace(&queries()).unwrap()
+        );
+
+        // Mid-trace adoption of the *same* artifacts behind fresh Arcs
+        // must be invisible: identical posterior before and after, and
+        // the continuation matches an unswapped engine bit-for-bit.
+        let queries = queries();
+        let mut reference =
+            BatchLocalizer::new_counted(Arc::clone(&index), Arc::clone(&kernel), config);
+        let mut swapped =
+            BatchLocalizer::new_counted(Arc::clone(&index), Arc::clone(&kernel), config);
+        for (q, m) in &queries[..2] {
+            reference.observe(q, *m).unwrap();
+            swapped.observe(q, *m).unwrap();
+        }
+        let before: Vec<(LocationId, u64)> = swapped
+            .posterior()
+            .iter()
+            .map(|&(l, p)| (l, p.to_bits()))
+            .collect();
+        swapped.adopt_counted(Arc::new(FingerprintIndex::build(&fdb)), Arc::clone(&kernel));
+        let after: Vec<(LocationId, u64)> = swapped
+            .posterior()
+            .iter()
+            .map(|&(l, p)| (l, p.to_bits()))
+            .collect();
+        assert_eq!(before, after, "adopt must not touch the posterior");
+        for (q, m) in &queries[2..] {
+            assert_eq!(
+                reference.observe(q, *m).unwrap(),
+                swapped.observe(q, *m).unwrap()
+            );
         }
     }
 

@@ -1,8 +1,9 @@
 //! Regenerates every table and figure of the MoLoc paper.
 //!
 //! ```text
-//! repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness|chaos]
-//!       [--seed N] [--fast] [--robust-out FILE] [--chaos-out FILE] [--metrics FILE]
+//! repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness|chaos|drift]
+//!       [--seed N] [--fast] [--robust-out FILE] [--chaos-out FILE] [--drift-out FILE]
+//!       [--metrics FILE]
 //! ```
 //!
 //! `--fast` runs the reduced corpus (for smoke tests); the default runs
@@ -18,7 +19,7 @@
 
 use moloc_eval::cache::ScenarioCache;
 use moloc_eval::experiments::{
-    ablations, baselines, chaos, fig4, fig6, fig7, fig8, robustness, seeds, table1,
+    ablations, baselines, chaos, drift, fig4, fig6, fig7, fig8, robustness, seeds, table1,
 };
 use moloc_eval::pipeline::EvalWorld;
 
@@ -29,6 +30,7 @@ struct Args {
     fast: bool,
     robust_out: Option<String>,
     chaos_out: Option<String>,
+    drift_out: Option<String>,
     metrics_out: Option<String>,
 }
 
@@ -39,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         fast: false,
         robust_out: None,
         chaos_out: None,
+        drift_out: None,
         metrics_out: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -68,6 +71,12 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--chaos-out requires a value".to_string())?,
                 );
             }
+            "--drift-out" => {
+                args.drift_out = Some(
+                    iter.next()
+                        .ok_or_else(|| "--drift-out requires a value".to_string())?,
+                );
+            }
             "--metrics" => {
                 args.metrics_out = Some(
                     iter.next()
@@ -76,7 +85,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness|chaos] [--seed N] [--fast] [--robust-out FILE] [--chaos-out FILE] [--metrics FILE]"
+                    "usage: repro [--exp all|fig4|fig6|fig7|fig8|table1|ablations|baselines|seeds|robustness|chaos|drift] [--seed N] [--fast] [--robust-out FILE] [--chaos-out FILE] [--drift-out FILE] [--metrics FILE]"
                 );
                 std::process::exit(0);
             }
@@ -174,6 +183,27 @@ fn run(args: &Args) {
         println!("{}", chaos::render(&suite));
         if let Some(path) = &args.chaos_out {
             let json = serde_json::to_string_pretty(&suite).expect("chaos serializes");
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+
+    if wants("drift") {
+        // Reduced corpus, like the robustness and chaos sweeps: the
+        // drift artifact is a seed-stable regression reference and
+        // every epoch re-evaluates the full test corpus.
+        eprintln!(
+            "building reduced world for the drift sweep (seed {})...",
+            args.seed
+        );
+        let small = EvalWorld::small(args.seed);
+        let sweep = drift::run(&small, args.seed);
+        println!("{}", drift::render(&sweep));
+        if let Some(path) = &args.drift_out {
+            let json = serde_json::to_string_pretty(&sweep).expect("drift serializes");
             if let Err(e) = std::fs::write(path, json + "\n") {
                 eprintln!("error: write {path}: {e}");
                 std::process::exit(2);

@@ -47,6 +47,11 @@ pub struct SettingArtifacts {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct SettingKey {
     n_aps: usize,
+    /// Published database epoch the artifacts serve (DESIGN.md §17).
+    /// 0 is the static site-survey database — every pre-live path;
+    /// live-update experiments key their per-epoch artifacts here so
+    /// refreshed databases never alias the seed.
+    epoch: u64,
     counting: u8,
     sanitation: [u64; 5],
     min_samples: usize,
@@ -58,6 +63,7 @@ impl SettingKey {
     fn new(n_aps: usize, sanitation: SanitationConfig, counting: CountingMethod) -> Self {
         Self {
             n_aps,
+            epoch: 0,
             counting: match counting {
                 CountingMethod::Continuous => 0,
                 CountingMethod::Discrete => 1,
@@ -140,6 +146,33 @@ impl<'w> ScenarioCache<'w> {
             let setting = self.world.setting_with(n_aps, sanitation, counting);
             let index = FingerprintIndex::build(&setting.fdb);
             Arc::new(SettingArtifacts { setting, index })
+        })
+        .clone()
+    }
+
+    /// Epoch-keyed variant of [`ScenarioCache::artifacts`] for
+    /// live-update experiments. The cache cannot rebuild crowdsourced
+    /// state itself, so artifacts for a published epoch are produced by
+    /// the caller's `build` closure (typically from a
+    /// `moloc_live::DbSnapshot`) and memoized under
+    /// `(n_aps, epoch, paper defaults)`; repeated arms over the same
+    /// epoch reuse one build. `epoch` 0 shares the entry the static
+    /// paths use, so `build` must reproduce the site-survey seed there.
+    pub fn artifacts_epoch(
+        &self,
+        n_aps: usize,
+        epoch: u64,
+        build: impl FnOnce() -> SettingArtifacts,
+    ) -> Arc<SettingArtifacts> {
+        let key = SettingKey {
+            epoch,
+            ..SettingKey::new(n_aps, SanitationConfig::paper(), CountingMethod::Continuous)
+        };
+        let slot = self.slot(&self.settings, key);
+        count_access("eval.cache.setting", slot.get().is_some());
+        slot.get_or_init(|| {
+            self.setting_builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(build())
         })
         .clone()
     }
@@ -289,6 +322,28 @@ mod tests {
         assert_eq!(cache.kernel_builds(), 2);
         // The kernel request also warmed the setting cache.
         assert_eq!(cache.setting_builds(), 1);
+    }
+
+    #[test]
+    fn epoch_keys_never_alias_and_memoize_per_epoch() {
+        let world = EvalWorld::small(31);
+        let cache = ScenarioCache::new(&world);
+        let seed = cache.artifacts(6);
+        // Epoch 1 artifacts are caller-built and distinct from the seed.
+        let e1 = cache.artifacts_epoch(6, 1, || {
+            let setting = world.setting(6);
+            let index = FingerprintIndex::build(&setting.fdb);
+            SettingArtifacts { setting, index }
+        });
+        assert!(!Arc::ptr_eq(&seed, &e1));
+        assert_eq!(cache.setting_builds(), 2);
+        // Same epoch again: served from cache, closure not invoked.
+        let e1_again = cache.artifacts_epoch(6, 1, || unreachable!("memoized"));
+        assert!(Arc::ptr_eq(&e1, &e1_again));
+        // Epoch 0 shares the static entry.
+        let e0 = cache.artifacts_epoch(6, 0, || unreachable!("seed already built"));
+        assert!(Arc::ptr_eq(&seed, &e0));
+        assert_eq!(cache.setting_builds(), 2);
     }
 
     #[test]

@@ -221,7 +221,11 @@ fn stream_all(
     session
         .finish(&mut out)
         .unwrap_or_else(|e| panic!("uninterrupted finish failed: {e}\nseed {seed}\n{}", spec.describe()));
-    (out, session.state().encode(), session.reorder_stats())
+    (
+        out,
+        session.state().encode().expect("state encodes"),
+        session.reorder_stats(),
+    )
 }
 
 /// A scratch checkpoint-log path, cleared of any leftover.
@@ -293,7 +297,7 @@ fn kill_and_recover(
         "replayed estimates diverged from the uninterrupted run",
     );
     check(
-        session.state().encode() == reference_state,
+        session.state().encode().expect("state encodes") == reference_state,
         spec,
         seed,
         "recovered final state diverged from the uninterrupted run",
@@ -398,8 +402,8 @@ fn corruption_is_loud(
     session
         .finish(&mut out)
         .unwrap_or_else(|e| panic!("replay finish: {e}\nseed {seed}\n{}", spec.describe()));
-    let identical =
-        session.state().encode() == reference_state && out[..] == reference[replay_from..];
+    let identical = session.state().encode().expect("state encodes") == reference_state
+        && out[..] == reference[replay_from..];
     check(identical, &spec, seed, "recovery past corruption diverged");
     let _ = std::fs::remove_file(&path);
     (detected, identical)

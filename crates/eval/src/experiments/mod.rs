@@ -12,10 +12,12 @@
 //! | [`seeds`] | extension: seed-sensitivity sweep of the headline comparison |
 //! | [`robustness`] | extension: fault-injection sweeps and the degradation ladder |
 //! | [`chaos`] | extension: crash-safe streaming under stream faults, kill matrices, watchdogs |
+//! | [`drift`] | extension: static vs dynamic database under live crowdsourced updates |
 
 pub mod ablations;
 pub mod baselines;
 pub mod chaos;
+pub mod drift;
 pub mod fig4;
 pub mod fig6;
 pub mod fig7;

@@ -68,6 +68,15 @@ pub const COUNTERS: &[&str] = &[
     "session.admission.accepted",
     "session.admission.shed",
     "session.watchdog.reaped",
+    // Live database updates (moloc-live): snapshot publishes (and the
+    // zero-delta skips that short-circuit them), deltas folded per
+    // publish, reader epoch adoptions, and stale-holds injected by the
+    // `StaleSnapshot` fault.
+    "live.publish.count",
+    "live.publish.skipped_empty",
+    "live.publish.deltas_folded",
+    "live.reader.refreshes",
+    "live.reader.stale_holds",
 ];
 
 /// Last-write-wins instantaneous values.
@@ -76,6 +85,10 @@ pub const GAUGES: &[&str] = &[
     "eval.parallel.threads",
     // Live sessions held by the streaming session manager.
     "session.manager.active",
+    // Newest published database epoch and how far behind it the most
+    // recently refreshed reader was when it noticed.
+    "live.publish.epoch",
+    "live.reader.epoch_lag",
 ];
 
 /// Value distributions (timing spans record seconds).
@@ -94,6 +107,8 @@ pub const HISTOGRAMS: &[&str] = &[
     // Work-shape distributions.
     "core.eq7.pair_products",
     "eval.parallel.items_per_worker",
+    // Wall-clock seconds to condense one published snapshot.
+    "live.publish.build_seconds",
 ];
 
 /// Declares the full metric taxonomy on the global registry so every

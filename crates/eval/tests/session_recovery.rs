@@ -131,7 +131,7 @@ fn reference_run(
             .expect("reference ingest");
     }
     session.finish(&mut out).expect("reference finish");
-    (out, session.state().encode())
+    (out, session.state().encode().expect("state encodes"))
 }
 
 fn scratch_log(tag: &str) -> PathBuf {
@@ -186,7 +186,7 @@ fn recover_and_verify(
         "{label}: replayed estimates diverged from the uninterrupted run"
     );
     assert_eq!(
-        session.state().encode(),
+        session.state().encode().expect("state encodes"),
         reference_state,
         "{label}: recovered final state is not bit-identical"
     );

@@ -18,9 +18,10 @@
 //!   [`sensor::TimestampJitter`].
 //! * [`rlm`] — motion-database faults: [`rlm::RlmCorruption`].
 //! * [`stream`] — stream/lifecycle faults for the crash-safe session
-//!   layer: [`stream::ScanReorder`], [`stream::ScanDuplicate`],
-//!   [`stream::ScanLoss`], [`stream::ClockSkew`],
-//!   [`stream::CheckpointCorruption`], and [`stream::WorkerStall`].
+//!   and live-update layers: [`stream::ScanReorder`],
+//!   [`stream::ScanDuplicate`], [`stream::ScanLoss`],
+//!   [`stream::ClockSkew`], [`stream::CheckpointCorruption`],
+//!   [`stream::WorkerStall`], and [`stream::StaleSnapshot`].
 //! * [`spec`] — [`spec::FaultPlanSpec`], the JSON-round-trippable
 //!   declarative form of a fault composition, printed by chaos tests
 //!   on failure so every red run reproduces from the spec + seed.
@@ -55,5 +56,6 @@ pub use rlm::RlmCorruption;
 pub use sensor::{SensorGap, TimestampJitter};
 pub use spec::FaultPlanSpec;
 pub use stream::{
-    CheckpointCorruption, ClockSkew, ScanDuplicate, ScanLoss, ScanReorder, WorkerStall,
+    CheckpointCorruption, ClockSkew, ScanDuplicate, ScanLoss, ScanReorder, StaleSnapshot,
+    WorkerStall,
 };

@@ -27,7 +27,8 @@ use crate::plan::FaultSuite;
 use crate::rlm::RlmCorruption;
 use crate::sensor::{SensorGap, TimestampJitter};
 use crate::stream::{
-    CheckpointCorruption, ClockSkew, ScanDuplicate, ScanLoss, ScanReorder, WorkerStall,
+    CheckpointCorruption, ClockSkew, ScanDuplicate, ScanLoss, ScanReorder, StaleSnapshot,
+    WorkerStall,
 };
 
 /// A declarative fault composition: one optional slot per injector.
@@ -35,9 +36,9 @@ use crate::stream::{
 /// The content-level slots build a [`FaultSuite`] via
 /// [`FaultPlanSpec::build_suite`]; the stream/lifecycle slots
 /// (`scan_reorder`, `scan_duplicate`, `scan_loss`,
-/// `checkpoint_corruption`, `worker_stall`) are consumed by the
-/// session/runtime layers directly, since they act on transport and
-/// lifecycle rather than on input contents.
+/// `checkpoint_corruption`, `worker_stall`, `stale_snapshot`) are
+/// consumed by the session/runtime/live layers directly, since they
+/// act on transport and lifecycle rather than on input contents.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultPlanSpec {
     /// Per-reading AP dropout.
@@ -66,6 +67,8 @@ pub struct FaultPlanSpec {
     pub checkpoint_corruption: Option<CheckpointCorruption>,
     /// Evaluation-worker stalls.
     pub worker_stall: Option<WorkerStall>,
+    /// Stale live-database snapshots held at the reader.
+    pub stale_snapshot: Option<StaleSnapshot>,
 }
 
 impl FaultPlanSpec {
@@ -142,6 +145,9 @@ impl FaultPlanSpec {
         }
         if self.worker_stall.is_some() {
             names.push("worker_stall");
+        }
+        if self.stale_snapshot.is_some() {
+            names.push("stale_snapshot");
         }
         names
     }
@@ -235,6 +241,10 @@ mod tests {
                 stall_ms: 40,
                 seed: 12,
             }),
+            stale_snapshot: Some(StaleSnapshot {
+                rate: 0.15,
+                seed: 13,
+            }),
         }
     }
 
@@ -270,10 +280,10 @@ mod tests {
     fn build_suite_composes_only_content_level_plans() {
         let spec = full_spec();
         let suite = spec.build_suite();
-        // 8 content-level injectors; 5 stream/lifecycle ones are
-        // consumed by the session/runtime layers instead.
+        // 8 content-level injectors; 6 stream/lifecycle ones are
+        // consumed by the session/runtime/live layers instead.
         assert_eq!(suite.len(), 8);
-        assert_eq!(spec.active().len(), 13);
+        assert_eq!(spec.active().len(), 14);
     }
 
     #[test]

@@ -202,6 +202,28 @@ impl WorkerStall {
     }
 }
 
+/// Pins live localizers to a stale database snapshot: each
+/// `(trace, step)` refresh decision is independently held with
+/// probability `rate`, so the reader keeps serving its cached epoch
+/// while the publisher moves on. Models slow snapshot propagation to
+/// the serving tier; drives `SnapshotReader::refresh_unless` /
+/// `LiveLocalizer::observe_held` in `moloc-live`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaleSnapshot {
+    /// Per-step hold probability in `[0, 1]`.
+    pub rate: f64,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+impl StaleSnapshot {
+    /// Whether step `step` of `trace` must keep serving its cached
+    /// epoch instead of adopting a newly published one.
+    pub fn hold(&self, trace: u64, step: u64) -> bool {
+        unit(hash(self.seed, trace, step, 8)) < self.rate
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +271,41 @@ mod tests {
             seed: 1,
         };
         assert_eq!(stall.stall(0, 0), None);
+
+        let stale = StaleSnapshot { rate: 0.0, seed: 1 };
+        for step in 0..100 {
+            assert!(!stale.hold(0, step));
+        }
+    }
+
+    #[test]
+    fn stale_snapshot_holds_are_deterministic_and_monotone() {
+        let plan = StaleSnapshot {
+            rate: 0.4,
+            seed: 19,
+        };
+        let held: Vec<u64> = (0..1000).filter(|&s| plan.hold(2, s)).collect();
+        assert!(!held.is_empty() && held.len() < 1000, "partial coverage");
+        assert_eq!(
+            held,
+            (0..1000).filter(|&s| plan.hold(2, s)).collect::<Vec<_>>(),
+            "deterministic"
+        );
+        // Fixed per-coordinate draws: holds at a lower rate are a
+        // subset of holds at a higher rate.
+        let hi = StaleSnapshot {
+            rate: 0.9,
+            seed: 19,
+        };
+        for &s in &held {
+            assert!(hi.hold(2, s), "subset property");
+        }
+        // rate = 1 pins every step.
+        let always = StaleSnapshot {
+            rate: 1.0,
+            seed: 19,
+        };
+        assert!((0..100).all(|s| always.hold(2, s)));
     }
 
     #[test]

@@ -131,15 +131,18 @@ impl CandidateSet {
         self.candidates.is_empty()
     }
 
-    /// The most probable candidate (ties broken by lower id).
+    /// The most probable candidate (ties broken by lower id). NaN
+    /// probabilities — a NaN dissimilarity propagated through the
+    /// Eq. 4 normalization — rank below every real probability and
+    /// among themselves fall back to the id tie-break, so a poisoned
+    /// set yields a deterministic pick instead of panicking the old
+    /// `partial_cmp(...).expect(...)` comparator.
     pub fn top(&self) -> Candidate {
         *self
             .candidates
             .iter()
             .max_by(|a, b| {
-                a.probability
-                    .partial_cmp(&b.probability)
-                    .expect("probabilities are finite")
+                cmp_nan_lowest(a.probability, b.probability)
                     .then_with(|| b.location.cmp(&a.location))
             })
             .expect("candidate set is non-empty")
@@ -161,6 +164,17 @@ impl CandidateSet {
     /// Iterates over `(location, probability)`.
     pub fn iter(&self) -> impl Iterator<Item = (LocationId, f64)> + '_ {
         self.candidates.iter().map(|c| (c.location, c.probability))
+    }
+}
+
+/// Total order on probabilities with NaN ranked below every real value
+/// (same NaN-safety family as the PR 4 `Ecdf` fix).
+fn cmp_nan_lowest(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
     }
 }
 
@@ -230,5 +244,35 @@ mod tests {
     fn probability_of_absent_location_is_zero() {
         let set = CandidateSet::from_neighbors(&[n(1, 1.0)]).unwrap();
         assert_eq!(set.probability_of(l(9)), 0.0);
+    }
+
+    #[test]
+    fn top_survives_nan_probabilities() {
+        // One NaN dissimilarity poisons the Eq. 4 normalizer, so every
+        // probability comes out NaN — `top()` must fall back to the id
+        // tie-break instead of panicking like the old
+        // `partial_cmp(...).expect(...)` comparator.
+        let set = CandidateSet::from_neighbors(&[n(3, f64::NAN), n(1, 1.0), n(2, 2.0)]).unwrap();
+        assert!(set.candidates().iter().all(|c| c.probability.is_nan()));
+        assert_eq!(set.top().location, l(1));
+    }
+
+    #[test]
+    fn nan_probability_never_beats_a_real_one() {
+        // Mixed sets (assembled directly, e.g. deserialized) must rank
+        // NaN below every real probability.
+        let set = CandidateSet {
+            candidates: vec![
+                Candidate {
+                    location: l(1),
+                    probability: f64::NAN,
+                },
+                Candidate {
+                    location: l(2),
+                    probability: 0.25,
+                },
+            ],
+        };
+        assert_eq!(set.top().location, l(2));
     }
 }

@@ -144,13 +144,23 @@ impl HorusLocalizer {
                     .sum();
                 (*id, ll)
             })
-            .max_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .expect("log-likelihoods are finite")
-                    .then_with(|| b.0.cmp(&a.0))
-            })
+            .max_by(|a, b| cmp_nan_lowest(a.1, b.1).then_with(|| b.0.cmp(&a.0)))
             .expect("trained model is non-empty")
             .0)
+    }
+}
+
+/// Total order on scores with NaN ranked below every real value, so a
+/// NaN log-likelihood (a NaN query reading propagated through
+/// `log_pdf`) can never be *selected* — and never panics the argmax,
+/// as the old `partial_cmp(...).expect(...)` comparator did. Same
+/// NaN-safety family as the PR 4 `Ecdf` fix.
+fn cmp_nan_lowest(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
     }
 }
 
@@ -212,6 +222,26 @@ mod tests {
         let ll = m.log_likelihood(l(1), &fp(&[-50.0])).unwrap();
         assert!(ll.is_finite());
         assert_eq!(m.min_std_db(), 0.5);
+    }
+
+    #[test]
+    fn nan_scores_rank_below_every_real_score() {
+        use std::cmp::Ordering;
+        // The argmax comparator: NaN loses to any real value (so a
+        // poisoned log-likelihood can never be *selected*), NaNs tie
+        // among themselves (the id tie-break decides), and real values
+        // follow the IEEE total order.
+        assert_eq!(cmp_nan_lowest(f64::NAN, -1e9), Ordering::Less);
+        assert_eq!(cmp_nan_lowest(-1e9, f64::NAN), Ordering::Greater);
+        assert_eq!(cmp_nan_lowest(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(cmp_nan_lowest(-2.0, -1.0), Ordering::Less);
+        assert_eq!(cmp_nan_lowest(3.0, 3.0), Ordering::Equal);
+        // A maximal selection over mixed scores picks the real one.
+        let best = [(l(1), f64::NAN), (l(2), -5.0)]
+            .into_iter()
+            .max_by(|a, b| cmp_nan_lowest(a.1, b.1).then_with(|| b.0.cmp(&a.0)))
+            .unwrap();
+        assert_eq!(best.0, l(2));
     }
 
     #[test]

@@ -200,14 +200,21 @@ impl ReferenceGrid {
     }
 
     /// The id of the reference location nearest to `p` (ties broken by
-    /// lower id).
+    /// lower id). A NaN distance — a NaN coordinate in `p` — ranks
+    /// *above* every real distance, so it can never win the argmin; an
+    /// all-NaN query deterministically falls back to the lowest id
+    /// instead of panicking the old `partial_cmp(...).expect(...)`
+    /// comparator.
     pub fn nearest(&self, p: Vec2) -> LocationId {
         self.ids()
             .min_by(|&a, &b| {
-                self.position(a)
-                    .dist(p)
-                    .partial_cmp(&self.position(b).dist(p))
-                    .expect("distances are finite")
+                let (da, db) = (self.position(a).dist(p), self.position(b).dist(p));
+                match (da.is_nan(), db.is_nan()) {
+                    (true, true) => std::cmp::Ordering::Equal,
+                    (true, false) => std::cmp::Ordering::Greater,
+                    (false, true) => std::cmp::Ordering::Less,
+                    (false, false) => da.total_cmp(&db),
+                }
             })
             .expect("grid is non-empty")
     }
@@ -351,5 +358,19 @@ mod tests {
     fn position_of_foreign_id_panics() {
         let g = paper_grid();
         let _ = g.position(LocationId::new(29));
+    }
+
+    #[test]
+    fn nearest_with_nan_coordinates_does_not_panic() {
+        let g = paper_grid();
+        // Every distance to a NaN point is NaN; the argmin must fall
+        // back to the deterministic lowest-id pick, not panic.
+        assert_eq!(g.nearest(Vec2::new(f64::NAN, f64::NAN)), LocationId::new(1));
+        assert_eq!(g.nearest(Vec2::new(f64::NAN, 0.0)), LocationId::new(1));
+        // A NaN never shadows a real nearest answer when distances mix
+        // (cannot happen from a single query point, but the comparator
+        // contract must hold for any future caller).
+        let p = g.position(LocationId::new(5));
+        assert_eq!(g.nearest(p), LocationId::new(5));
     }
 }

@@ -1,0 +1,152 @@
+//! The live-update determinism contract (ISSUE 9 acceptance):
+//!
+//! 1. **Incremental ≡ rebuild** — publishing N crowdsourced delta
+//!    batches through an [`UpdateLog`] produces a snapshot whose
+//!    content digest is *bit-identical* to a from-scratch rebuild over
+//!    the merged delta sequence. Property-tested over random
+//!    interleavings of survey samples and RLMs (including coarse
+//!    rejects, which must still count — the build-report counters are
+//!    part of the digest).
+//! 2. **Zero-delta publish is a no-op** — no epoch bump, no digest
+//!    change, `published: false`.
+
+use moloc_geometry::polygon::Aabb;
+use moloc_geometry::{FloorPlan, LocationId, ReferenceGrid, Vec2, WalkGraph};
+use moloc_live::{SnapshotPublisher, UpdateLog};
+use moloc_motion::builder::MapReference;
+use moloc_motion::filter::SanitationConfig;
+use moloc_motion::rlm::Rlm;
+use proptest::prelude::*;
+
+const AP_COUNT: usize = 2;
+const LOCATIONS: u32 = 6;
+
+fn l(i: u32) -> LocationId {
+    LocationId::new(i)
+}
+
+/// 3×2 grid spaced 2 m in an open hall; ids 1..=6.
+fn map() -> MapReference {
+    let grid = ReferenceGrid::new(Vec2::new(1.0, 3.0), 3, 2, 2.0, 2.0).unwrap();
+    let plan = FloorPlan::new(Aabb::new(Vec2::ZERO, Vec2::new(8.0, 5.0)).unwrap());
+    let graph = WalkGraph::from_grid(&grid, &plan);
+    MapReference::new(&grid, &graph)
+}
+
+/// One crowdsourced contribution.
+#[derive(Debug, Clone)]
+enum Delta {
+    Survey(LocationId, [f64; AP_COUNT]),
+    Rlm(Rlm),
+}
+
+fn apply(log: &mut UpdateLog, delta: &Delta) {
+    match delta {
+        Delta::Survey(id, values) => log
+            .observe_survey_sample(*id, values)
+            .expect("ap count matches"),
+        Delta::Rlm(rlm) => {
+            log.observe_rlm(rlm.clone());
+        }
+    }
+}
+
+/// The site-survey seed: one sample per location, so every snapshot
+/// build succeeds regardless of what the random deltas touch.
+fn seed_deltas() -> Vec<Delta> {
+    (1..=LOCATIONS)
+        .map(|i| {
+            let base = -30.0 - 8.0 * f64::from(i);
+            Delta::Survey(l(i), [base, base - 13.0])
+        })
+        .collect()
+}
+
+/// Random survey samples and RLMs. Directions and offsets span well
+/// past the coarse thresholds, so rejected RLMs are generated too.
+fn delta_strategy() -> impl Strategy<Value = Delta> {
+    (
+        (0u32..3, 1u32..=LOCATIONS, 1u32..=LOCATIONS),
+        (-90.0..-30.0f64, -90.0..-30.0f64),
+        (0.0..360.0f64, 0.0..8.0f64),
+    )
+        .prop_map(|((kind, a, b), (rss0, rss1), (dir, off))| {
+            if kind == 0 {
+                let to = if a == b { a % LOCATIONS + 1 } else { b };
+                Delta::Rlm(Rlm::new(l(a), l(to), dir, off).expect("valid rlm"))
+            } else {
+                Delta::Survey(l(a), [rss0, rss1])
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn incremental_publishes_are_bit_identical_to_rebuild(
+        batches in prop::collection::vec(
+            prop::collection::vec(delta_strategy(), 1..10),
+            1..5,
+        ),
+    ) {
+        // Incremental side: seed, publish epoch 0, then publish once
+        // per batch.
+        let mut log = UpdateLog::new(AP_COUNT, map(), SanitationConfig::paper())
+            .expect("valid config");
+        let mut merged = seed_deltas();
+        for delta in &merged {
+            apply(&mut log, delta);
+        }
+        let publisher = SnapshotPublisher::new(
+            log.build_snapshot(0).expect("seed snapshot builds"),
+        );
+        log.mark_published();
+
+        for (n, batch) in batches.iter().enumerate() {
+            for delta in batch {
+                apply(&mut log, delta);
+                merged.push(delta.clone());
+            }
+            let report = publisher.publish(&mut log).expect("publish succeeds");
+            prop_assert!(report.published);
+            prop_assert_eq!(report.epoch, n as u64 + 1);
+            prop_assert_eq!(report.deltas_folded, batch.len() as u64);
+
+            // Rebuild side: a fresh log fed the merged sequence.
+            let mut fresh = UpdateLog::new(AP_COUNT, map(), SanitationConfig::paper())
+                .expect("valid config");
+            for delta in &merged {
+                apply(&mut fresh, delta);
+            }
+            let rebuilt = fresh.build_snapshot(0).expect("rebuild succeeds");
+            prop_assert_eq!(
+                publisher.snapshot().digest(),
+                rebuilt.digest(),
+                "epoch {} diverged from the from-scratch rebuild",
+                n + 1,
+            );
+        }
+    }
+
+    #[test]
+    fn zero_delta_publish_is_a_digest_noop(
+        batch in prop::collection::vec(delta_strategy(), 0..8),
+    ) {
+        let mut log = UpdateLog::new(AP_COUNT, map(), SanitationConfig::paper())
+            .expect("valid config");
+        for delta in seed_deltas().iter().chain(&batch) {
+            apply(&mut log, delta);
+        }
+        let publisher = SnapshotPublisher::new(
+            log.build_snapshot(0).expect("snapshot builds"),
+        );
+        log.mark_published();
+        let digest = publisher.snapshot().digest();
+
+        let report = publisher.publish(&mut log).expect("skip succeeds");
+        prop_assert!(!report.published);
+        prop_assert_eq!(report.epoch, 0);
+        prop_assert_eq!(report.deltas_folded, 0);
+        prop_assert_eq!(publisher.current_epoch(), 0);
+        prop_assert_eq!(publisher.snapshot().digest(), digest);
+    }
+}

@@ -162,19 +162,33 @@ impl MotionDbBuilder {
 
     /// Applies the fine filter, fits per-pair Gaussians, and produces
     /// the database plus a construction report.
-    pub fn build(mut self) -> (MotionDb, BuildReport) {
+    pub fn build(self) -> (MotionDb, BuildReport) {
+        self.build_snapshot()
+    }
+
+    /// [`MotionDbBuilder::build`] without consuming the builder: fits a
+    /// database from the measurements accumulated *so far*, leaving the
+    /// builder open for more. The live-update path calls this once per
+    /// published epoch; because the fine filter and the Gaussian fits
+    /// run over cloned accumulators in the same order as `build`, the
+    /// result is bit-identical to consuming a builder fed the same RLM
+    /// sequence (the incremental-vs-rebuild equivalence contract).
+    pub fn build_snapshot(&self) -> (MotionDb, BuildReport) {
+        let mut report = self.report;
         let mut db = MotionDb::new(self.map.grid.len());
-        for ((i, j), (mut dirs, mut offsets)) in std::mem::take(&mut self.pending) {
+        for (&(i, j), (dirs, offsets)) in &self.pending {
+            let mut dirs = dirs.clone();
+            let mut offsets = offsets.clone();
             if self.config.fine_enabled {
-                self.report.rejected_fine +=
+                report.rejected_fine +=
                     Self::fine_filter(&mut dirs, &mut offsets, self.config.fine_sigma) as u64;
             }
             if dirs.count() < self.config.min_samples {
-                self.report.underpopulated_pairs += 1;
+                report.underpopulated_pairs += 1;
                 continue;
             }
             let Some(mu_d) = dirs.mean() else {
-                self.report.underpopulated_pairs += 1;
+                report.underpopulated_pairs += 1;
                 continue;
             };
             let sigma_d = dirs
@@ -189,9 +203,9 @@ impl MotionDbBuilder {
                 sample_count: dirs.count() as u64,
             };
             db.insert(LocationId::new(i), LocationId::new(j), stats);
-            self.report.pairs_built += 1;
+            report.pairs_built += 1;
         }
-        (db, self.report)
+        (db, report)
     }
 
     /// Drops direction/offset measurements beyond `k·σ` of their means;
@@ -349,6 +363,45 @@ mod tests {
         let s = db.get(l(1), l(2)).unwrap();
         assert_eq!(s.direction.std(), 2.0);
         assert_eq!(s.offset.std(), 0.05);
+    }
+
+    #[test]
+    fn build_snapshot_matches_consuming_build_at_every_prefix() {
+        // The live-update contract: a non-consuming snapshot after N
+        // observations is bit-identical to consuming a fresh builder
+        // fed the same N observations, and the builder stays open.
+        let all: Vec<Rlm> = (0..8)
+            .map(|k| rlm(1, 2, 88.0 + f64::from(k), 2.0 + 0.02 * f64::from(k)))
+            .chain((0..4).map(|k| rlm(2, 3, 89.0 + f64::from(k), 2.01 * f64::from(k + 1))))
+            .chain(std::iter::once(rlm(1, 2, 10.0, 2.0))) // coarse reject
+            .collect();
+        let digest = |db: &MotionDb| -> Vec<(u32, u32, u64, u64, u64, u64, u64)> {
+            db.iter()
+                .map(|(a, b, s)| {
+                    (
+                        a.get(),
+                        b.get(),
+                        s.direction.mean().to_bits(),
+                        s.direction.std().to_bits(),
+                        s.offset.mean().to_bits(),
+                        s.offset.std().to_bits(),
+                        s.sample_count,
+                    )
+                })
+                .collect()
+        };
+        let mut live = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
+        for (n, r) in all.iter().enumerate() {
+            live.observe(r.clone());
+            let (snap_db, snap_report) = live.build_snapshot();
+            let mut fresh = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
+            for r in &all[..=n] {
+                fresh.observe(r.clone());
+            }
+            let (fresh_db, fresh_report) = fresh.build();
+            assert_eq!(digest(&snap_db), digest(&fresh_db), "prefix {}", n + 1);
+            assert_eq!(snap_report, fresh_report, "prefix {}", n + 1);
+        }
     }
 
     #[test]

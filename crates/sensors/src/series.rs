@@ -146,14 +146,37 @@ impl TimeSeries {
     /// its buffer. `out`'s previous contents (including its rate and
     /// start time) are discarded, so interval-slicing loops can run
     /// allocation-free after the first pass.
+    ///
+    /// Out-of-range bounds are handled explicitly, never through the
+    /// silent saturation of a float-to-`usize` cast:
+    ///
+    /// * a window starting before `t0` clamps to the first sample (the
+    ///   documented "clamped to the series extent" contract);
+    /// * a window lying entirely before `t0` (or with `end <= start`)
+    ///   yields an empty slice;
+    /// * a NaN bound describes no interval at all and yields an empty
+    ///   slice — previously `NaN.max(0.0)` quietly collapsed a NaN
+    ///   `start` to sample 0, returning samples from before (any
+    ///   meaningful reading of) the requested window.
     pub fn slice_time_into(&self, start: f64, end: f64, out: &mut TimeSeries) {
-        let lo = (((start - self.t0) * self.sample_rate_hz).ceil().max(0.0)) as usize;
-        let hi = ((((end - self.t0) * self.sample_rate_hz).ceil()).max(0.0) as usize)
-            .min(self.values.len());
-        let lo = lo.min(hi);
-        out.t0 = self.time_at(lo);
         out.sample_rate_hz = self.sample_rate_hz;
         out.values.clear();
+        if start.is_nan() || end.is_nan() {
+            out.t0 = self.t0;
+            return;
+        }
+        let lo_f = ((start - self.t0) * self.sample_rate_hz).ceil();
+        let hi_f = ((end - self.t0) * self.sample_rate_hz).ceil();
+        // Negative indices are clamped *before* the usize cast; the
+        // cast itself only ever sees non-negative values.
+        let lo = if lo_f > 0.0 { lo_f as usize } else { 0 };
+        let hi = if hi_f > 0.0 {
+            (hi_f as usize).min(self.values.len())
+        } else {
+            0
+        };
+        let lo = lo.min(hi);
+        out.t0 = self.time_at(lo);
         out.values.extend_from_slice(&self.values[lo..hi]);
     }
 
@@ -240,6 +263,40 @@ mod tests {
         // Fully outside → empty.
         assert!(s.slice_time(10.0, 12.0).is_empty());
         assert!(s.slice_time(2.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn slice_before_window_start_never_leaks_samples() {
+        // Series starts at t0 = 5.0; requests touching times before it
+        // must clamp (or come back empty), never silently alias the
+        // negative index onto sample 0's data as an in-window reading.
+        let s = TimeSeries::new(5.0, 2.0, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        // Entirely before the window: empty, not "the first samples".
+        let pre = s.slice_time(0.0, 4.0);
+        assert!(pre.is_empty());
+        // Straddling t0: clamps to the first sample, explicit contract.
+        let straddle = s.slice_time(0.0, 6.0);
+        assert_eq!(straddle.t0(), 5.0);
+        assert_eq!(straddle.values(), &[1.0, 2.0]);
+        // Infinite bounds behave as unbounded ends of the extent.
+        assert_eq!(
+            s.slice_time(f64::NEG_INFINITY, f64::INFINITY).values(),
+            s.values()
+        );
+    }
+
+    #[test]
+    fn slice_with_nan_bounds_is_empty() {
+        let s = TimeSeries::new(0.0, 2.0, vec![1.0, 2.0, 3.0]).unwrap();
+        for (a, b) in [(f64::NAN, 1.0), (0.0, f64::NAN), (f64::NAN, f64::NAN)] {
+            let sub = s.slice_time(a, b);
+            assert!(sub.is_empty(), "NaN bound ({a}, {b}) must yield empty");
+            assert_eq!(sub.sample_rate_hz(), 2.0);
+        }
+        // Reusing a buffer after a NaN request leaves no stale samples.
+        let mut out = s.slice_time(0.0, 10.0);
+        s.slice_time_into(f64::NAN, 1.0, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

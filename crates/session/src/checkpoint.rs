@@ -31,7 +31,8 @@
 //! # Payload
 //!
 //! The payload is the complete [`CheckpointState`]: ingest/delivery
-//! cursors, the reorder watermark and statistics, the tracker's
+//! cursors, the reorder watermark and statistics, the live-update
+//! database epoch the session was serving from, the tracker's
 //! retained posterior (location ids plus raw IEEE-754 probability
 //! bits), its degradation flags, and the parked out-of-order events.
 //! Restoring it and replaying the arrival stream from the `ingested`
@@ -50,8 +51,10 @@ use crate::reorder::ReorderStats;
 
 /// Leading bytes of every checkpoint record.
 pub const MAGIC: [u8; 4] = *b"MLCK";
-/// Current record format version.
-pub const VERSION: u32 = 1;
+/// Current record format version. Version 2 added the database epoch
+/// (the live-update snapshot generation the session was serving from)
+/// between the watermark and the reorder statistics.
+pub const VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 4 + 4 + 8;
 const CHECKSUM_LEN: usize = 8;
@@ -108,6 +111,49 @@ impl std::fmt::Display for CorruptionKind {
     }
 }
 
+/// A checkpoint could not be serialized or persisted.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// A variable-length field holds more entries than the record
+    /// format's `u32` length prefix can carry. A format limit, not an
+    /// I/O failure — previously this panicked inside `encode`.
+    TooLarge {
+        /// Which field overflowed (`"posterior"`, `"pending"`,
+        /// `"scan"`).
+        field: &'static str,
+        /// The offending length.
+        len: usize,
+    },
+    /// The underlying log I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::TooLarge { field, len } => {
+                write!(f, "checkpoint field `{field}` has {len} entries, exceeding the u32 record format limit")
+            }
+            CheckpointError::Io(e) => write!(f, "checkpoint log I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::TooLarge { .. } => None,
+            CheckpointError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
 /// What recovery found while scanning a checkpoint log.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -133,6 +179,11 @@ pub struct CheckpointState {
     pub delivered: u64,
     /// The reorder buffer's watermark.
     pub watermark: u64,
+    /// The live-update database epoch the session was serving from
+    /// (0 for sessions running over a static database). Recovery
+    /// restores it so the resumed session reports — and the operator
+    /// can audit — which snapshot generation produced its estimates.
+    pub epoch: u64,
     /// Reorder statistics at checkpoint time.
     pub stats: ReorderStats,
     /// Whether the tracker held a retained posterior.
@@ -149,9 +200,14 @@ pub struct CheckpointState {
 impl CheckpointState {
     /// Serializes the state into a record payload (little-endian,
     /// probabilities as raw IEEE-754 bits).
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::TooLarge`] when a variable-length
+    /// field exceeds the format's `u32` length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, CheckpointError> {
         let mut out = Vec::with_capacity(
-            8 * 3
+            8 * 4
                 + 8 * 4
                 + 2
                 + 4
@@ -166,24 +222,31 @@ impl CheckpointState {
         out.extend_from_slice(&self.ingested.to_le_bytes());
         out.extend_from_slice(&self.delivered.to_le_bytes());
         out.extend_from_slice(&self.watermark.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&self.stats.delivered.to_le_bytes());
         out.extend_from_slice(&self.stats.duplicates_dropped.to_le_bytes());
         out.extend_from_slice(&self.stats.late_dropped.to_le_bytes());
         out.extend_from_slice(&self.stats.gaps_skipped.to_le_bytes());
         out.push(u8::from(self.has_previous));
         out.push(self.flags.bits());
-        let plen = u32::try_from(self.posterior.len()).expect("posterior fits u32");
+        let plen = u32::try_from(self.posterior.len()).map_err(|_| CheckpointError::TooLarge {
+            field: "posterior",
+            len: self.posterior.len(),
+        })?;
         out.extend_from_slice(&plen.to_le_bytes());
         for &(id, p) in &self.posterior {
             out.extend_from_slice(&id.get().to_le_bytes());
             out.extend_from_slice(&p.to_bits().to_le_bytes());
         }
-        let elen = u32::try_from(self.pending.len()).expect("pending fits u32");
+        let elen = u32::try_from(self.pending.len()).map_err(|_| CheckpointError::TooLarge {
+            field: "pending",
+            len: self.pending.len(),
+        })?;
         out.extend_from_slice(&elen.to_le_bytes());
         for event in &self.pending {
-            event.encode_into(&mut out);
+            event.encode_into(&mut out)?;
         }
-        out
+        Ok(out)
     }
 
     /// Deserializes a record payload. `None` on any structural
@@ -194,6 +257,7 @@ impl CheckpointState {
         let ingested = take_u64(bytes, &mut pos)?;
         let delivered = take_u64(bytes, &mut pos)?;
         let watermark = take_u64(bytes, &mut pos)?;
+        let epoch = take_u64(bytes, &mut pos)?;
         let stats = ReorderStats {
             delivered: take_u64(bytes, &mut pos)?,
             duplicates_dropped: take_u64(bytes, &mut pos)?,
@@ -240,6 +304,7 @@ impl CheckpointState {
             ingested,
             delivered,
             watermark,
+            epoch,
             stats,
             has_previous,
             flags,
@@ -385,11 +450,12 @@ impl CheckpointLog {
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error when the write (or fsync)
-    /// fails; the log may then hold a torn record, which recovery
-    /// detects and skips.
-    pub fn append(&mut self, state: &CheckpointState) -> std::io::Result<()> {
-        let record = frame_record(&state.encode());
+    /// Returns [`CheckpointError::TooLarge`] when the state cannot be
+    /// serialized, and [`CheckpointError::Io`] when the write (or
+    /// fsync) fails; the log may then hold a torn record, which
+    /// recovery detects and skips.
+    pub fn append(&mut self, state: &CheckpointState) -> Result<(), CheckpointError> {
+        let record = frame_record(&state.encode()?);
         self.file.write_all(&record)?;
         self.file.flush()?;
         if self.fsync {
@@ -408,10 +474,11 @@ impl CheckpointLog {
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error; on failure the original log
-    /// is untouched.
-    pub fn compact(&mut self, state: &CheckpointState) -> std::io::Result<()> {
-        let record = frame_record(&state.encode());
+    /// Returns [`CheckpointError::TooLarge`] when the state cannot be
+    /// serialized, and [`CheckpointError::Io`] on I/O failure; on
+    /// failure the original log is untouched.
+    pub fn compact(&mut self, state: &CheckpointState) -> Result<(), CheckpointError> {
+        let record = frame_record(&state.encode()?);
         let tmp = self.path.with_extension("tmp");
         {
             let mut f = File::create(&tmp)?;
@@ -449,6 +516,7 @@ mod tests {
             ingested: 42,
             delivered: 40,
             watermark: 41,
+            epoch: 6,
             stats: ReorderStats {
                 delivered: 40,
                 duplicates_dropped: 3,
@@ -476,9 +544,11 @@ mod tests {
     #[test]
     fn state_round_trips_bit_identically() {
         let state = sample_state();
-        let back = CheckpointState::decode(&state.encode()).expect("decodes");
+        let back =
+            CheckpointState::decode(&state.encode().expect("encodes")).expect("decodes");
         assert_eq!(back.ingested, state.ingested);
         assert_eq!(back.watermark, state.watermark);
+        assert_eq!(back.epoch, state.epoch);
         assert_eq!(back.stats, state.stats);
         assert_eq!(back.flags, state.flags);
         let bits =
@@ -492,8 +562,8 @@ mod tests {
     fn framing_round_trips_and_reports_clean() {
         let state = sample_state();
         let mut log = Vec::new();
-        log.extend_from_slice(&frame_record(&state.encode()));
-        log.extend_from_slice(&frame_record(&state.encode()));
+        log.extend_from_slice(&frame_record(&state.encode().expect("encodes")));
+        log.extend_from_slice(&frame_record(&state.encode().expect("encodes")));
         let (payloads, report) = scan_records(&log);
         assert_eq!(payloads.len(), 2);
         assert_eq!(report.valid_records, 2);
@@ -503,7 +573,7 @@ mod tests {
 
     #[test]
     fn every_single_bit_flip_is_detected() {
-        let record = frame_record(&sample_state().encode());
+        let record = frame_record(&sample_state().encode().expect("encodes"));
         for byte in 0..record.len() {
             for bit in 0..8 {
                 let mut mutated = record.clone();
@@ -530,8 +600,8 @@ mod tests {
     #[test]
     fn truncation_at_every_length_is_detected_and_prior_records_survive() {
         let state = sample_state();
-        let first = frame_record(&state.encode());
-        let second = frame_record(&state.encode());
+        let first = frame_record(&state.encode().expect("encodes"));
+        let second = frame_record(&state.encode().expect("encodes"));
         let mut log = first.clone();
         log.extend_from_slice(&second);
         for cut in first.len() + 1..log.len() {
@@ -550,14 +620,14 @@ mod tests {
 
     #[test]
     fn foreign_and_future_records_are_classified() {
-        let mut foreign = frame_record(&sample_state().encode());
+        let mut foreign = frame_record(&sample_state().encode().expect("encodes"));
         foreign[0] = b'X';
         assert_eq!(
             scan_records(&foreign).1.corruption,
             Some(CorruptionKind::BadMagic)
         );
 
-        let payload = sample_state().encode();
+        let payload = sample_state().encode().expect("encodes");
         let mut future = Vec::new();
         future.extend_from_slice(&MAGIC);
         future.extend_from_slice(&(VERSION + 1).to_le_bytes());
@@ -574,7 +644,7 @@ mod tests {
     #[test]
     fn undecodable_payload_falls_back_to_the_previous_record() {
         let good = sample_state();
-        let mut log = frame_record(&good.encode());
+        let mut log = frame_record(&good.encode().expect("encodes"));
         // A framed record whose payload is garbage: framing verifies,
         // decode fails, recovery must fall back, and the defect must
         // be reported.
@@ -615,5 +685,20 @@ mod tests {
         assert_eq!(recovered.expect("state").ingested, 100);
         assert_eq!(report.valid_records, 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_error_names_field_and_wraps_io() {
+        let too_large = CheckpointError::TooLarge {
+            field: "posterior",
+            len: usize::MAX,
+        };
+        let msg = too_large.to_string();
+        assert!(msg.contains("posterior"), "message names the field: {msg}");
+        assert!(msg.contains("u32"), "message names the limit: {msg}");
+        let io: CheckpointError =
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "torn").into();
+        assert!(matches!(io, CheckpointError::Io(_)));
+        assert!(std::error::Error::source(&io).is_some());
     }
 }

@@ -9,6 +9,8 @@
 
 use moloc_core::tracker::MotionMeasurement;
 
+use crate::checkpoint::CheckpointError;
+
 /// One streamed localization query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanEvent {
@@ -35,7 +37,12 @@ impl ScanEvent {
 
     /// Appends the event to a checkpoint payload (little-endian,
     /// f64s as raw IEEE-754 bits so replay is bit-identical).
-    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::TooLarge`] when the scan holds more
+    /// readings than the format's `u32` length prefix can carry.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), CheckpointError> {
         out.extend_from_slice(&self.event_id.to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
         match self.motion {
@@ -49,11 +56,15 @@ impl ScanEvent {
                 out.extend_from_slice(&[0u8; 16]);
             }
         }
-        let len = u32::try_from(self.scan.len()).expect("scan length fits u32");
+        let len = u32::try_from(self.scan.len()).map_err(|_| CheckpointError::TooLarge {
+            field: "scan",
+            len: self.scan.len(),
+        })?;
         out.extend_from_slice(&len.to_le_bytes());
         for &v in &self.scan {
             out.extend_from_slice(&v.to_bits().to_le_bytes());
         }
+        Ok(())
     }
 
     /// Decodes one event from a checkpoint payload, advancing `pos`.
@@ -131,7 +142,7 @@ mod tests {
             },
         ] {
             let mut buf = Vec::new();
-            event.encode_into(&mut buf);
+            event.encode_into(&mut buf).expect("encodes");
             assert_eq!(buf.len(), event.encoded_len());
             let mut pos = 0;
             let back = ScanEvent::decode_from(&buf, &mut pos).expect("decodes");
@@ -148,7 +159,7 @@ mod tests {
     #[test]
     fn truncated_bytes_never_decode() {
         let mut buf = Vec::new();
-        sample().encode_into(&mut buf);
+        sample().encode_into(&mut buf).expect("encodes");
         for cut in 0..buf.len() {
             let mut pos = 0;
             assert!(
@@ -161,7 +172,7 @@ mod tests {
     #[test]
     fn bad_motion_tag_is_rejected() {
         let mut buf = Vec::new();
-        sample().encode_into(&mut buf);
+        sample().encode_into(&mut buf).expect("encodes");
         buf[16] = 2; // motion tag is neither 0 nor 1
         let mut pos = 0;
         assert!(ScanEvent::decode_from(&buf, &mut pos).is_none());

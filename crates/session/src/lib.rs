@@ -33,7 +33,9 @@ pub mod manager;
 pub mod reorder;
 pub mod session;
 
-pub use checkpoint::{CheckpointLog, CheckpointState, CorruptionKind, RecoveryReport};
+pub use checkpoint::{
+    CheckpointError, CheckpointLog, CheckpointState, CorruptionKind, RecoveryReport,
+};
 pub use event::ScanEvent;
 pub use manager::{AdmissionMode, ManagerConfig, SessionManager};
 pub use reorder::{ReorderBuffer, ReorderStats};
@@ -46,6 +48,9 @@ use moloc_core::error::MolocError;
 pub enum SessionError {
     /// The checkpoint log could not be read or written.
     Io(std::io::Error),
+    /// A checkpoint could not be serialized or persisted (a state that
+    /// exceeds the record format's limits, or an append that failed).
+    Checkpoint(CheckpointError),
     /// The tracker rejected a query (or a session-layer configuration
     /// contract was violated).
     Track(MolocError),
@@ -55,6 +60,7 @@ impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::Io(e) => write!(f, "checkpoint log I/O failed: {e}"),
+            SessionError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
             SessionError::Track(e) => write!(f, "tracking failed: {e}"),
         }
     }
@@ -64,6 +70,7 @@ impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SessionError::Io(e) => Some(e),
+            SessionError::Checkpoint(e) => Some(e),
             SessionError::Track(e) => Some(e),
         }
     }
@@ -72,6 +79,12 @@ impl std::error::Error for SessionError {
 impl From<std::io::Error> for SessionError {
     fn from(e: std::io::Error) -> Self {
         SessionError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for SessionError {
+    fn from(e: CheckpointError) -> Self {
+        SessionError::Checkpoint(e)
     }
 }
 
@@ -108,5 +121,10 @@ mod tests {
         assert!(io.to_string().contains("I/O"));
         let track = SessionError::from(MolocError::BadMeasurement);
         assert!(track.to_string().contains("finite"));
+        let checkpoint = SessionError::from(CheckpointError::TooLarge {
+            field: "pending",
+            len: usize::MAX,
+        });
+        assert!(checkpoint.to_string().contains("pending"));
     }
 }

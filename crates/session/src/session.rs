@@ -122,6 +122,7 @@ pub struct StreamingSession<'a> {
     delivered: u64,
     since_checkpoint: u64,
     fingerprint_only: bool,
+    epoch: u64,
     ready: Vec<ScanEvent>,
 }
 
@@ -155,6 +156,7 @@ impl<'a> StreamingSession<'a> {
             delivered: 0,
             since_checkpoint: 0,
             fingerprint_only: false,
+            epoch: 0,
             ready: Vec::new(),
         }
     }
@@ -222,6 +224,7 @@ impl<'a> StreamingSession<'a> {
         self.ingested = state.ingested;
         self.delivered = state.delivered;
         self.since_checkpoint = 0;
+        self.epoch = state.epoch;
         self.reorder
             .restore(state.watermark, state.pending, state.stats);
     }
@@ -234,6 +237,7 @@ impl<'a> StreamingSession<'a> {
             ingested: self.ingested,
             delivered: self.delivered,
             watermark: self.reorder.watermark(),
+            epoch: self.epoch,
             stats: self.reorder.stats(),
             has_previous: !posterior.is_empty(),
             flags: self.engine.last_flags(),
@@ -249,8 +253,8 @@ impl<'a> StreamingSession<'a> {
     /// # Errors
     ///
     /// Returns [`SessionError::Track`] for malformed queries (the
-    /// tracker's own contract) and [`SessionError::Io`] when a due
-    /// checkpoint append fails.
+    /// tracker's own contract) and [`SessionError::Checkpoint`] when a
+    /// due checkpoint append fails.
     pub fn ingest(&mut self, event: ScanEvent, out: &mut Vec<Estimate>) -> Result<(), SessionError> {
         self.ingested += 1;
         moloc_obs::counter_add("session.stream.ingested", 1);
@@ -287,7 +291,7 @@ impl<'a> StreamingSession<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`SessionError::Io`] when the append fails, and
+    /// Returns [`SessionError::Checkpoint`] when the append fails, and
     /// [`SessionError::Track`] (`InvalidConfig`) when no log is
     /// attached.
     pub fn checkpoint(&mut self) -> Result<(), SessionError> {
@@ -366,5 +370,19 @@ impl<'a> StreamingSession<'a> {
     /// mode; see `SessionManager`).
     pub fn set_fingerprint_only(&mut self, on: bool) {
         self.fingerprint_only = on;
+    }
+
+    /// The live-update database epoch this session is serving from
+    /// (0 when running over a static database).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records the database epoch the caller's snapshot reader is
+    /// currently pinned to, so subsequent checkpoints carry it and
+    /// recovery can report which snapshot generation produced the
+    /// session's estimates.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 }

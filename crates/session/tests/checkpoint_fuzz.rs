@@ -29,6 +29,7 @@ fn state(i: u64) -> CheckpointState {
         ingested: 10 * i + 7,
         delivered: 10 * i + 3,
         watermark: 10 * i + 5,
+        epoch: i,
         stats: ReorderStats {
             delivered: 10 * i + 3,
             duplicates_dropped: i,
@@ -57,6 +58,7 @@ fn same_state(a: &CheckpointState, b: &CheckpointState) -> bool {
     a.ingested == b.ingested
         && a.delivered == b.delivered
         && a.watermark == b.watermark
+        && a.epoch == b.epoch
         && a.stats == b.stats
         && a.has_previous == b.has_previous
         && a.flags == b.flags
@@ -79,7 +81,7 @@ fn build_log(n: u64) -> (Vec<u8>, Vec<CheckpointState>) {
     let mut log = Vec::new();
     let mut boundaries = vec![0usize];
     for s in &states {
-        log.extend_from_slice(&frame_record(&s.encode()));
+        log.extend_from_slice(&frame_record(&s.encode().expect("encodes")));
         boundaries.push(log.len());
     }
     (log, states)
@@ -119,7 +121,7 @@ fn assert_recovers_only_written_states(bytes: &[u8], states: &[CheckpointState],
     if bytes.len()
         != states
             .iter()
-            .map(|s| frame_record(&s.encode()).len())
+            .map(|s| frame_record(&s.encode().expect("encodes")).len())
             .sum::<usize>()
         || !latest_recovered
     {
@@ -135,7 +137,7 @@ fn truncation_at_every_byte_is_detected_or_lands_on_a_boundary() {
     let (log, states) = build_log(3);
     let record_lens: Vec<usize> = states
         .iter()
-        .map(|s| frame_record(&s.encode()).len())
+        .map(|s| frame_record(&s.encode().expect("encodes")).len())
         .collect();
     let mut boundaries = vec![0usize];
     for len in &record_lens {
@@ -228,7 +230,7 @@ fn read_log_surfaces_corruption_from_disk() {
     let path = dir.join("corrupt.mlck");
     let (log, states) = build_log(2);
     // Torn tail: second record half-written.
-    let cut = frame_record(&states[0].encode()).len() + 11;
+    let cut = frame_record(&states[0].encode().expect("encodes")).len() + 11;
     std::fs::write(&path, &log[..cut]).expect("write");
     let (recovered, report) = read_log(&path).expect("read");
     let recovered = recovered.expect("first record survives");

@@ -22,6 +22,7 @@
 //! | [`stats`] | `moloc-stats` | Gaussians, circular statistics, ECDFs |
 //! | [`faults`] | `moloc-faults` | seeded fault injection: AP dropout, rogue APs, sensor gaps, RLM corruption, stream & lifecycle faults |
 //! | [`session`] | `moloc-session` | crash-safe streaming: reorder buffer, checkpointed tracker state, recovery |
+//! | [`live`] | `moloc-live` | dynamic crowdsourced database updates: epoch snapshots, atomic publication, live localizers |
 //! | [`obs`] | `moloc-obs` | zero-dependency metrics: counters, histograms, timing spans, snapshots |
 //! | [`eval`] | `moloc-eval` | the simulated office-hall testbed and every paper experiment |
 //!
@@ -75,6 +76,7 @@ pub use moloc_eval as eval;
 pub use moloc_faults as faults;
 pub use moloc_fingerprint as fingerprint;
 pub use moloc_geometry as geometry;
+pub use moloc_live as live;
 pub use moloc_mobility as mobility;
 pub use moloc_motion as motion;
 pub use moloc_obs as obs;
@@ -95,6 +97,7 @@ pub mod prelude {
     pub use moloc_fingerprint::fingerprint::Fingerprint;
     pub use moloc_fingerprint::nn_localizer::NnLocalizer;
     pub use moloc_geometry::{FloorPlan, LocationId, ReferenceGrid, Vec2, WalkGraph};
+    pub use moloc_live::{DbSnapshot, LiveLocalizer, SnapshotPublisher, UpdateLog};
     pub use moloc_mobility::user::UserProfile;
     pub use moloc_motion::builder::{MapReference, MotionDbBuilder};
     pub use moloc_motion::filter::SanitationConfig;
