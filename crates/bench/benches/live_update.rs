@@ -14,8 +14,8 @@
 //!   trace. Identical estimates; the only extra work is the per-step
 //!   epoch check.
 //!
-//! Their ratio is the `live/reader_overhead` comparison, gated in CI at
-//! >= 0.90x (the epoch check may cost at most ~10%, which clears the
+//! Their ratio is the `live/reader_overhead` comparison, gated in CI
+//! at 0.90x or better (the epoch check may cost at most ~10%, clearing the
 //! few-percent run-to-run noise of shared hosts). A third,
 //! informational arm measures full publish latency — fold one survey
 //! delta, rebuild fingerprint database + index + motion database, swap

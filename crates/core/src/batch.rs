@@ -547,6 +547,7 @@ impl<'a> BatchLocalizer<'a> {
         } else {
             &self.buf.current
         };
+        moloc_verify::check_posterior("core.batch.posterior", posterior.iter().copied());
 
         // `CandidateSet::top`: highest probability, ties to lower id.
         // `total_cmp` orders identically to `partial_cmp` here (the
@@ -1091,8 +1092,10 @@ mod tests {
         // collapses every Eq. 7 total to zero: the engine must fall
         // back to the fingerprint-only prior and say so.
         let mdb = MotionDb::new(3);
-        let mut config = MoLocConfig::default();
-        config.missing_pair_prob = 0.0;
+        let config = MoLocConfig {
+            missing_pair_prob: 0.0,
+            ..MoLocConfig::default()
+        };
         let mut engine = BatchLocalizer::new(&fdb, &mdb, config);
         engine.observe_slice(&[-40.0, -70.0], None).unwrap();
         let estimate = engine

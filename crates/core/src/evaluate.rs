@@ -48,7 +48,10 @@ pub fn evaluate_candidates(
         // into the normalized posterior.
         return current.clone();
     }
-    CandidateSet::from_weights(weights).unwrap_or_else(|_| current.clone())
+    moloc_verify::check_weights("core.evaluate.weights", weights.iter().copied());
+    let posterior = CandidateSet::from_weights(weights).unwrap_or_else(|_| current.clone());
+    moloc_verify::check_posterior("core.evaluate.posterior", posterior.iter());
+    posterior
 }
 
 /// Eq. 7 over a precomputed [`MotionKernel`]: same semantics as
@@ -74,7 +77,10 @@ pub fn evaluate_candidates_kernel(
     if !total.is_finite() || total <= config.degenerate_total_floor {
         return current.clone();
     }
-    CandidateSet::from_weights(weights).unwrap_or_else(|_| current.clone())
+    moloc_verify::check_weights("core.evaluate.kernel.weights", weights.iter().copied());
+    let posterior = CandidateSet::from_weights(weights).unwrap_or_else(|_| current.clone());
+    moloc_verify::check_posterior("core.evaluate.kernel.posterior", posterior.iter());
+    posterior
 }
 
 #[cfg(test)]

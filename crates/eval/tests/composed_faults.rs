@@ -83,6 +83,34 @@ fn estimates(outcomes: &[Vec<PassOutcome>]) -> Vec<u32> {
         .collect()
 }
 
+/// Every point of the composed grid, replayed with the `moloc-verify`
+/// invariant layer recording: the Eq. 7 posterior must be a probability
+/// simplex (finite, non-negative, summing to 1 ± 1e-12) and every k-NN
+/// result must honor the rank/tie contract on *every* degradation rung
+/// and fault mix — not just the clean corner the unit tests cover.
+/// Recording mode (rather than panic mode) keeps the sweep running so
+/// one failure reports the full violation list.
+#[test]
+fn composed_grid_upholds_verify_invariants_on_every_rung() {
+    moloc_verify::enable_recording();
+    let _ = moloc_verify::take_violations();
+    for &gaps in &GAP_COUNTS {
+        for &rlm in &RLM_FRACTIONS {
+            for &dropout in &DROPOUT_RATES {
+                let (_, counts) = run_point(dropout, gaps, rlm);
+                assert!(counts.passes > 0, "grid point scored no passes");
+                let violations = moloc_verify::take_violations();
+                assert!(
+                    violations.is_empty(),
+                    "invariant violations at dropout {dropout}, gaps {gaps}, \
+                     rlm {rlm}: {violations:?}"
+                );
+            }
+        }
+    }
+    moloc_verify::set_enabled(false);
+}
+
 #[test]
 fn zero_intensity_composition_is_bit_identical_to_clean() {
     let fx = fixture();

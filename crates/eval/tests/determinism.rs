@@ -43,10 +43,7 @@ fn parallel_wifi_outcomes_are_byte_identical_to_serial() {
     // Serial reference: the same per-trace computation, plain map. The
     // pipeline's own fan-out must reproduce it exactly.
     let serial: Vec<_> = (0..world.corpus.test.len())
-        .map(|i| {
-            let one = localize_wifi_single_trace(&world, &setting, i);
-            one
-        })
+        .map(|i| localize_wifi_single_trace(&world, &setting, i))
         .collect();
     assert_eq!(parallel, serial);
 }

@@ -145,7 +145,7 @@ mod tests {
         plan.apply_accel(4, &mut s);
         let nan = s.values().iter().filter(|v| v.is_nan()).count();
         // Two 10-sample gaps, possibly overlapping.
-        assert!(nan >= 10 && nan <= 20, "nan count {nan}");
+        assert!((10..=20).contains(&nan), "nan count {nan}");
         assert_eq!(s.len(), 200);
         assert_eq!(s.t0(), 0.0);
     }

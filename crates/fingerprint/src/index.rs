@@ -447,6 +447,10 @@ impl FingerprintIndex {
             location: self.ids[entry.position as usize],
             dissimilarity: K::finalize(entry.rank),
         }));
+        moloc_verify::check_knn_ranks(
+            "fingerprint.knn.ranks",
+            out.iter().map(|n| (n.location, n.dissimilarity)),
+        );
     }
 
     /// Masked k-NN for queries with missing (non-finite) APs: a
@@ -507,6 +511,10 @@ impl FingerprintIndex {
             location: self.ids[entry.position as usize],
             dissimilarity: SquaredEuclidean::finalize(entry.rank),
         }));
+        moloc_verify::check_knn_ranks(
+            "fingerprint.knn.masked.ranks",
+            out.iter().map(|n| (n.location, n.dissimilarity)),
+        );
         observed
     }
 
@@ -622,6 +630,10 @@ impl FingerprintIndex {
             location: self.ids[c.position as usize],
             dissimilarity: K::finalize(c.rank),
         }));
+        moloc_verify::check_knn_ranks(
+            "fingerprint.knn.sharded.ranks",
+            out.iter().map(|n| (n.location, n.dissimilarity)),
+        );
     }
 
     /// [`FingerprintIndex::k_select`] over a row range, positions
@@ -965,6 +977,10 @@ impl FingerprintIndex {
                     location: self.ids[entry.position as usize],
                     dissimilarity: K::finalize(entry.rank),
                 }));
+                moloc_verify::check_knn_ranks(
+                    "fingerprint.knn.block.ranks",
+                    scratch.tmp_out.iter().map(|n| (n.location, n.dissimilarity)),
+                );
                 out.push_query(&scratch.tmp_out, self.ap_count);
             } else {
                 let observed = self.k_nearest_masked_into(
@@ -1130,6 +1146,10 @@ impl FingerprintIndex {
             location: self.ids[entry.position as usize],
             dissimilarity: K::finalize(entry.rank),
         }));
+        moloc_verify::check_knn_ranks(
+            "fingerprint.knn.mirror.ranks",
+            out.iter().map(|n| (n.location, n.dissimilarity)),
+        );
     }
 
     /// Conservative bound `E` on `|f32 rank − f64 rank|` for squared-

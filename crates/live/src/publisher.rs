@@ -99,6 +99,7 @@ impl SnapshotPublisher {
             });
         }
         let next = self.current_epoch() + 1;
+        moloc_verify::check_epoch("live.publisher.epoch", self.current_epoch(), next);
         let started = Instant::now();
         let snapshot = Arc::new(log.build_snapshot(next)?);
         moloc_obs::record(
@@ -176,6 +177,10 @@ impl SnapshotReader {
             moloc_obs::counter_add("live.reader.stale_holds", 1);
             return false;
         }
+        // A reader only ever moves forward: the publisher's epoch
+        // counter is monotone, so adopting a published snapshot below
+        // the pinned epoch means torn publication.
+        moloc_verify::check_epoch("live.reader.epoch", self.current.epoch, published);
         self.current = self.publisher.snapshot();
         moloc_obs::counter_add("live.reader.refreshes", 1);
         true

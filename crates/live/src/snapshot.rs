@@ -64,6 +64,7 @@ impl DbSnapshot {
         for counter in [
             r.observed,
             r.rejected_coarse,
+            r.rejected_unmapped,
             r.rejected_fine,
             r.underpopulated_pairs,
             r.pairs_built,
@@ -136,6 +137,15 @@ mod tests {
             a.digest(),
             b.digest(),
             "a filtered-out RLM still distinguishes the streams"
+        );
+
+        let mut c = snap(0, &[-40.0]);
+        c.motion_report.rejected_unmapped = 1;
+        assert_ne!(a.digest(), c.digest(), "unmapped drops are content too");
+        assert_ne!(
+            b.digest(),
+            c.digest(),
+            "coarse and unmapped rejections must hash differently"
         );
     }
 }

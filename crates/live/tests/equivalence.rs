@@ -46,7 +46,7 @@ fn apply(log: &mut UpdateLog, delta: &Delta) {
             .observe_survey_sample(*id, values)
             .expect("ap count matches"),
         Delta::Rlm(rlm) => {
-            log.observe_rlm(rlm.clone());
+            log.observe_rlm(*rlm);
         }
     }
 }

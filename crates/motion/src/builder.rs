@@ -36,21 +36,39 @@ impl MapReference {
         }
     }
 
+    /// Whether the reference covers this pair at all: both endpoints on
+    /// the grid. Crowdsourced RLMs carry *estimated* endpoints, so ids
+    /// outside the surveyed grid are expected hostile input, not a
+    /// programming error.
+    pub fn covers(&self, a: LocationId, b: LocationId) -> bool {
+        self.grid.contains(a) && self.grid.contains(b)
+    }
+
     /// The map direction from `a` to `b` (straight-line compass
-    /// bearing), `None` for identical locations.
+    /// bearing), `None` for identical locations or endpoints off the
+    /// grid.
     pub fn direction_deg(&self, a: LocationId, b: LocationId) -> Option<f64> {
+        if !self.covers(a, b) {
+            return None;
+        }
         self.grid.bearing_deg(a, b)
     }
 
     /// The map offset from `a` to `b`: walkable distance when the graph
-    /// connects them, straight-line distance otherwise.
+    /// connects them, straight-line distance otherwise. Infinite for
+    /// endpoints off the grid (no measured offset can sit within a
+    /// finite threshold of it).
     pub fn offset_m(&self, a: LocationId, b: LocationId) -> f64 {
+        if !self.covers(a, b) {
+            return f64::INFINITY;
+        }
         self.walk_dist[a.index()][b.index()].unwrap_or_else(|| self.grid.distance(a, b))
     }
 
-    /// Whether the pair is connected on the walkable graph.
+    /// Whether the pair is connected on the walkable graph (always
+    /// false for endpoints off the grid).
     pub fn walkably_connected(&self, a: LocationId, b: LocationId) -> bool {
-        self.walk_dist[a.index()][b.index()].is_some()
+        self.covers(a, b) && self.walk_dist[a.index()][b.index()].is_some()
     }
 
     /// The reference grid.
@@ -64,8 +82,14 @@ impl MapReference {
 pub struct BuildReport {
     /// RLMs offered to the builder.
     pub observed: u64,
-    /// RLMs dropped by the coarse filter.
+    /// RLMs dropped by the coarse filter for exceeding the direction or
+    /// offset thresholds of a pair the map *does* cover.
     pub rejected_coarse: u64,
+    /// RLMs dropped because the map reference has no entry for the pair
+    /// at all (an endpoint off the surveyed grid). Previously
+    /// misattributed to `rejected_coarse`, which made threshold tuning
+    /// runs look far stricter than they were on corrupt-endpoint data.
+    pub rejected_unmapped: u64,
     /// Measurements dropped by the fine (2σ) filter.
     pub rejected_fine: u64,
     /// Pairs dropped for having fewer than `min_samples` measurements.
@@ -135,6 +159,14 @@ impl MotionDbBuilder {
     pub fn observe(&mut self, rlm: Rlm) -> bool {
         self.report.observed += 1;
         let canon = rlm.canonical();
+        // A pair the map cannot represent is dropped regardless of the
+        // coarse toggle — its endpoints index nothing in the grid-sized
+        // database — and attributed to its own counter: it says nothing
+        // about the coarse thresholds.
+        if !self.map.covers(canon.from, canon.to) {
+            self.report.rejected_unmapped += 1;
+            return false;
+        }
         if self.config.coarse_enabled && !self.coarse_accepts(&canon) {
             self.report.rejected_coarse += 1;
             return false;
@@ -392,16 +424,57 @@ mod tests {
         };
         let mut live = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
         for (n, r) in all.iter().enumerate() {
-            live.observe(r.clone());
+            live.observe(*r);
             let (snap_db, snap_report) = live.build_snapshot();
             let mut fresh = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
             for r in &all[..=n] {
-                fresh.observe(r.clone());
+                fresh.observe(*r);
             }
             let (fresh_db, fresh_report) = fresh.build();
             assert_eq!(digest(&snap_db), digest(&fresh_db), "prefix {}", n + 1);
             assert_eq!(snap_report, fresh_report, "prefix {}", n + 1);
         }
+    }
+
+    #[test]
+    fn map_reference_is_total_for_off_grid_ids() {
+        // The 3×2 fixture covers ids 1..=6; 7 is a corrupt estimate.
+        let m = map();
+        assert!(m.covers(l(1), l(6)));
+        assert!(!m.covers(l(1), l(7)));
+        assert_eq!(m.direction_deg(l(1), l(7)), None);
+        assert_eq!(m.offset_m(l(7), l(1)), f64::INFINITY);
+        assert!(!m.walkably_connected(l(1), l(7)));
+    }
+
+    #[test]
+    fn off_grid_rlms_count_as_unmapped_not_coarse() {
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::paper()).unwrap();
+        assert!(!b.observe(rlm(1, 7, 90.0, 2.0)));
+        assert_eq!(b.report.rejected_unmapped, 1);
+        assert_eq!(
+            b.report.rejected_coarse, 0,
+            "unmapped must not masquerade as a threshold rejection"
+        );
+        // A genuine threshold rejection still lands in rejected_coarse.
+        assert!(!b.observe(rlm(1, 2, 150.0, 2.0)));
+        assert_eq!(b.report.rejected_coarse, 1);
+        assert_eq!(b.report.rejected_unmapped, 1);
+        let (db, report) = b.build();
+        assert!(db.is_empty());
+        assert_eq!(report.observed, 2);
+    }
+
+    #[test]
+    fn unmapped_rlms_are_dropped_even_with_coarse_disabled() {
+        // With the coarse filter off an off-grid pair used to flow into
+        // the accumulator and blow up the grid-sized database at build.
+        let mut b = MotionDbBuilder::new(map(), SanitationConfig::disabled()).unwrap();
+        assert!(!b.observe(rlm(6, 7, 90.0, 2.0)));
+        assert_eq!(b.report.rejected_unmapped, 1);
+        let (db, report) = b.build();
+        assert!(db.is_empty());
+        assert_eq!(report.pairs_built, 0);
     }
 
     #[test]

@@ -276,7 +276,11 @@ impl CheckpointState {
         if bytes.len().saturating_sub(pos) < 12 * plen {
             return None;
         }
-        let mut posterior = Vec::with_capacity(plen);
+        // Clamp the preallocation like the `pending` path below: `plen`
+        // is a corruption-controlled u32, and although the length guard
+        // above bounds it by the record size today, the allocation must
+        // not depend on that coupling staying intact.
+        let mut posterior = Vec::with_capacity(plen.min(1024));
         for _ in 0..plen {
             let raw = take_u32(bytes, &mut pos)?;
             if raw == 0 {

@@ -106,10 +106,12 @@ impl ReorderBuffer {
         }
         self.pending.insert(event.seq, event);
         let before = out.len();
+        let watermark_before = self.next_seq;
         self.release_contiguous(out);
         while self.pending.len() > self.capacity {
             self.skip_to_earliest_pending(out);
         }
+        moloc_verify::check_watermark("session.reorder.watermark", watermark_before, self.next_seq);
         out.len() - before
     }
 

@@ -205,6 +205,35 @@ fn random_multi_byte_corruption_never_silently_loads() {
     }
 }
 
+/// A corrupted posterior length that survives checksumming (an
+/// attacker-or-bitrot-controlled u32 re-framed into a valid record)
+/// must be rejected by `decode` without a proportional preallocation:
+/// `Vec::with_capacity(plen)` on an unclamped `u32::MAX` would ask the
+/// allocator for 48 GiB before the first entry read fails.
+#[test]
+fn huge_checksummed_posterior_length_is_rejected_without_allocation() {
+    let payload = state(1).encode().expect("encodes");
+    // Payload layout: 8 u64 counters (64 bytes), has_previous (1),
+    // flags (1), then the posterior length at offset 66.
+    const PLEN_OFFSET: usize = 66;
+    let plen = u32::from_le_bytes(payload[PLEN_OFFSET..PLEN_OFFSET + 4].try_into().unwrap());
+    assert_eq!(plen, 3, "fixture layout moved; update PLEN_OFFSET");
+    for huge in [u32::MAX, u32::MAX / 12, 1 << 24] {
+        let mut mutated = payload.clone();
+        mutated[PLEN_OFFSET..PLEN_OFFSET + 4].copy_from_slice(&huge.to_le_bytes());
+        // Re-frame so the checksum is *valid*: framing-level scans must
+        // accept the record and hand the hostile payload to decode.
+        let record = frame_record(&mutated);
+        let (payloads, report) = scan_records(&record);
+        assert_eq!(payloads.len(), 1, "checksummed frame must scan");
+        assert_eq!(report.corruption, None);
+        assert!(
+            CheckpointState::decode(&payloads[0]).is_none(),
+            "plen {huge} decoded"
+        );
+    }
+}
+
 #[test]
 fn random_garbage_is_rejected_not_decoded() {
     for case in 0..200u64 {

@@ -23,6 +23,7 @@
 //! | [`faults`] | `moloc-faults` | seeded fault injection: AP dropout, rogue APs, sensor gaps, RLM corruption, stream & lifecycle faults |
 //! | [`session`] | `moloc-session` | crash-safe streaming: reorder buffer, checkpointed tracker state, recovery |
 //! | [`live`] | `moloc-live` | dynamic crowdsourced database updates: epoch snapshots, atomic publication, live localizers |
+//! | [`verify`] | `moloc-verify` | differential oracles (naive Eq. 4–7, exhaustive k-NN, checkpoint framing) and zero-cost runtime invariant checks |
 //! | [`obs`] | `moloc-obs` | zero-dependency metrics: counters, histograms, timing spans, snapshots |
 //! | [`eval`] | `moloc-eval` | the simulated office-hall testbed and every paper experiment |
 //!
@@ -84,6 +85,7 @@ pub use moloc_radio as radio;
 pub use moloc_sensors as sensors;
 pub use moloc_session as session;
 pub use moloc_stats as stats;
+pub use moloc_verify as verify;
 
 /// Commonly used types, one import away.
 pub mod prelude {

@@ -460,7 +460,7 @@ mod tests {
     fn primitives_round_trip_through_values() {
         assert_eq!(from_value::<u32>(to_value(&7u32).unwrap()).unwrap(), 7);
         assert_eq!(from_value::<f64>(to_value(&1.5f64).unwrap()).unwrap(), 1.5);
-        assert_eq!(from_value::<bool>(to_value(&true).unwrap()).unwrap(), true);
+        assert!(from_value::<bool>(to_value(&true).unwrap()).unwrap());
         let v = vec![(1u32, 2.0f64), (3u32, 4.0f64)];
         assert_eq!(
             from_value::<Vec<(u32, f64)>>(to_value(&v).unwrap()).unwrap(),
